@@ -1,0 +1,48 @@
+# Common development tasks for the Parma repository.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt figures examples clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every paper figure plus the extension studies.
+figures:
+	$(GO) run ./cmd/parma-bench -figure all
+	$(GO) run ./cmd/parma-bench -figure hetero
+	$(GO) run ./cmd/parma-bench -figure noise
+	$(GO) run ./cmd/parma-bench -figure inverse
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/woundmonitor
+	$(GO) run ./examples/scalability -n 12 -workers 1,2,4
+	$(GO) run ./examples/homology
+	$(GO) run ./examples/vlsi
+	$(GO) run ./examples/stokes
+	$(GO) run ./examples/faultscan
+	$(GO) run ./examples/estimator
+	$(GO) run ./examples/morphology
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

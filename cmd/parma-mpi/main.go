@@ -1,0 +1,128 @@
+// Command parma-mpi runs distributed equation formation as genuinely
+// separate OS processes over TCP — the multi-process deployment mode that
+// stands in for the paper's mpi4py/MPICH cluster runs.
+//
+// Three modes:
+//
+//	parma-mpi -launch -ranks 4 -n 12      # coordinator + ranks, one command
+//	parma-mpi -serve 127.0.0.1:7077 -ranks 4
+//	parma-mpi -connect 127.0.0.1:7077 -rank 2 -ranks 4 -n 12
+//
+// Launch mode starts a coordinator in-process and re-executes this binary
+// once per rank; each rank process connects back, forms its share of the
+// joint-constraint system, and participates in the closing allreduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"parma/internal/experiments"
+	"parma/internal/mpi"
+)
+
+func main() {
+	launch := flag.Bool("launch", false, "spawn coordinator and all rank processes")
+	serve := flag.String("serve", "", "run a coordinator on this address")
+	connect := flag.String("connect", "", "connect to a coordinator as a rank")
+	rank := flag.Int("rank", -1, "this process's rank (with -connect)")
+	ranks := flag.Int("ranks", 4, "world size")
+	n := flag.Int("n", 12, "array size (n x n)")
+	seed := flag.Int64("seed", 2022, "workload seed")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *launch:
+		err = runLaunch(*ranks, *n, *seed)
+	case *serve != "":
+		err = runServe(*serve, *ranks)
+	case *connect != "":
+		err = runRank(*connect, *rank, *ranks, *n, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parma-mpi: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runServe(addr string, ranks int) error {
+	co, err := mpi.NewCoordinator(addr, ranks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coordinator listening on %s for %d ranks\n", co.Addr(), ranks)
+	return co.Serve()
+}
+
+func runRank(addr string, rank, ranks, n int, seed int64) error {
+	if rank < 0 || rank >= ranks {
+		return fmt.Errorf("rank %d outside world of %d", rank, ranks)
+	}
+	p, err := experiments.BuildProblem(n, seed)
+	if err != nil {
+		return err
+	}
+	comm, closeFn, err := mpi.DialTCP(addr, rank, ranks, mpi.CostModel{})
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	start := time.Now()
+	res, err := mpi.DistributedFormation(comm, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d/%d: %d local equations of %d total in %v\n",
+		rank, ranks, res.LocalEquations, res.TotalEquations, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runLaunch(ranks, n int, seed int64) error {
+	co, err := mpi.NewCoordinator("127.0.0.1:0", ranks)
+	if err != nil {
+		return err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- co.Serve() }()
+
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate executable: %w", err)
+	}
+	procs := make([]*exec.Cmd, ranks)
+	for r := 0; r < ranks; r++ {
+		cmd := exec.Command(exe,
+			"-connect", co.Addr(),
+			"-rank", fmt.Sprint(r),
+			"-ranks", fmt.Sprint(ranks),
+			"-n", fmt.Sprint(n),
+			"-seed", fmt.Sprint(seed),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("start rank %d: %w", r, err)
+		}
+		procs[r] = cmd
+	}
+	var firstErr error
+	for r, cmd := range procs {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	if err := <-serveErr; err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("coordinator: %w", err)
+	}
+	if firstErr == nil {
+		fmt.Printf("all %d rank processes completed\n", ranks)
+	}
+	return firstErr
+}

@@ -1,0 +1,490 @@
+// Command parma is the command-line frontend of the Parma library: synthetic
+// workload generation, topological analysis, parallel equation formation,
+// resistance recovery, and anomaly detection.
+//
+// Usage:
+//
+//	parma gen       -rows 16 -cols 16 -seed 1 [-anomaly i,j,ri,rj,factor] -r r.txt -z z.txt
+//	parma betti     -rows 16 -cols 16
+//	parma census    -rows 16 -cols 16
+//	parma paths     -n 4
+//	parma equations -z z.txt [-strategy pymp] [-workers 8] [-out dir | -stdout]
+//	parma solve     -z z.txt -o recovered.txt
+//	parma detect    -r recovered.txt [-factor 2.5 | -threshold 11550]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parma/internal/anomaly"
+	"parma/internal/core"
+	"parma/internal/gen"
+	"parma/internal/grid"
+	"parma/internal/hyper"
+	"parma/internal/kirchhoff"
+	"parma/internal/parallel"
+	"parma/internal/paths"
+	"parma/internal/sched"
+	"parma/internal/solver"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "betti":
+		err = cmdBetti(os.Args[2:])
+	case "census":
+		err = cmdCensus(os.Args[2:])
+	case "paths":
+		err = cmdPaths(os.Args[2:])
+	case "equations":
+		err = cmdEquations(os.Args[2:])
+	case "solve":
+		err = cmdSolve(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "hyper":
+		err = cmdHyper(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "parma: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parma: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `parma <command> [flags]
+
+commands:
+  gen        synthesize a medium and its measured Z matrix
+  betti      print the topological report of an array
+  census     print the joint-constraint system size
+  paths      print the exponential path census (the §II-C wall)
+  equations  form the equation system and write it to disk
+  solve      recover the resistance field from measurements
+  detect     find anomalous regions in a resistance field
+  check      verify a resistance field against measurements (residuals)
+  diagnose   topological fault diagnosis of a defective array
+  export     render a field as a PGM heatmap or an array as Graphviz DOT
+  hyper      censuses of k-dimensional MEA lattices
+
+run 'parma <command> -h' for per-command flags`)
+}
+
+func writeFieldFile(path string, f *grid.Field) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return grid.WriteField(out, f)
+}
+
+func readFieldFile(path string) (*grid.Field, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return grid.ReadField(in)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	rows := fs.Int("rows", 16, "horizontal wires")
+	cols := fs.Int("cols", 16, "vertical wires")
+	seed := fs.Int64("seed", 1, "generator seed")
+	noise := fs.Float64("noise", 0, "relative Gaussian noise std-dev")
+	rOut := fs.String("r", "r.txt", "output path for the ground-truth field")
+	zOut := fs.String("z", "z.txt", "output path for the measured Z matrix")
+	var anomalies anomalyFlags
+	fs.Var(&anomalies, "anomaly", "anomaly as i,j,ri,rj,factor (repeatable)")
+	fs.Parse(args)
+
+	cfg := gen.Config{Rows: *rows, Cols: *cols, Seed: *seed, NoiseStdDev: *noise, Anomalies: anomalies}
+	r, z, err := gen.Measurements(cfg)
+	if err != nil {
+		return err
+	}
+	if err := writeFieldFile(*rOut, r); err != nil {
+		return err
+	}
+	if err := writeFieldFile(*zOut, z); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (ground truth, [%.4g, %.4g] kΩ) and %s (measured Z)\n",
+		*rOut, r.Min(), r.Max(), *zOut)
+	return nil
+}
+
+// anomalyFlags parses repeated -anomaly i,j,ri,rj,factor flags.
+type anomalyFlags []gen.Anomaly
+
+func (a *anomalyFlags) String() string { return fmt.Sprint(*a) }
+
+func (a *anomalyFlags) Set(s string) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != 5 {
+		return fmt.Errorf("want i,j,ri,rj,factor, got %q", s)
+	}
+	vals := make([]float64, 5)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	*a = append(*a, gen.Anomaly{
+		CenterI: vals[0], CenterJ: vals[1],
+		RadiusI: vals[2], RadiusJ: vals[3], Factor: vals[4],
+	})
+	return nil
+}
+
+func cmdBetti(args []string) error {
+	fs := flag.NewFlagSet("betti", flag.ExitOnError)
+	rows := fs.Int("rows", 16, "horizontal wires")
+	cols := fs.Int("cols", 16, "vertical wires")
+	fs.Parse(args)
+
+	a := grid.New(*rows, *cols)
+	rep := core.Analyze(a)
+	fmt.Printf("array:        %v\n", a)
+	fmt.Printf("simplices:    %d vertices, %d edges (dimension-1 complex)\n", rep.Simplices0, rep.Simplices1)
+	fmt.Printf("β₀:           %d (connected components)\n", rep.Betti0)
+	fmt.Printf("β₁:           %d (independent Kirchhoff loops)\n", rep.Betti1)
+	fmt.Printf("cyclomatic:   %d (Maxwell cross-check)\n", rep.Cyclomatic)
+	fmt.Printf("euler χ:      %d\n", rep.Euler)
+	fmt.Printf("cycle basis:  %d fundamental cycles\n", rep.CycleBasisSize)
+	if err := core.VerifyInvariants(a); err != nil {
+		return err
+	}
+	fmt.Println("invariants:   all §III checks hold")
+	return nil
+}
+
+func cmdCensus(args []string) error {
+	fs := flag.NewFlagSet("census", flag.ExitOnError)
+	rows := fs.Int("rows", 16, "horizontal wires")
+	cols := fs.Int("cols", 16, "vertical wires")
+	fs.Parse(args)
+
+	c := kirchhoff.SystemCensus(grid.New(*rows, *cols))
+	fmt.Printf("pairs:              %d\n", c.Pairs)
+	fmt.Printf("equations per pair: %d\n", c.EquationsPerPair)
+	fmt.Printf("equations total:    %d\n", c.Equations)
+	fmt.Printf("unknown R:          %d\n", c.UnknownR)
+	fmt.Printf("unknown Ua:         %d\n", c.UnknownUa)
+	fmt.Printf("unknown Ub:         %d\n", c.UnknownUb)
+	fmt.Printf("unknowns total:     %d\n", c.Unknowns)
+	return nil
+}
+
+func cmdPaths(args []string) error {
+	fs := flag.NewFlagSet("paths", flag.ExitOnError)
+	n := fs.Int("n", 4, "array size")
+	fs.Parse(args)
+
+	perPair := paths.CountPairPaths(*n, *n)
+	fmt.Printf("simple paths per wire pair:   %d\n", perPair)
+	fmt.Printf("paper's n^(n-1) estimate:     %d\n", paths.PaperEstimate(*n)/uint64(*n)/uint64(*n))
+	fmt.Printf("storage for all paths:        ~%d bytes\n", paths.StorageBytes(*n))
+	census := kirchhoff.SystemCensus(grid.NewSquare(*n))
+	fmt.Printf("joint-constraint equations:   %d (polynomial alternative)\n", census.Equations)
+	return nil
+}
+
+func cmdEquations(args []string) error {
+	fs := flag.NewFlagSet("equations", flag.ExitOnError)
+	zPath := fs.String("z", "z.txt", "measured Z matrix file")
+	strategy := fs.String("strategy", "pymp", "single-thread|parallel|balanced-parallel|work-stealing|pymp")
+	workers := fs.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	outDir := fs.String("out", "", "shard directory (default: print summary only)")
+	toStdout := fs.Bool("stdout", false, "write equations to stdout instead")
+	voltage := fs.Float64("voltage", gen.SourceVoltage, "source voltage")
+	fs.Parse(args)
+
+	z, err := readFieldFile(*zPath)
+	if err != nil {
+		return err
+	}
+	a := grid.New(z.Rows(), z.Cols())
+	p, err := kirchhoff.NewProblem(a, z, *voltage)
+	if err != nil {
+		return err
+	}
+	if *toStdout {
+		res := parallel.Serial{}.Run(p, parallel.Options{Collect: true})
+		_, err := kirchhoff.WriteSystem(os.Stdout, res.Equations)
+		return err
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		bytes, err := parallel.WriteSharded(p, *outDir, *workers, sched.Dynamic, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes of equations to %s\n", bytes, *outDir)
+		return nil
+	}
+	var s parallel.Strategy
+	for _, cand := range parallel.All() {
+		if cand.Name() == *strategy {
+			s = cand
+		}
+	}
+	if s == nil {
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	res := s.Run(p, parallel.Options{Workers: *workers})
+	fmt.Printf("strategy %s formed %d equations (hash %016x)\n", res.Strategy, res.Count, res.Hash)
+	return nil
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	zPath := fs.String("z", "z.txt", "measured Z matrix file")
+	out := fs.String("o", "recovered.txt", "output path for the recovered field")
+	tol := fs.Float64("tol", 1e-8, "relative residual target")
+	fs.Parse(args)
+
+	z, err := readFieldFile(*zPath)
+	if err != nil {
+		return err
+	}
+	a := grid.New(z.Rows(), z.Cols())
+	res, err := solver.Recover(a, z, solver.RecoverOptions{Tol: *tol})
+	if err != nil {
+		return fmt.Errorf("%w (residual %.3g after %d iterations)", err, res.Residual, res.Iterations)
+	}
+	if err := writeFieldFile(*out, res.R); err != nil {
+		return err
+	}
+	fmt.Printf("recovered %dx%d field in %d iterations (residual %.3g) -> %s\n",
+		res.R.Rows(), res.R.Cols(), res.Iterations, res.Residual, *out)
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	rows := fs.Int("rows", 16, "horizontal wires")
+	cols := fs.Int("cols", 16, "vertical wires")
+	var dead resistorListFlag
+	fs.Var(&dead, "dead", "dead resistor as i,j (repeatable)")
+	deadRow := fs.Int("dead-row", -1, "kill every resistor on this horizontal wire")
+	deadCol := fs.Int("dead-col", -1, "kill every resistor on this vertical wire")
+	fs.Parse(args)
+
+	a := grid.New(*rows, *cols)
+	mask := grid.FullMaskFor(a)
+	for _, d := range dead {
+		mask.Disable(d[0], d[1])
+	}
+	if *deadRow >= 0 {
+		mask.DisableWire(true, *deadRow)
+	}
+	if *deadCol >= 0 {
+		mask.DisableWire(false, *deadCol)
+	}
+	rep := core.Diagnose(a, mask)
+	fmt.Printf("missing resistors: %d of %d\n", rep.MissingResistors, a.Resistors())
+	fmt.Printf("components (β₀):   %d\n", rep.Betti0)
+	fmt.Printf("loops (β₁):        %d (%d lost to defects)\n", rep.Betti1, rep.LostLoops)
+	if len(rep.IsolatedWires) == 0 {
+		fmt.Println("dead electrodes:   none")
+	} else {
+		for _, w := range rep.IsolatedWires {
+			if w.Horizontal {
+				fmt.Printf("dead electrode:    horizontal wire %s\n", grid.HorizontalLabel(w.Index))
+			} else {
+				fmt.Printf("dead electrode:    vertical wire %s\n", grid.VerticalLabel(w.Index))
+			}
+		}
+	}
+	if rep.FullyFunctional {
+		fmt.Println("verdict:           fully functional")
+	} else if rep.Betti0 > 1 {
+		fmt.Println("verdict:           device PARTITIONED — some pairs unmeasurable")
+	} else {
+		fmt.Println("verdict:           degraded but fully measurable")
+	}
+	return nil
+}
+
+// resistorListFlag parses repeated -dead i,j flags.
+type resistorListFlag [][2]int
+
+func (r *resistorListFlag) String() string { return fmt.Sprint(*r) }
+
+func (r *resistorListFlag) Set(s string) error {
+	var i, j int
+	if _, err := fmt.Sscanf(s, "%d,%d", &i, &j); err != nil {
+		return fmt.Errorf("want i,j, got %q", s)
+	}
+	*r = append(*r, [2]int{i, j})
+	return nil
+}
+
+func cmdHyper(args []string) error {
+	fs := flag.NewFlagSet("hyper", flag.ExitOnError)
+	dims := fs.String("dims", "10,10,10", "comma-separated lattice extents")
+	fs.Parse(args)
+
+	var extents []int
+	for _, part := range strings.Split(*dims, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -dims: %v", err)
+		}
+		extents = append(extents, v)
+	}
+	l := hyper.NewLattice(extents...)
+	fmt.Printf("%d-dimensional MEA lattice %v\n", l.K(), l.Dims())
+	fmt.Printf("points (resistors):   %d\n", l.Points())
+	fmt.Printf("edges:                %d\n", l.Edges())
+	fmt.Printf("unit cells (n-1)^k:   %d  (the paper's parallel work units)\n", l.UnitCells())
+	fmt.Printf("cycle rank β₁:        %d\n", l.CycleRank())
+	c := l.TheoreticalComplexity()
+	fmt.Printf("complexity:           O(n^%d) sequential / %d units -> O(n^%d) parallel\n",
+		c.SeqExponent, c.ParallelUnits, c.ParExponent)
+	if l.K() == 2 {
+		fmt.Println("note: in 2D, unit cells and cycle rank coincide exactly")
+	} else if l.UnitCells() != l.CycleRank() {
+		fmt.Println("note: beyond 2D the graph cycle space exceeds the unit-cell count")
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	rPath := fs.String("r", "", "field file to render as a PGM heatmap")
+	rows := fs.Int("rows", 0, "with -graph: horizontal wires")
+	cols := fs.Int("cols", 0, "with -graph: vertical wires")
+	graph := fs.String("graph", "", "render an array graph instead: joint or wire")
+	out := fs.String("o", "", "output path (default stdout)")
+	fs.Parse(args)
+
+	var dst *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if *graph != "" {
+		if *rows < 1 || *cols < 1 {
+			return fmt.Errorf("export -graph needs -rows and -cols")
+		}
+		a := grid.New(*rows, *cols)
+		switch *graph {
+		case "joint":
+			return a.JointGraph().WriteDOT(dst, fmt.Sprintf("mea_%dx%d_joints", *rows, *cols))
+		case "wire":
+			return a.WireGraph().WriteDOT(dst, fmt.Sprintf("mea_%dx%d_wires", *rows, *cols))
+		default:
+			return fmt.Errorf("unknown graph kind %q (want joint or wire)", *graph)
+		}
+	}
+	if *rPath == "" {
+		return fmt.Errorf("export needs -r <field> or -graph joint|wire")
+	}
+	f, err := readFieldFile(*rPath)
+	if err != nil {
+		return err
+	}
+	return grid.WritePGM(dst, f)
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	zPath := fs.String("z", "z.txt", "measured Z matrix file")
+	rPath := fs.String("r", "recovered.txt", "candidate resistance field file")
+	voltage := fs.Float64("voltage", gen.SourceVoltage, "source voltage")
+	tol := fs.Float64("tol", 1e-6, "acceptable max relative residual")
+	fs.Parse(args)
+
+	z, err := readFieldFile(*zPath)
+	if err != nil {
+		return err
+	}
+	r, err := readFieldFile(*rPath)
+	if err != nil {
+		return err
+	}
+	a := grid.New(z.Rows(), z.Cols())
+	p, err := kirchhoff.NewProblem(a, z, *voltage)
+	if err != nil {
+		return err
+	}
+	st, err := kirchhoff.GroundTruthState(a, r, *voltage)
+	if err != nil {
+		return err
+	}
+	eqs := p.FormAll()
+	worst := 0.0
+	for _, e := range eqs {
+		scale := *voltage / z.At(e.PairI, e.PairJ)
+		if rel := e.Residual(st) / scale; rel > worst || -rel > worst {
+			if rel < 0 {
+				rel = -rel
+			}
+			worst = rel
+		}
+	}
+	fmt.Printf("checked %d equations: max relative residual %.3e\n", len(eqs), worst)
+	if worst > *tol {
+		return fmt.Errorf("field does not satisfy the measurements (residual %.3e > %.3e)", worst, *tol)
+	}
+	fmt.Println("field is consistent with the measurements")
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	rPath := fs.String("r", "recovered.txt", "resistance field file")
+	factor := fs.Float64("factor", 2.5, "relative threshold over the median")
+	threshold := fs.Float64("threshold", 0, "absolute threshold (overrides -factor)")
+	minSize := fs.Int("min-size", 1, "minimum region size")
+	fs.Parse(args)
+
+	f, err := readFieldFile(*rPath)
+	if err != nil {
+		return err
+	}
+	det := anomaly.Detect(f, anomaly.Options{
+		Factor: *factor, AbsoluteThreshold: *threshold, MinRegionSize: *minSize,
+	})
+	fmt.Printf("threshold %.4g kΩ, %d region(s)\n", det.Threshold, len(det.Regions))
+	for i, reg := range det.Regions {
+		fmt.Printf("  region %d: %d cells, peak %.4g kΩ, seed (%d,%d)\n",
+			i, reg.Size(), reg.PeakValue, reg.Cells[0][0], reg.Cells[0][1])
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestAnomalyFlagsParse(t *testing.T) {
+	var a anomalyFlags
+	if err := a.Set("4,5,1.5,2.5,6"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set(" 1 , 2 , 3 , 4 , 5 "); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 {
+		t.Fatalf("parsed %d anomalies", len(a))
+	}
+	if a[0].CenterI != 4 || a[0].CenterJ != 5 || a[0].RadiusI != 1.5 || a[0].RadiusJ != 2.5 || a[0].Factor != 6 {
+		t.Fatalf("first anomaly = %+v", a[0])
+	}
+	if a.String() == "" {
+		t.Fatal("String is empty")
+	}
+}
+
+func TestAnomalyFlagsRejectsBadInput(t *testing.T) {
+	var a anomalyFlags
+	for _, in := range []string{"", "1,2,3,4", "1,2,3,4,5,6", "a,b,c,d,e"} {
+		if err := a.Set(in); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

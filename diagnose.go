@@ -1,0 +1,34 @@
+package parma
+
+import (
+	"parma/internal/circuit"
+	"parma/internal/core"
+	"parma/internal/grid"
+)
+
+// Fault-diagnosis surface: the same homology that licenses parallel
+// processing doubles as a structural health check for defective devices.
+
+// Mask marks which resistors of an array are physically present.
+type Mask = grid.Mask
+
+// FaultReport is the topological diagnosis of a masked (defective) MEA.
+type FaultReport = core.FaultReport
+
+// NewMask returns a mask with every resistor active.
+func NewMask(a Array) *Mask { return grid.FullMaskFor(a) }
+
+// Diagnose computes the fault report of a masked array: missing resistors,
+// connectivity (β₀ > 1 means unreachable wires), dead electrodes, and the
+// Kirchhoff loops — parallelism — lost to the defects.
+func Diagnose(a Array, mask *Mask) FaultReport { return core.Diagnose(a, mask) }
+
+// Measurable reports whether the wire pair (i, j) can still be measured on
+// the masked device.
+func Measurable(a Array, mask *Mask, i, j int) bool { return core.Measurable(a, mask, i, j) }
+
+// MeasureMasked measures a defective device: pairs with no electrical path
+// read +Inf.
+func MeasureMasked(a Array, r *Field, mask *Mask) (*Field, error) {
+	return circuit.MeasureAllMasked(a, r, mask)
+}

@@ -1,0 +1,108 @@
+// Homology: an interactive tour of the algebraic-topological machinery
+// behind Parma (§III of the paper), run on MEAs of several shapes.
+//
+// For each array it prints the simplicial census, the Betti numbers
+// computed homologically over GF(2), the Maxwell cyclomatic cross-check,
+// the theoretical parallelism, and a sample of the fundamental cycle basis
+// — the independent "holes" the fine-grained strategy parallelizes over.
+//
+//	go run ./examples/homology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parma"
+	"parma/internal/topo"
+)
+
+func main() {
+	shapes := []struct {
+		rows, cols int
+		note       string
+	}{
+		{1, 1, "a single resistor: no loops at all"},
+		{2, 2, "the smallest array with a cycle"},
+		{3, 3, "the paper's Figure 1 device"},
+		{3, 8, "a rectangular probe strip"},
+		{15, 15, "the continuous-flow screening device of [5]"},
+	}
+
+	for _, s := range shapes {
+		a := parma.NewArray(s.rows, s.cols)
+		rep := parma.Analyze(a)
+		fmt.Printf("%dx%d MEA — %s\n", s.rows, s.cols, s.note)
+		fmt.Printf("  joints %4d   resistors %4d   wire segments %d\n",
+			rep.Joints, rep.Resistors, rep.Simplices1-rep.Resistors)
+		fmt.Printf("  β₀ = %d, β₁ = %d   (cyclomatic %d, χ = %d)\n",
+			rep.Betti0, rep.Betti1, rep.Cyclomatic, rep.Euler)
+		want := (s.rows - 1) * (s.cols - 1)
+		fmt.Printf("  closed form (m−1)(n−1) = %d — %s\n", want, check(rep.Betti1 == want))
+		if err := parma.VerifyTopology(a); err != nil {
+			log.Fatalf("  invariants FAILED: %v", err)
+		}
+		fmt.Printf("  all §III invariants hold (Prop. 1, ∂∂ = 0, independent basis)\n")
+
+		// The theoretical consequence (§IV-B): O(n^3) formation work
+		// divided across β₁ independent loops approaches O(n).
+		census := parma.SystemCensus(a)
+		if rep.Betti1 > 0 {
+			fmt.Printf("  parallelism: %d equations / %d independent loops ≈ %d per loop\n",
+				census.Equations, rep.Betti1, census.Equations/rep.Betti1)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("every Kirchhoff voltage law instance lives on one of these independent")
+	fmt.Println("cycles; that is why equation formation parallelizes without coordination.")
+
+	// Bonus: what the paper's Z/2 coefficients cannot see. Build a torus
+	// and a Klein bottle; mod 2 they are indistinguishable (β = 1,2,1),
+	// but integral homology exposes the Klein bottle's ℤ/2 torsion.
+	fmt.Println("\n--- beyond Z/2: integral homology and torsion ---")
+	for _, surf := range []struct {
+		name string
+		flip bool
+	}{{"torus", false}, {"Klein bottle", true}} {
+		c := quotientSurface(4, 4, surf.flip)
+		mod2 := c.BettiNumbers()
+		integral := c.IntegralHomologyAll()
+		fmt.Printf("%-12s  Z/2 β = %v   H₁(ℤ) = ℤ^%d", surf.name, mod2, integral[1].Betti)
+		for _, d := range integral[1].Torsion {
+			fmt.Printf(" ⊕ ℤ/%d", d)
+		}
+		fmt.Printf("   H₂(ℤ) = ℤ^%d\n", integral[2].Betti)
+	}
+	fmt.Println("same mod-2 shadow, different integral groups — torsion is invisible to Z/2.")
+}
+
+// quotientSurface glues a 4x4 triangulated square into a torus (straight)
+// or Klein bottle (flipped) quotient.
+func quotientSurface(m, n int, flip bool) *topo.Complex {
+	id := func(i, j int) int {
+		for j >= n {
+			j -= n
+			if flip {
+				i = -i
+			}
+		}
+		i = ((i % m) + m) % m
+		return i*n + j
+	}
+	c := topo.NewComplex()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			c.Add(topo.NewSimplex(id(i, j), id(i+1, j), id(i+1, j+1)))
+			c.Add(topo.NewSimplex(id(i, j), id(i, j+1), id(i+1, j+1)))
+		}
+	}
+	return c
+}
+
+func check(ok bool) string {
+	if ok {
+		return "matches"
+	}
+	return "MISMATCH"
+}

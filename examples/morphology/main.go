@@ -1,0 +1,78 @@
+// Morphology: topological data analysis of recovered resistance fields.
+//
+// Two lesions with the SAME anomalous-cell count can mean very different
+// things clinically: a solid proliferating mass versus a ring with a
+// necrotic (dead, low-resistance) center. Cell counting cannot tell them
+// apart; the first Betti number of the superlevel set can.
+//
+// The pipeline here is fully end-to-end: synthesize both media, measure Z
+// with the forward model, recover the fields from Z alone, and classify
+// each recovered field's morphology by its Betti curve.
+//
+//	go run ./examples/morphology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parma"
+)
+
+func main() {
+	const n = 10
+	a := parma.NewSquareArray(n)
+
+	build := func(ring bool) *parma.Field {
+		f := parma.UniformField(n, n, 3000)
+		for i := 2; i <= 6; i++ {
+			for j := 2; j <= 6; j++ {
+				border := i == 2 || i == 6 || j == 2 || j == 6
+				if !ring || border {
+					f.Set(i, j, 24000)
+				}
+			}
+		}
+		return f
+	}
+
+	for _, scenario := range []struct {
+		name string
+		ring bool
+	}{
+		{"solid mass", false},
+		{"ring lesion (necrotic center)", true},
+	} {
+		truth := build(scenario.ring)
+		z, err := parma.Measure(a, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := parma.Recover(a, z, parma.RecoverOptions{Tol: 1e-9})
+		if err != nil {
+			log.Fatalf("%s: recovery: %v", scenario.name, err)
+		}
+
+		fmt.Printf("%s:\n", scenario.name)
+		det := parma.Detect(rec.R, parma.DetectOptions{Factor: 3})
+		fmt.Printf("  detection: %d region(s), largest %d cells\n",
+			len(det.Regions), det.Regions[0].Size())
+
+		m := parma.ClassifyMorphology(rec.R, det.Threshold)
+		shape := "solid"
+		if m.Rings > 0 {
+			shape = "ring — interior tissue is NOT elevated"
+		}
+		fmt.Printf("  topology:  β₀ = %d region(s), β₁ = %d ring(s) → %s\n", m.Regions, m.Rings, shape)
+
+		curve := parma.BettiCurve(rec.R, parma.AutoThresholds(rec.R, 5))
+		fmt.Printf("  Betti curve (threshold: components/holes):")
+		for _, p := range curve {
+			fmt.Printf("  %.0f: %d/%d", p.Threshold, p.Components, p.Holes)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+
+	fmt.Println("same region size, different homology — β₁ separates ring lesions from masses.")
+}

@@ -1,0 +1,79 @@
+// Scalability: sweep the formation strategies and worker counts on this
+// machine and print the speedup table — a single-machine rehearsal of the
+// paper's Figures 6 and 7.
+//
+//	go run ./examples/scalability [-n 24] [-workers 1,2,4,8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"parma"
+)
+
+func main() {
+	n := flag.Int("n", 24, "array size (n x n)")
+	workersFlag := flag.String("workers", "1,2,4,8", "worker counts to sweep")
+	flag.Parse()
+
+	var workers []int
+	for _, part := range strings.Split(*workersFlag, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad -workers: %v", err)
+		}
+		workers = append(workers, k)
+	}
+
+	_, z, err := parma.Synthesize(parma.MediumConfig{Rows: *n, Cols: *n, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob, err := parma.NewProblem(parma.NewSquareArray(*n), z, parma.SourceVoltage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	census := parma.SystemCensus(parma.NewSquareArray(*n))
+	fmt.Printf("forming %d equations of a %dx%d MEA\n\n", census.Equations, *n, *n)
+
+	timeRun := func(s parma.Strategy, opts parma.FormationOptions) time.Duration {
+		// Best of three to damp scheduling noise.
+		best := time.Duration(1<<62 - 1)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			res := parma.Form(prob, s, opts)
+			if res.Count != census.Equations {
+				log.Fatalf("%s formed %d equations", s.Name(), res.Count)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	serial := timeRun(parma.Serial{}, parma.FormationOptions{})
+	fmt.Printf("%-20s %12v  speedup 1.00x\n", "single-thread", serial.Round(time.Microsecond))
+	fourWay := timeRun(parma.FourWay{}, parma.FormationOptions{})
+	fmt.Printf("%-20s %12v  speedup %.2fx (structurally capped at 4 threads)\n",
+		"parallel", fourWay.Round(time.Microsecond), float64(serial)/float64(fourWay))
+
+	for _, k := range workers {
+		bal := timeRun(parma.Balanced{}, parma.FormationOptions{Workers: k})
+		fine := timeRun(parma.FineGrained{}, parma.FormationOptions{Workers: k})
+		steal := timeRun(parma.Stealing{}, parma.FormationOptions{Workers: k})
+		fmt.Printf("k=%-3d balanced %10v (%.2fx)   pymp %10v (%.2fx)   stealing %10v (%.2fx)\n",
+			k,
+			bal.Round(time.Microsecond), float64(serial)/float64(bal),
+			fine.Round(time.Microsecond), float64(serial)/float64(fine),
+			steal.Round(time.Microsecond), float64(serial)/float64(steal))
+	}
+
+	fmt.Println("\nnote: wall-clock speedup requires physical cores; on a single-core")
+	fmt.Println("machine use cmd/parma-bench, which reports modeled schedule makespans.")
+}

@@ -1,0 +1,74 @@
+// VLSI: the chip-design application from the paper's introduction (use
+// case iii) — a power-delivery mesh is electrically an MEA, and a via whose
+// resistance has risen (electromigration, voiding) is exactly an anomaly.
+//
+// The mesh here is rectangular (6 power rails x 12 ground straps), with a
+// tight healthy-via resistance band. Two degraded vias are planted; the
+// pipeline measures rail-to-strap resistances, recovers every via from the
+// measurements alone, and reports the degraded ones with their severity.
+//
+//	go run ./examples/vlsi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parma"
+)
+
+func main() {
+	const rails, straps = 6, 12
+
+	// Healthy vias: 1.8–2.2 (arbitrary units; real meshes are mΩ — only
+	// ratios matter to the solver). Two degraded vias at ~8x nominal.
+	cfg := parma.MediumConfig{
+		Rows: rails, Cols: straps, Seed: 77,
+		BackgroundMin: 1.8, BackgroundMax: 2.2,
+		Anomalies: []parma.Anomaly{
+			{CenterI: 1, CenterJ: 3, RadiusI: 0.5, RadiusJ: 0.5, Factor: 8},
+			{CenterI: 4, CenterJ: 9, RadiusI: 0.5, RadiusJ: 0.5, Factor: 8},
+		},
+	}
+	truth, z, err := parma.Synthesize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	a := parma.NewArray(rails, straps)
+	rep := parma.Analyze(a)
+	fmt.Printf("power mesh: %d rails x %d straps, %d vias, %d independent loops\n\n",
+		rails, straps, rep.Resistors, rep.Betti1)
+
+	// The tester measures only pad-to-pad resistances (rail i to strap j).
+	fmt.Printf("measured pad-to-pad resistance range: %.3f – %.3f\n", z.Min(), z.Max())
+
+	rec, err := parma.Recover(a, z, parma.RecoverOptions{Tol: 1e-10})
+	if err != nil {
+		log.Fatalf("recovery: %v (residual %g)", err, rec.Residual)
+	}
+	fmt.Printf("via map recovered in %d iterations (residual %.1e)\n\n", rec.Iterations, rec.Residual)
+
+	det := parma.Detect(rec.R, parma.DetectOptions{Factor: 3})
+	fmt.Printf("%d degraded via group(s) above %.2f:\n", len(det.Regions), det.Threshold)
+	for _, reg := range det.Regions {
+		for _, cell := range reg.Cells {
+			i, j := cell[0], cell[1]
+			fmt.Printf("  via (rail %d, strap %2d): recovered %.3f, truth %.3f, %0.1fx nominal\n",
+				i, j, rec.R.At(i, j), truth.At(i, j), rec.R.At(i, j)/rec.R.Mean())
+		}
+	}
+
+	score, err := parma.EvaluateDetection(det.Mask, parma.TruthMask(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nagainst ground truth: precision %.2f, recall %.2f\n", score.Precision(), score.Recall())
+
+	// Sanity for the electrical model: a degraded via raises the local
+	// pad-to-pad reading but far less than the via itself rose — current
+	// detours through the mesh, which is why naive Z-thresholding fails
+	// and full recovery is needed.
+	fmt.Printf("\nwhy recovery matters: via (1,3) rose %.1fx, but Z(1,3) rose only %.2fx\n",
+		truth.At(1, 3)/truth.Mean(), z.At(1, 3)/z.Mean())
+}

@@ -1,0 +1,85 @@
+// Woundmonitor: the biomedical scenario from the paper's introduction —
+// an MEA applied to a patient's wound surface, measured on the wet-lab
+// protocol (0, 6, 12, 24 hours), with an anomalous region growing over
+// time.
+//
+// For each time point the pipeline is exactly what a deployment would run:
+// measure Z, recover the resistance field from Z alone, detect anomalous
+// regions, and report growth — with precision/recall scored against the
+// synthetic ground truth.
+//
+//	go run ./examples/woundmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"parma"
+)
+
+func main() {
+	const n = 8
+
+	cfg := parma.MediumConfig{
+		Rows: n, Cols: n, Seed: 7,
+		Anomalies: []parma.Anomaly{
+			{CenterI: 2.5, CenterJ: 5, RadiusI: 1.4, RadiusJ: 1.6, Factor: 3},
+		},
+	}
+	// The anomaly's resistance grows ~7% per hour (a proxy for abnormal
+	// cell proliferation under the electrodes).
+	series := parma.TimeSeries(cfg, 0.07)
+	truth := parma.TruthMask(cfg)
+	a := parma.NewSquareArray(n)
+
+	hours := make([]int, 0, len(series))
+	for h := range series {
+		hours = append(hours, h)
+	}
+	sort.Ints(hours)
+
+	fmt.Printf("wound monitoring on a %dx%d MEA, %d time points\n\n", n, n, len(hours))
+	var prevPeak float64
+	for _, h := range hours {
+		groundTruth := series[h]
+
+		// What the device actually observes: the pairwise Z matrix.
+		z, err := parma.Measure(a, groundTruth)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Inverse problem: resistance field from measurements alone.
+		rec, err := parma.Recover(a, z, parma.RecoverOptions{Tol: 1e-9})
+		if err != nil {
+			log.Fatalf("hour %d: recovery: %v (residual %.3g)", h, err, rec.Residual)
+		}
+
+		// Detection: anything above the healthy range is anomalous.
+		det := parma.Detect(rec.R, parma.DetectOptions{AbsoluteThreshold: 11000 * 1.05})
+		score, err := parma.EvaluateDetection(det.Mask, truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		peak := 0.0
+		cells := 0
+		if len(det.Regions) > 0 {
+			peak = det.Regions[0].PeakValue
+			cells = det.Regions[0].Size()
+		}
+		growth := ""
+		if prevPeak > 0 && peak > 0 {
+			growth = fmt.Sprintf("  (+%.0f%% since last sample)", 100*(peak/prevPeak-1))
+		}
+		fmt.Printf("hour %2d: %d region(s), largest %2d cells, peak %8.0f kΩ%s\n",
+			h, len(det.Regions), cells, peak, growth)
+		fmt.Printf("         recovery residual %.1e in %d iters; precision %.2f recall %.2f\n",
+			rec.Residual, rec.Iterations, score.Precision(), score.Recall())
+		prevPeak = peak
+	}
+
+	fmt.Println("\nthe anomaly's peak resistance rises monotonically — the signature of abnormal tissue.")
+}

@@ -1,0 +1,3 @@
+module parma
+
+go 1.22

@@ -1,0 +1,195 @@
+package parma
+
+// Cross-module integration tests: flows that span several subsystems in
+// one pass, exercised through the public API exactly as a downstream user
+// would compose them.
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIntegrationDefectiveDeviceWorkflow: diagnose a damaged device, then
+// run recovery on a healthy replacement and confirm the monitoring loop
+// still closes.
+func TestIntegrationDefectiveDeviceWorkflow(t *testing.T) {
+	const n = 6
+	a := NewSquareArray(n)
+
+	// Incoming device fails inspection.
+	mask := NewMask(a)
+	mask.DisableWire(true, 2)
+	rep := Diagnose(a, mask)
+	if rep.Betti0 != 2 || len(rep.IsolatedWires) != 1 {
+		t.Fatalf("diagnosis missed the dead wire: %+v", rep)
+	}
+	// Its measurements really are unusable for the dead wire's pairs.
+	r := SynthesizeMedium(MediumConfig{Rows: n, Cols: n, Seed: 1})
+	z, err := MeasureMasked(a, r, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		if !math.IsInf(z.At(2, j), 1) {
+			t.Fatalf("Z(2,%d) finite on a dead wire", j)
+		}
+	}
+
+	// Replacement device passes and the full pipeline runs.
+	good := NewMask(a)
+	if rep := Diagnose(a, good); !rep.FullyFunctional {
+		t.Fatal("fresh mask not functional")
+	}
+	z2, err := Measure(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(a, z2, RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.R.MaxAbsDiff(r)/r.Max() > 1e-4 {
+		t.Fatal("recovery on the replacement device failed")
+	}
+}
+
+// TestIntegrationEquationFileLifecycle: form → write shards → re-read →
+// evaluate residuals at ground truth — the file format carries everything
+// needed to verify a solution offline.
+func TestIntegrationEquationFileLifecycle(t *testing.T) {
+	const n = 5
+	cfg := MediumConfig{Rows: n, Cols: n, Seed: 9}
+	truth, z, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewSquareArray(n)
+	prob, err := NewProblem(a, z, SourceVoltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if _, err := WriteEquations(prob, dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := filepath.Glob(filepath.Join(dir, "equations-*.eq"))
+	if err != nil || len(shards) == 0 {
+		t.Fatalf("no shards: %v", err)
+	}
+	var eqs []Equation
+	for _, path := range shards {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := ParseSystem(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqs = append(eqs, part...)
+	}
+	if len(eqs) != SystemCensus(a).Equations {
+		t.Fatalf("shards hold %d equations, want %d", len(eqs), SystemCensus(a).Equations)
+	}
+	st, err := GroundTruthState(a, truth, SourceVoltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eqs {
+		if res := math.Abs(e.Residual(st)); res > 1e-8 {
+			t.Fatalf("re-read equation has residual %g", res)
+		}
+	}
+}
+
+// TestIntegrationMorphologyThroughRecovery: the ring-vs-blob topological
+// signature survives the measure → recover round trip.
+func TestIntegrationMorphologyThroughRecovery(t *testing.T) {
+	const n = 9
+	a := NewSquareArray(n)
+	ring := UniformField(n, n, 3000)
+	for i := 2; i <= 6; i++ {
+		for j := 2; j <= 6; j++ {
+			if i == 2 || i == 6 || j == 2 || j == 6 {
+				ring.Set(i, j, 24000)
+			}
+		}
+	}
+	z, err := Measure(a, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(a, z, RecoverOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ClassifyMorphology(rec.R, 10000)
+	if m.Regions != 1 || m.Rings != 1 {
+		t.Fatalf("recovered morphology %+v, want one ring", m)
+	}
+}
+
+// TestIntegrationHeatmapAndDOT: visualization outputs are well-formed for
+// real pipeline artifacts.
+func TestIntegrationHeatmapAndDOT(t *testing.T) {
+	_, z, err := Synthesize(MediumConfig{Rows: 4, Cols: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pgm strings.Builder
+	if err := WriteHeatmap(&pgm, z); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(pgm.String(), "P2\n4 4\n255\n") {
+		t.Fatalf("bad PGM header: %q", pgm.String()[:20])
+	}
+	var dot strings.Builder
+	if err := WriteJointGraphDOT(&dot, NewSquareArray(3), "fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "R[2,2]") {
+		t.Fatal("DOT missing resistor labels")
+	}
+	dot.Reset()
+	if err := WriteWireGraphDOT(&dot, NewSquareArray(3), "fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(dot.String(), " -- ") != 9 {
+		t.Fatalf("wire graph should have 9 edges:\n%s", dot.String())
+	}
+}
+
+// TestIntegrationTimeSeriesDetectionGrowth: across the 24-hour protocol
+// the detected anomaly's peak must grow monotonically after recovery.
+func TestIntegrationTimeSeriesDetectionGrowth(t *testing.T) {
+	const n = 6
+	cfg := MediumConfig{Rows: n, Cols: n, Seed: 21,
+		Anomalies: []Anomaly{{CenterI: 3, CenterJ: 3, RadiusI: 1, RadiusJ: 1, Factor: 4}}}
+	series := TimeSeries(cfg, 0.05)
+	a := NewSquareArray(n)
+	prevPeak := 0.0
+	for _, h := range []int{0, 6, 12, 24} {
+		z, err := Measure(a, series[h])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(a, z, RecoverOptions{})
+		if err != nil {
+			t.Fatalf("hour %d: %v", h, err)
+		}
+		det := Detect(rec.R, DetectOptions{Factor: 2.5})
+		if len(det.Regions) == 0 {
+			t.Fatalf("hour %d: anomaly not detected", h)
+		}
+		peak := det.Regions[0].PeakValue
+		if peak <= prevPeak {
+			t.Fatalf("hour %d: peak %g did not grow past %g", h, peak, prevPeak)
+		}
+		prevPeak = peak
+	}
+}

@@ -1,0 +1,136 @@
+package ann
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parma/internal/circuit"
+	"parma/internal/grid"
+	"parma/internal/mat"
+)
+
+// Dataset is a labeled corpus for the estimation task of HDK [8]: features
+// are the flattened, normalized Z matrix; labels the flattened, normalized
+// R field. Normalization constants are stored so predictions can be mapped
+// back to physical units.
+type Dataset struct {
+	Rows, Cols int
+	Features   []mat.Vector
+	Labels     []mat.Vector
+	// ZScale and RScale are the normalization divisors.
+	ZScale, RScale float64
+}
+
+// DatasetConfig controls corpus generation.
+type DatasetConfig struct {
+	Rows, Cols int
+	// Samples is the corpus size; zero selects 256.
+	Samples int
+	// RMin, RMax bound the per-cell resistances; zeros select 2000–11000.
+	RMin, RMax float64
+	// AnomalyProb is the chance a sample carries an elevated cell (x5);
+	// zero selects 0.5.
+	AnomalyProb float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate synthesizes a corpus by sampling random resistance fields and
+// running the forward model — exactly the data-collection loop whose cost
+// the paper's §II-C identifies as the obstacle for ANN training, and which
+// Parma's machinery accelerates.
+func Generate(cfg DatasetConfig) (*Dataset, error) {
+	if cfg.Rows < 1 || cfg.Cols < 1 {
+		return nil, fmt.Errorf("ann: invalid array %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.Samples == 0 {
+		cfg.Samples = 256
+	}
+	if cfg.RMin == 0 {
+		cfg.RMin = 2000
+	}
+	if cfg.RMax == 0 {
+		cfg.RMax = 11000
+	}
+	if cfg.AnomalyProb == 0 {
+		cfg.AnomalyProb = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := grid.New(cfg.Rows, cfg.Cols)
+	d := &Dataset{
+		Rows: cfg.Rows, Cols: cfg.Cols,
+		ZScale: cfg.RMax, RScale: cfg.RMax * 5, // anomalies reach 5x RMax
+	}
+	for s := 0; s < cfg.Samples; s++ {
+		r := grid.NewField(cfg.Rows, cfg.Cols)
+		for i := 0; i < cfg.Rows; i++ {
+			for j := 0; j < cfg.Cols; j++ {
+				r.Set(i, j, cfg.RMin+(cfg.RMax-cfg.RMin)*rng.Float64())
+			}
+		}
+		if rng.Float64() < cfg.AnomalyProb {
+			i, j := rng.Intn(cfg.Rows), rng.Intn(cfg.Cols)
+			r.Set(i, j, r.At(i, j)*5)
+		}
+		z, err := circuit.MeasureAll(a, r)
+		if err != nil {
+			return nil, fmt.Errorf("ann: forward model sample %d: %w", s, err)
+		}
+		feat := mat.NewVector(cfg.Rows * cfg.Cols)
+		label := mat.NewVector(cfg.Rows * cfg.Cols)
+		for i := 0; i < cfg.Rows; i++ {
+			for j := 0; j < cfg.Cols; j++ {
+				feat[i*cfg.Cols+j] = z.At(i, j) / d.ZScale
+				label[i*cfg.Cols+j] = r.At(i, j) / d.RScale
+			}
+		}
+		d.Features = append(d.Features, feat)
+		d.Labels = append(d.Labels, label)
+	}
+	return d, nil
+}
+
+// Split partitions the corpus into train and test slices at the given
+// train fraction (clamped to at least one sample each side).
+func (d *Dataset) Split(trainFrac float64) (trainF, trainL, testF, testL []mat.Vector) {
+	n := len(d.Features)
+	cut := int(trainFrac * float64(n))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	return d.Features[:cut], d.Labels[:cut], d.Features[cut:], d.Labels[cut:]
+}
+
+// PredictField maps a prediction vector back to a physical field.
+func (d *Dataset) PredictField(pred mat.Vector) *grid.Field {
+	f := grid.NewField(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			f.Set(i, j, pred[i*d.Cols+j]*d.RScale)
+		}
+	}
+	return f
+}
+
+// MeanPredictorMSE returns the MSE of always predicting the training-label
+// mean — the floor any learned model must beat.
+func MeanPredictorMSE(trainL, testL []mat.Vector) float64 {
+	if len(trainL) == 0 || len(testL) == 0 {
+		return 0
+	}
+	dim := len(trainL[0])
+	mean := mat.NewVector(dim)
+	for _, y := range trainL {
+		mean.AddScaled(1, y)
+	}
+	mean.Scale(1 / float64(len(trainL)))
+	var sum float64
+	for _, y := range testL {
+		d := mean.Clone().Sub(y)
+		sum += d.Dot(d)
+	}
+	return sum / float64(len(testL))
+}

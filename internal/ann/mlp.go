@@ -1,0 +1,209 @@
+// Package ann implements a small multilayer perceptron trained with
+// SGD + momentum, from scratch on the mat substrate. It reproduces the
+// estimation pipeline of the paper's companions — Tan et al. [9] and HDK
+// [8] train neural networks to predict the unknown resistor distribution
+// from measurements — for which Parma's fast formation/forward machinery
+// is the training-data generator (§II-C: collecting training data at scale
+// is the bottleneck Parma removes).
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"parma/internal/mat"
+)
+
+// MLP is a fully connected network with tanh hidden activations and a
+// linear output layer, trained for regression under mean squared error.
+type MLP struct {
+	sizes   []int
+	weights []*mat.Matrix // weights[l]: sizes[l+1] x sizes[l]
+	biases  []mat.Vector  // biases[l]: sizes[l+1]
+
+	// momentum buffers
+	vw []*mat.Matrix
+	vb []mat.Vector
+}
+
+// NewMLP builds a network with the given layer sizes (at least input and
+// output), initialized with Xavier-scaled weights from the seeded RNG.
+func NewMLP(seed int64, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("ann: need at least an input and an output layer")
+	}
+	for i, s := range sizes {
+		if s < 1 {
+			panic(fmt.Sprintf("ann: layer %d has size %d", i, s))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := mat.NewMatrix(out, in)
+		scale := math.Sqrt(2.0 / float64(in+out))
+		for i := 0; i < out; i++ {
+			row := w.Row(i)
+			for j := range row {
+				row[j] = rng.NormFloat64() * scale
+			}
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, mat.NewVector(out))
+		m.vw = append(m.vw, mat.NewMatrix(out, in))
+		m.vb = append(m.vb, mat.NewVector(out))
+	}
+	return m
+}
+
+// InputSize returns the expected feature length.
+func (m *MLP) InputSize() int { return m.sizes[0] }
+
+// OutputSize returns the prediction length.
+func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
+
+// forward computes all layer activations (post-nonlinearity), returning
+// them for use in backpropagation. acts[0] is the input.
+func (m *MLP) forward(x mat.Vector) []mat.Vector {
+	acts := make([]mat.Vector, len(m.sizes))
+	acts[0] = x
+	for l := 0; l < len(m.weights); l++ {
+		z := m.weights[l].MulVec(acts[l])
+		z.AddScaled(1, m.biases[l])
+		if l < len(m.weights)-1 { // hidden layers: tanh
+			for i := range z {
+				z[i] = math.Tanh(z[i])
+			}
+		}
+		acts[l+1] = z
+	}
+	return acts
+}
+
+// Predict runs the network on one feature vector.
+func (m *MLP) Predict(x mat.Vector) mat.Vector {
+	if len(x) != m.InputSize() {
+		panic(fmt.Sprintf("ann: input length %d, want %d", len(x), m.InputSize()))
+	}
+	acts := m.forward(x)
+	return acts[len(acts)-1].Clone()
+}
+
+// TrainOptions configures SGD.
+type TrainOptions struct {
+	// Epochs over the training set; zero selects 30.
+	Epochs int
+	// LearningRate; zero selects 0.01.
+	LearningRate float64
+	// Momentum coefficient; zero selects 0.9.
+	Momentum float64
+	// Seed shuffles sample order deterministically.
+	Seed int64
+}
+
+// Train runs SGD with momentum on (features, labels), returning the mean
+// squared error after each epoch (the learning curve).
+func (m *MLP) Train(features, labels []mat.Vector, opts TrainOptions) []float64 {
+	if len(features) != len(labels) {
+		panic(fmt.Sprintf("ann: %d features vs %d labels", len(features), len(labels)))
+	}
+	if len(features) == 0 {
+		panic("ann: empty training set")
+	}
+	epochs := opts.Epochs
+	if epochs == 0 {
+		epochs = 30
+	}
+	lr := opts.LearningRate
+	if lr == 0 {
+		lr = 0.01
+	}
+	mom := opts.Momentum
+	if mom == 0 {
+		mom = 0.9
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := rng.Perm(len(features))
+
+	curve := make([]float64, 0, epochs)
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		for _, idx := range order {
+			sum += m.step(features[idx], labels[idx], lr, mom)
+		}
+		curve = append(curve, sum/float64(len(order)))
+	}
+	return curve
+}
+
+// step performs one SGD update and returns the sample's squared error.
+func (m *MLP) step(x, y mat.Vector, lr, mom float64) float64 {
+	acts := m.forward(x)
+	out := acts[len(acts)-1]
+	if len(y) != len(out) {
+		panic(fmt.Sprintf("ann: label length %d, want %d", len(y), len(out)))
+	}
+	// delta at the linear output layer: dL/dz = (out − y).
+	delta := out.Clone().Sub(y)
+	var se float64
+	for _, d := range delta {
+		se += d * d
+	}
+	for l := len(m.weights) - 1; l >= 0; l-- {
+		aPrev := acts[l]
+		w, vw, vb := m.weights[l], m.vw[l], m.vb[l]
+
+		// Backpropagate through the pre-update weights first:
+		// deltaPrev = (Wᵀ·delta) ⊙ tanh'(aPrev).
+		var prev mat.Vector
+		if l > 0 {
+			prev = mat.NewVector(len(aPrev))
+			for i := range delta {
+				wRow := w.Row(i)
+				di := delta[i]
+				for j := range prev {
+					prev[j] += wRow[j] * di
+				}
+			}
+			for j := range prev {
+				prev[j] *= 1 - aPrev[j]*aPrev[j]
+			}
+		}
+
+		// Momentum update with gradient dW = delta ⊗ aPrev.
+		for i := range delta {
+			vbNew := mom*vb[i] - lr*delta[i]
+			vb[i] = vbNew
+			m.biases[l][i] += vbNew
+			wRow := w.Row(i)
+			vwRow := vw.Row(i)
+			for j := range wRow {
+				v := mom*vwRow[j] - lr*delta[i]*aPrev[j]
+				vwRow[j] = v
+				wRow[j] += v
+			}
+		}
+		if l == 0 {
+			break
+		}
+		delta = prev
+	}
+	return se
+}
+
+// MSE evaluates the mean squared error on a labeled set.
+func (m *MLP) MSE(features, labels []mat.Vector) float64 {
+	if len(features) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, x := range features {
+		pred := m.Predict(x)
+		d := pred.Sub(labels[i])
+		sum += d.Dot(d)
+	}
+	return sum / float64(len(features))
+}

@@ -1,0 +1,197 @@
+// Package anomaly turns recovered resistance fields into detections — the
+// application the paper motivates (§II-C): regions of significantly
+// elevated local resistance mark abnormal cells on the tested medium.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"parma/internal/grid"
+)
+
+// Region is one connected anomalous area.
+type Region struct {
+	// Cells lists the (i, j) resistor positions, sorted row-major.
+	Cells [][2]int
+	// PeakValue is the largest field value inside the region.
+	PeakValue float64
+}
+
+// Size returns the number of cells.
+func (r Region) Size() int { return len(r.Cells) }
+
+// Detection is the output of Detect.
+type Detection struct {
+	// Mask marks anomalous cells.
+	Mask [][]bool
+	// Regions are the 4-connected components of the mask, largest first.
+	Regions []Region
+	// Threshold is the resistance cutoff used.
+	Threshold float64
+}
+
+// Options tunes detection.
+type Options struct {
+	// Factor flags cells above Factor times the robust baseline (the
+	// median); zero selects 2.
+	Factor float64
+	// AbsoluteThreshold, when positive, overrides the relative rule.
+	AbsoluteThreshold float64
+	// MinRegionSize drops components smaller than this; zero keeps all.
+	MinRegionSize int
+}
+
+// Detect thresholds a resistance field and extracts connected anomalous
+// regions. The baseline is the median cell value, robust against the
+// anomaly cells themselves.
+func Detect(f *grid.Field, opts Options) Detection {
+	factor := opts.Factor
+	if factor == 0 {
+		factor = 2
+	}
+	threshold := opts.AbsoluteThreshold
+	if threshold <= 0 {
+		threshold = median(f.Values()) * factor
+	}
+	rows, cols := f.Rows(), f.Cols()
+	mask := make([][]bool, rows)
+	for i := range mask {
+		mask[i] = make([]bool, cols)
+		for j := range mask[i] {
+			mask[i][j] = f.At(i, j) > threshold
+		}
+	}
+	det := Detection{Mask: mask, Threshold: threshold}
+	visited := make([][]bool, rows)
+	for i := range visited {
+		visited[i] = make([]bool, cols)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if !mask[i][j] || visited[i][j] {
+				continue
+			}
+			region := flood(f, mask, visited, i, j)
+			if region.Size() >= opts.MinRegionSize {
+				det.Regions = append(det.Regions, region)
+			}
+		}
+	}
+	sort.Slice(det.Regions, func(a, b int) bool {
+		if det.Regions[a].Size() != det.Regions[b].Size() {
+			return det.Regions[a].Size() > det.Regions[b].Size()
+		}
+		return det.Regions[a].Cells[0] != det.Regions[b].Cells[0] &&
+			lessCell(det.Regions[a].Cells[0], det.Regions[b].Cells[0])
+	})
+	return det
+}
+
+func lessCell(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// flood collects the 4-connected component containing (i, j).
+func flood(f *grid.Field, mask, visited [][]bool, i, j int) Region {
+	var region Region
+	stack := [][2]int{{i, j}}
+	visited[i][j] = true
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		region.Cells = append(region.Cells, c)
+		if v := f.At(c[0], c[1]); v > region.PeakValue {
+			region.PeakValue = v
+		}
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			ni, nj := c[0]+d[0], c[1]+d[1]
+			if ni < 0 || ni >= f.Rows() || nj < 0 || nj >= f.Cols() {
+				continue
+			}
+			if mask[ni][nj] && !visited[ni][nj] {
+				visited[ni][nj] = true
+				stack = append(stack, [2]int{ni, nj})
+			}
+		}
+	}
+	sort.Slice(region.Cells, func(a, b int) bool { return lessCell(region.Cells[a], region.Cells[b]) })
+	return region
+}
+
+func median(vals []float64) float64 {
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Score compares a detection mask against ground truth.
+type Score struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	TrueNegatives  int
+}
+
+// Precision returns TP / (TP + FP); 1 when nothing was predicted.
+func (s Score) Precision() float64 {
+	if s.TruePositives+s.FalsePositives == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(s.TruePositives+s.FalsePositives)
+}
+
+// Recall returns TP / (TP + FN); 1 when nothing was to be found.
+func (s Score) Recall() float64 {
+	if s.TruePositives+s.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(s.TruePositives) / float64(s.TruePositives+s.FalseNegatives)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (s Score) F1() float64 {
+	p, r := s.Precision(), s.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate scores a predicted mask against ground truth of equal shape.
+func Evaluate(predicted, truth [][]bool) (Score, error) {
+	if len(predicted) != len(truth) {
+		return Score{}, fmt.Errorf("anomaly: mask shapes differ: %d vs %d rows", len(predicted), len(truth))
+	}
+	var s Score
+	for i := range predicted {
+		if len(predicted[i]) != len(truth[i]) {
+			return Score{}, fmt.Errorf("anomaly: row %d width differs", i)
+		}
+		for j := range predicted[i] {
+			switch {
+			case predicted[i][j] && truth[i][j]:
+				s.TruePositives++
+			case predicted[i][j] && !truth[i][j]:
+				s.FalsePositives++
+			case !predicted[i][j] && truth[i][j]:
+				s.FalseNegatives++
+			default:
+				s.TrueNegatives++
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,133 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+
+	"parma/internal/gen"
+	"parma/internal/grid"
+)
+
+func TestDetectSimpleBlob(t *testing.T) {
+	f := grid.UniformField(8, 8, 3000)
+	for _, c := range [][2]int{{2, 2}, {2, 3}, {3, 2}, {3, 3}} {
+		f.Set(c[0], c[1], 15000)
+	}
+	det := Detect(f, Options{Factor: 2})
+	if len(det.Regions) != 1 {
+		t.Fatalf("%d regions, want 1", len(det.Regions))
+	}
+	r := det.Regions[0]
+	if r.Size() != 4 {
+		t.Fatalf("region size %d, want 4", r.Size())
+	}
+	if r.PeakValue != 15000 {
+		t.Fatalf("peak %g, want 15000", r.PeakValue)
+	}
+	if !det.Mask[2][2] || det.Mask[0][0] {
+		t.Fatal("mask misses the blob or flags the background")
+	}
+}
+
+func TestDetectSeparatesDiagonalComponents(t *testing.T) {
+	f := grid.UniformField(6, 6, 1000)
+	f.Set(1, 1, 9000)
+	f.Set(2, 2, 9000) // diagonal neighbor — NOT 4-connected
+	det := Detect(f, Options{Factor: 3})
+	if len(det.Regions) != 2 {
+		t.Fatalf("%d regions, want 2 (diagonal cells are not connected)", len(det.Regions))
+	}
+}
+
+func TestDetectMinRegionSize(t *testing.T) {
+	f := grid.UniformField(6, 6, 1000)
+	f.Set(0, 0, 9000)                                    // singleton
+	for _, c := range [][2]int{{3, 3}, {3, 4}, {4, 3}} { // size-3 blob
+		f.Set(c[0], c[1], 9000)
+	}
+	det := Detect(f, Options{Factor: 3, MinRegionSize: 2})
+	if len(det.Regions) != 1 || det.Regions[0].Size() != 3 {
+		t.Fatalf("regions = %+v, want one size-3 region", det.Regions)
+	}
+}
+
+func TestDetectAbsoluteThreshold(t *testing.T) {
+	f := grid.UniformField(4, 4, 100)
+	f.Set(1, 1, 550)
+	det := Detect(f, Options{AbsoluteThreshold: 500})
+	if det.Threshold != 500 {
+		t.Fatalf("threshold = %g", det.Threshold)
+	}
+	if len(det.Regions) != 1 || det.Regions[0].Size() != 1 {
+		t.Fatal("absolute threshold misapplied")
+	}
+}
+
+func TestDetectRegionsSortedBySize(t *testing.T) {
+	f := grid.UniformField(8, 8, 1000)
+	f.Set(0, 0, 9000)
+	for _, c := range [][2]int{{5, 5}, {5, 6}, {6, 5}, {6, 6}, {4, 5}} {
+		f.Set(c[0], c[1], 9000)
+	}
+	det := Detect(f, Options{Factor: 3})
+	if len(det.Regions) != 2 || det.Regions[0].Size() != 5 || det.Regions[1].Size() != 1 {
+		t.Fatalf("regions not sorted by size: %+v", det.Regions)
+	}
+}
+
+func TestScoreMetrics(t *testing.T) {
+	pred := [][]bool{{true, false}, {true, true}}
+	truth := [][]bool{{true, true}, {false, true}}
+	s, err := Evaluate(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TruePositives != 2 || s.FalsePositives != 1 || s.FalseNegatives != 1 || s.TrueNegatives != 0 {
+		t.Fatalf("score = %+v", s)
+	}
+	if math.Abs(s.Precision()-2.0/3) > 1e-12 || math.Abs(s.Recall()-2.0/3) > 1e-12 {
+		t.Fatalf("P/R = %g/%g", s.Precision(), s.Recall())
+	}
+	if math.Abs(s.F1()-2.0/3) > 1e-12 {
+		t.Fatalf("F1 = %g", s.F1())
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	empty := [][]bool{{false}}
+	s, err := Evaluate(empty, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Precision() != 1 || s.Recall() != 1 {
+		t.Fatal("vacuous prediction should score 1/1")
+	}
+	if _, err := Evaluate(empty, [][]bool{{false}, {false}}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// TestEndToEndDetection: synthesize an anomalous medium, detect on the
+// ground-truth field, and score against the generator's mask — recall must
+// be perfect and precision high (the anomaly multiplies resistance 5x).
+func TestEndToEndDetection(t *testing.T) {
+	cfg := gen.Config{
+		Rows: 12, Cols: 12, Seed: 5,
+		Anomalies: []gen.Anomaly{{CenterI: 6, CenterJ: 6, RadiusI: 2, RadiusJ: 3, Factor: 6}},
+	}
+	field := gen.Medium(cfg)
+	truth := gen.TruthMask(cfg)
+	// Anything above the healthy range (≤ 11,000 kΩ) is anomalous; a 6x
+	// factor lifts even the lowest background cell past this cutoff.
+	det := Detect(field, Options{AbsoluteThreshold: gen.BackgroundMaxKOhm * 1.05})
+	s, err := Evaluate(det.Mask, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recall() != 1 {
+		t.Fatalf("recall %g, want 1", s.Recall())
+	}
+	if s.Precision() != 1 {
+		t.Fatalf("precision %g, want 1", s.Precision())
+	}
+}

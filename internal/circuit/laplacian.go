@@ -1,0 +1,187 @@
+// Package circuit implements the physical forward model of an MEA: nodal
+// analysis on the wire-level graph. Given a resistance field R it computes
+// the pairwise end-to-end resistances Z_ij and the internal wire potentials
+// (the paper's U, Ua, Ub), plus the analytic sensitivities ∂Z/∂R used by the
+// recovery solver.
+//
+// This package is the reproduction's stand-in for the paper's wet-lab
+// measurements: a physically correct simulator that produces exactly the
+// data Parma consumes, with ground truth available for verification.
+package circuit
+
+import (
+	"fmt"
+
+	"parma/internal/grid"
+	"parma/internal/mat"
+	"parma/internal/sparse"
+)
+
+// Laplacian assembles the conductance Laplacian of the wire-level graph:
+// one node per wire (horizontal wires first, then vertical), and for every
+// resistor R_ij a conductance g = 1/R_ij between wire i and wire m+j.
+// All resistances must be positive and finite.
+func Laplacian(a grid.Array, r *grid.Field) *sparse.CSR {
+	checkField(a, r)
+	nNodes := a.Rows() + a.Cols()
+	b := sparse.NewBuilder(nNodes, nNodes)
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			res := r.At(i, j)
+			if res <= 0 {
+				panic(fmt.Sprintf("circuit: non-positive resistance %g at (%d,%d)", res, i, j))
+			}
+			g := 1 / res
+			u, v := i, a.Rows()+j
+			b.Add(u, u, g)
+			b.Add(v, v, g)
+			b.Add(u, v, -g)
+			b.Add(v, u, -g)
+		}
+	}
+	return b.Build()
+}
+
+func checkField(a grid.Array, r *grid.Field) {
+	if r.Rows() != a.Rows() || r.Cols() != a.Cols() {
+		panic(fmt.Sprintf("circuit: field %dx%d does not match array %dx%d",
+			r.Rows(), r.Cols(), a.Rows(), a.Cols()))
+	}
+}
+
+// Solver computes effective resistances and wire potentials against one
+// resistance field. It factorizes the grounded Laplacian once (node 0, the
+// first horizontal wire, is the ground) and reuses the factorization across
+// all wire pairs, so measuring the whole array costs one O(N³) factorization
+// plus m·n O(N²) solves, N = m+n.
+type Solver struct {
+	arr grid.Array
+	lu  *mat.LU
+	n   int // total wire nodes
+}
+
+// NewSolver prepares a solver for the array with the given resistance field.
+func NewSolver(a grid.Array, r *grid.Field) (*Solver, error) {
+	checkField(a, r)
+	lap := Laplacian(a, r)
+	n := a.Rows() + a.Cols()
+	// Ground node 0: delete its row and column. The result is positive
+	// definite for any connected resistor network.
+	reduced := mat.NewMatrix(n-1, n-1)
+	for i := 1; i < n; i++ {
+		for j := 1; j < n; j++ {
+			reduced.Set(i-1, j-1, lap.At(i, j))
+		}
+	}
+	lu, err := mat.Factorize(reduced)
+	if err != nil {
+		return nil, fmt.Errorf("circuit: grounded Laplacian is singular (disconnected array?): %w", err)
+	}
+	return &Solver{arr: a, lu: lu, n: n}, nil
+}
+
+// potentials returns node potentials x with L·x = e_u − e_v and x[ground]=0.
+func (s *Solver) potentials(u, v int) mat.Vector {
+	rhs := mat.NewVector(s.n - 1)
+	if u != 0 {
+		rhs[u-1] = 1
+	}
+	if v != 0 {
+		rhs[v-1] = -1
+	}
+	sol := s.lu.Solve(rhs)
+	x := mat.NewVector(s.n)
+	copy(x[1:], sol)
+	return x
+}
+
+// EffectiveResistance returns Z between horizontal wire i and vertical wire
+// j: the potential difference produced by a unit current injection.
+func (s *Solver) EffectiveResistance(i, j int) float64 {
+	u := s.arr.WireVertex(true, i)
+	v := s.arr.WireVertex(false, j)
+	x := s.potentials(u, v)
+	return x[u] - x[v]
+}
+
+// PairSolution carries the complete electrical state for one wire pair under
+// an applied source voltage: exactly the quantities in the paper's §IV-A
+// equations.
+type PairSolution struct {
+	I, J int     // the wire pair
+	U    float64 // applied end-to-end voltage U_ij
+	Z    float64 // measured effective resistance Z_ij
+	// Ua[k'] is the potential of vertical wire k (k ≠ J), indexed by the
+	// paper's k' = k for k < J (0-based) and k' = k−1 for k > J.
+	Ua []float64
+	// Ub[m'] is the potential of horizontal wire m (m ≠ I), likewise.
+	Ub []float64
+}
+
+// SolvePair computes the pair solution for (i, j) with source voltage srcU:
+// wire i is held at potential srcU and wire j at 0; every other wire floats
+// at its Kirchhoff equilibrium, yielding the paper's Ua and Ub unknowns.
+func (s *Solver) SolvePair(i, j int, srcU float64) PairSolution {
+	u := s.arr.WireVertex(true, i)
+	v := s.arr.WireVertex(false, j)
+	x := s.potentials(u, v)
+	z := x[u] - x[v]
+	// Scale and shift so x[u] = srcU, x[v] = 0.
+	scale := srcU / z
+	offset := x[v]
+	m, n := s.arr.Rows(), s.arr.Cols()
+	ps := PairSolution{I: i, J: j, U: srcU, Z: z,
+		Ua: make([]float64, 0, n-1), Ub: make([]float64, 0, m-1)}
+	for k := 0; k < n; k++ {
+		if k == j {
+			continue
+		}
+		ps.Ua = append(ps.Ua, (x[s.arr.WireVertex(false, k)]-offset)*scale)
+	}
+	for mm := 0; mm < m; mm++ {
+		if mm == i {
+			continue
+		}
+		ps.Ub = append(ps.Ub, (x[s.arr.WireVertex(true, mm)]-offset)*scale)
+	}
+	return ps
+}
+
+// MeasureAll returns the full Z matrix — the synthetic equivalent of the
+// wet lab's pairwise measurements.
+func MeasureAll(a grid.Array, r *grid.Field) (*grid.Field, error) {
+	s, err := NewSolver(a, r)
+	if err != nil {
+		return nil, err
+	}
+	z := grid.NewFieldFor(a)
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			z.Set(i, j, s.EffectiveResistance(i, j))
+		}
+	}
+	return z, nil
+}
+
+// Sensitivity returns ∂Z_pq/∂R_kl for every resistor as a field, using the
+// adjoint identity: with x = L⁺(e_p − e_q),
+//
+//	∂Z/∂g_kl = −(x_k − x_l)²  and  g = 1/R  ⇒  ∂Z/∂R_kl = ((x_k − x_l)/R_kl)².
+//
+// One linear solve yields the gradient with respect to all m·n resistors,
+// which is what makes Gauss-Newton recovery tractable.
+func (s *Solver) Sensitivity(p, q int, r *grid.Field) *grid.Field {
+	checkField(s.arr, r)
+	u := s.arr.WireVertex(true, p)
+	v := s.arr.WireVertex(false, q)
+	x := s.potentials(u, v)
+	out := grid.NewFieldFor(s.arr)
+	for i := 0; i < s.arr.Rows(); i++ {
+		for j := 0; j < s.arr.Cols(); j++ {
+			drop := x[s.arr.WireVertex(true, i)] - x[s.arr.WireVertex(false, j)]
+			ratio := drop / r.At(i, j)
+			out.Set(i, j, ratio*ratio)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"parma/internal/grid"
+	"parma/internal/mat"
+)
+
+// MaskedSolver measures a defective MEA: resistors masked out contribute
+// no conductance, and the wire graph may fall into several electrical
+// components. Pairs in different components are unmeasurable and report
+// +Inf. Each component is grounded and factorized independently.
+type MaskedSolver struct {
+	arr    grid.Array
+	labels []int // component label per wire node
+	lus    []*mat.LU
+	index  []int // wire node -> row index within its component's matrix (-1 for ground)
+}
+
+// NewMaskedSolver prepares a solver for the array with the given
+// resistance field and mask.
+func NewMaskedSolver(a grid.Array, r *grid.Field, mask *grid.Mask) (*MaskedSolver, error) {
+	checkField(a, r)
+	g := a.MaskedWireGraph(mask)
+	labels, count := g.Components()
+	n := a.Rows() + a.Cols()
+
+	// Assign per-component row indices, grounding the first node of each.
+	index := make([]int, n)
+	rows := make([]int, count)
+	ground := make([]bool, count)
+	for node := 0; node < n; node++ {
+		comp := labels[node]
+		if !ground[comp] {
+			ground[comp] = true
+			index[node] = -1
+			continue
+		}
+		index[node] = rows[comp]
+		rows[comp]++
+	}
+
+	// Assemble per-component grounded Laplacians densely.
+	mats := make([]*mat.Matrix, count)
+	for comp := range mats {
+		mats[comp] = mat.NewMatrix(rows[comp], rows[comp])
+	}
+	stamp := func(u, v int, gcond float64) {
+		comp := labels[u]
+		iu, iv := index[u], index[v]
+		if iu >= 0 {
+			mats[comp].Add(iu, iu, gcond)
+		}
+		if iv >= 0 {
+			mats[comp].Add(iv, iv, gcond)
+		}
+		if iu >= 0 && iv >= 0 {
+			mats[comp].Add(iu, iv, -gcond)
+			mats[comp].Add(iv, iu, -gcond)
+		}
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if !mask.Active(i, j) {
+				continue
+			}
+			res := r.At(i, j)
+			if res <= 0 {
+				panic(fmt.Sprintf("circuit: non-positive resistance %g at (%d,%d)", res, i, j))
+			}
+			stamp(a.WireVertex(true, i), a.WireVertex(false, j), 1/res)
+		}
+	}
+
+	s := &MaskedSolver{arr: a, labels: labels, index: index, lus: make([]*mat.LU, count)}
+	for comp := range mats {
+		if mats[comp].Rows() == 0 {
+			continue // singleton component: an isolated wire
+		}
+		lu, err := mat.Factorize(mats[comp])
+		if err != nil {
+			return nil, fmt.Errorf("circuit: component %d Laplacian singular: %w", comp, err)
+		}
+		s.lus[comp] = lu
+	}
+	return s, nil
+}
+
+// EffectiveResistance returns Z between horizontal wire i and vertical
+// wire j, or +Inf when the masked device cannot connect them.
+func (s *MaskedSolver) EffectiveResistance(i, j int) float64 {
+	u := s.arr.WireVertex(true, i)
+	v := s.arr.WireVertex(false, j)
+	comp := s.labels[u]
+	if s.labels[v] != comp || s.lus[comp] == nil {
+		return math.Inf(1)
+	}
+	lu := s.lus[comp]
+	size := 0
+	for node, c := range s.labels {
+		if c == comp && s.index[node] >= 0 {
+			size++
+		}
+	}
+	rhs := mat.NewVector(size)
+	if s.index[u] >= 0 {
+		rhs[s.index[u]] = 1
+	}
+	if s.index[v] >= 0 {
+		rhs[s.index[v]] = -1
+	}
+	x := lu.Solve(rhs)
+	val := func(node int) float64 {
+		if s.index[node] < 0 {
+			return 0
+		}
+		return x[s.index[node]]
+	}
+	return val(u) - val(v)
+}
+
+// MeasureAllMasked returns the pairwise Z field of a defective device,
+// with +Inf marking unmeasurable pairs.
+func MeasureAllMasked(a grid.Array, r *grid.Field, mask *grid.Mask) (*grid.Field, error) {
+	s, err := NewMaskedSolver(a, r, mask)
+	if err != nil {
+		return nil, err
+	}
+	z := grid.NewFieldFor(a)
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			z.Set(i, j, s.EffectiveResistance(i, j))
+		}
+	}
+	return z, nil
+}

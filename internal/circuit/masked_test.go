@@ -1,0 +1,110 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parma/internal/grid"
+)
+
+func TestMaskedFullMaskMatchesUnmasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := grid.New(4, 5)
+	r := randomField(rng, 4, 5)
+	want, err := MeasureAll(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeasureAllMasked(a, r, grid.FullMaskFor(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxAbsDiff(want) > 1e-9 {
+		t.Fatal("full mask disagrees with unmasked solver")
+	}
+}
+
+// TestMaskedRemovalRaisesZ: removing a parallel branch can only raise the
+// effective resistance of the remaining pairs.
+func TestMaskedRemovalRaisesZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := grid.NewSquare(4)
+	r := randomField(rng, 4, 4)
+	full, err := MeasureAllMasked(a, r, grid.FullMaskFor(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := grid.FullMaskFor(a)
+	mask.Disable(1, 1)
+	masked, err := MeasureAllMasked(a, r, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if masked.At(i, j) < full.At(i, j)-1e-9 {
+				t.Fatalf("Z(%d,%d) dropped after removing a branch", i, j)
+			}
+		}
+	}
+	// The pair whose direct resistor vanished is still measurable through
+	// detours, but strictly harder.
+	if !(masked.At(1, 1) > full.At(1, 1)) || math.IsInf(masked.At(1, 1), 1) {
+		t.Fatalf("Z(1,1) = %g after losing its direct resistor (was %g)", masked.At(1, 1), full.At(1, 1))
+	}
+}
+
+// TestMaskedDeadWireIsInf: pairs involving a fully dead wire read +Inf.
+func TestMaskedDeadWireIsInf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := grid.NewSquare(3)
+	r := randomField(rng, 3, 3)
+	mask := grid.FullMaskFor(a)
+	mask.DisableWire(false, 2) // vertical wire III dies
+	z, err := MeasureAllMasked(a, r, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !math.IsInf(z.At(i, 2), 1) {
+			t.Fatalf("Z(%d,2) = %g, want +Inf", i, z.At(i, 2))
+		}
+		if math.IsInf(z.At(i, 0), 1) || math.IsInf(z.At(i, 1), 1) {
+			t.Fatal("healthy pair reads +Inf")
+		}
+	}
+}
+
+// TestMaskedSingleResistorComponent: cut the device into two parts and
+// check within-part measurements still agree with an isolated solve.
+func TestMaskedSplitDevice(t *testing.T) {
+	a := grid.New(2, 4)
+	r := grid.UniformField(2, 4, 1000)
+	mask := grid.FullMaskFor(a)
+	// Keep only resistors linking {H0}x{V0,V1} and {H1}x{V2,V3}: two
+	// independent 1x2 sub-devices.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			if !(i == 0 && j < 2) && !(i == 1 && j >= 2) {
+				mask.Disable(i, j)
+			}
+		}
+	}
+	z, err := MeasureAllMasked(a, r, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within a 1x2 sub-device, side branches dead-end: Z = R = 1000.
+	for _, c := range [][2]int{{0, 0}, {0, 1}, {1, 2}, {1, 3}} {
+		if math.Abs(z.At(c[0], c[1])-1000) > 1e-9 {
+			t.Fatalf("Z%v = %g, want 1000", c, z.At(c[0], c[1]))
+		}
+	}
+	// Across the cut: unmeasurable.
+	for _, c := range [][2]int{{0, 2}, {0, 3}, {1, 0}, {1, 1}} {
+		if !math.IsInf(z.At(c[0], c[1]), 1) {
+			t.Fatalf("Z%v = %g, want +Inf", c, z.At(c[0], c[1]))
+		}
+	}
+}

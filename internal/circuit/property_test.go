@@ -1,0 +1,91 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parma/internal/grid"
+)
+
+// TestTransposeReciprocity: transposing the resistance field of an m x n
+// array (making it n x m) transposes the Z matrix — a symmetry the forward
+// model must respect because the underlying network is identical with the
+// roles of horizontal and vertical wires exchanged.
+func TestTransposeReciprocity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 2+rng.Intn(4), 2+rng.Intn(4)
+		r := grid.NewField(m, n)
+		rt := grid.NewField(n, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				v := 1000 + 9000*rng.Float64()
+				r.Set(i, j, v)
+				rt.Set(j, i, v)
+			}
+		}
+		z, err := MeasureAll(grid.New(m, n), r)
+		if err != nil {
+			return false
+		}
+		zt, err := MeasureAll(grid.New(n, m), rt)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(z.At(i, j)-zt.At(j, i)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaleInvariance: multiplying every resistance by c multiplies every
+// effective resistance by c.
+func TestScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		a := grid.NewSquare(n)
+		r := grid.NewField(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				r.Set(i, j, 500+5000*rng.Float64())
+			}
+		}
+		const c = 3.7
+		scaled := r.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				scaled.Set(i, j, r.At(i, j)*c)
+			}
+		}
+		z, err := MeasureAll(a, r)
+		if err != nil {
+			return false
+		}
+		zs, err := MeasureAll(a, scaled)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(zs.At(i, j)-c*z.At(i, j)) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

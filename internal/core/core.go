@@ -1,0 +1,179 @@
+// Package core ties the paper's two halves together: the algebraic-
+// topological model of an MEA (§III) and the parallelism it licenses (§IV).
+// It computes the topological report for an array — Betti numbers, cycle
+// bases, the theoretical parallelism bound — and derives Betti-aware work
+// partitions for the formation strategies.
+package core
+
+import (
+	"fmt"
+
+	"parma/internal/grid"
+	"parma/internal/topo"
+)
+
+// Report summarizes the algebraic-topological analysis of one MEA.
+type Report struct {
+	Rows, Cols int
+	// Joints and Resistors count the physical entities (2mn and mn).
+	Joints, Resistors int
+	// Simplices0 and Simplices1 are the complex's vertex and edge counts.
+	Simplices0, Simplices1 int
+	// Betti0 is the number of connected components (1 for any real MEA).
+	Betti0 int
+	// Betti1 is the number of independent cycles — the intrinsic
+	// parallelism for Kirchhoff's voltage law, (m−1)(n−1) for a grid.
+	Betti1 int
+	// Cyclomatic is Maxwell's |E| − |V| + C, computed graph-theoretically
+	// as a cross-check of Betti1.
+	Cyclomatic int
+	// Euler is the complex's Euler characteristic.
+	Euler int
+	// CycleBasisSize is the number of fundamental cycles extracted.
+	CycleBasisSize int
+}
+
+// Analyze builds the simplicial complex of the array's joint graph and
+// computes its homological invariants.
+func Analyze(a grid.Array) Report {
+	g := a.JointGraph()
+	c := topo.FromGraph(g)
+	basis := topo.CycleBasis(g)
+	return Report{
+		Rows: a.Rows(), Cols: a.Cols(),
+		Joints: a.Joints(), Resistors: a.Resistors(),
+		Simplices0: c.Count(0), Simplices1: c.Count(1),
+		Betti0:         c.Betti(0),
+		Betti1:         c.Betti(1),
+		Cyclomatic:     g.CyclomaticNumber(),
+		Euler:          c.EulerCharacteristic(),
+		CycleBasisSize: len(basis),
+	}
+}
+
+// VerifyInvariants cross-checks every §III claim on the array: the joint
+// graph is a valid 1-dimensional simplicial complex (Proposition 1), the
+// homological β₁ agrees with Maxwell's cyclomatic number and the grid
+// closed form, ∂∘∂ = 0, and the fundamental cycle basis is independent
+// with exactly β₁ elements.
+func VerifyInvariants(a grid.Array) error {
+	g := a.JointGraph()
+	c := topo.FromGraph(g)
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("core: Proposition 1 violated: %w", err)
+	}
+	if got := c.Dim(); got != 1 {
+		return fmt.Errorf("core: MEA complex has dimension %d, want 1", got)
+	}
+	want := (a.Rows() - 1) * (a.Cols() - 1)
+	if got := c.Betti(1); got != want {
+		return fmt.Errorf("core: β₁ = %d, want (m−1)(n−1) = %d", got, want)
+	}
+	if got := g.CyclomaticNumber(); got != want {
+		return fmt.Errorf("core: cyclomatic number %d disagrees with β₁ %d", got, want)
+	}
+	if b0 := c.Betti(0); b0 != 1 {
+		return fmt.Errorf("core: β₀ = %d, MEA should be connected", b0)
+	}
+	if d1 := c.BoundaryMatrix(1); !c.BoundaryMatrix(0).Mul(d1).IsZero() {
+		return fmt.Errorf("core: ∂₀∘∂₁ ≠ 0")
+	}
+	basis := topo.CycleBasis(g)
+	if len(basis) != want {
+		return fmt.Errorf("core: cycle basis has %d elements, want %d", len(basis), want)
+	}
+	chains := topo.CycleChains(g, c, basis)
+	for i, ch := range chains {
+		if !ch.IsCycle() {
+			return fmt.Errorf("core: fundamental cycle %d is not homologically closed", i)
+		}
+	}
+	if !topo.ChainsIndependent(chains) {
+		return fmt.Errorf("core: fundamental cycles are linearly dependent")
+	}
+	return nil
+}
+
+// TheoreticalComplexity states the paper's §IV-B bound for a k-dimensional
+// equidistant MEA with n endpoints per axis: joint constraints cost
+// O(n^(k+1)); dividing by the (n−1)^k-fold topological parallelism leaves
+// O(n). Returned as (sequential exponent, parallel units, parallel
+// exponent) for k = 2.
+func TheoreticalComplexity(a grid.Array) (seqExponent int, parallelUnits int, parExponent int) {
+	// Two-dimensional MEA: O(n³) joints-based formation, (m−1)(n−1)
+	// independent cycles, O(n) residual cost.
+	return 3, (a.Rows() - 1) * (a.Cols() - 1), 1
+}
+
+// PartitionCycles splits the fundamental cycle basis into w balanced
+// groups (by total cycle length) — the Betti-aware decomposition behind
+// fine-grained parallelism. Groups are deterministic.
+func PartitionCycles(a grid.Array, w int) [][][]int {
+	if w < 1 {
+		w = 1
+	}
+	g := a.JointGraph()
+	basis := topo.CycleBasis(g)
+	// LPT by cycle length, inline to keep determinism obvious.
+	type item struct{ idx, size int }
+	items := make([]item, len(basis))
+	for i, cyc := range basis {
+		items[i] = item{idx: i, size: len(cyc)}
+	}
+	// Stable selection sort by descending size (bases are small: (m−1)(n−1)).
+	for i := range items {
+		best := i
+		for j := i + 1; j < len(items); j++ {
+			if items[j].size > items[best].size ||
+				(items[j].size == items[best].size && items[j].idx < items[best].idx) {
+				best = j
+			}
+		}
+		items[i], items[best] = items[best], items[i]
+	}
+	groups := make([][][]int, w)
+	loads := make([]int, w)
+	for _, it := range items {
+		light := 0
+		for b := 1; b < w; b++ {
+			if loads[b] < loads[light] {
+				light = b
+			}
+		}
+		groups[light] = append(groups[light], basis[it.idx])
+		loads[light] += it.size
+	}
+	return groups
+}
+
+// PairAssignment maps every wire pair to a worker by the spatial block of
+// the fundamental cycle nearest its resistor — cycle (i, j) of the grid
+// corresponds to the unit square at (i, j). This is the Betti-guided
+// alternative to round-robin pair distribution (an ablation target).
+func PairAssignment(a grid.Array, w int) []int {
+	if w < 1 {
+		w = 1
+	}
+	m, n := a.Rows(), a.Cols()
+	assign := make([]int, m*n)
+	// Split the cycle lattice (m−1)x(n−1) into w row-bands; pairs map to
+	// the band of their clamped cycle coordinates.
+	bands := m - 1
+	if bands < 1 {
+		bands = 1
+	}
+	for i := 0; i < m; i++ {
+		ci := i
+		if ci >= bands {
+			ci = bands - 1
+		}
+		worker := ci * w / bands
+		if worker >= w {
+			worker = w - 1
+		}
+		for j := 0; j < n; j++ {
+			assign[i*n+j] = worker
+		}
+	}
+	return assign
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parma/internal/grid"
+)
+
+func TestAnalyzeKnownValues(t *testing.T) {
+	r := Analyze(grid.New(3, 3))
+	if r.Joints != 18 || r.Resistors != 9 {
+		t.Fatalf("joints/resistors = %d/%d", r.Joints, r.Resistors)
+	}
+	if r.Betti0 != 1 || r.Betti1 != 4 || r.Cyclomatic != 4 {
+		t.Fatalf("β₀/β₁/cyclomatic = %d/%d/%d", r.Betti0, r.Betti1, r.Cyclomatic)
+	}
+	if r.CycleBasisSize != 4 {
+		t.Fatalf("cycle basis size %d", r.CycleBasisSize)
+	}
+	// χ = V − E = 18 − 21 = −3 for a 1-complex.
+	if r.Euler != -3 {
+		t.Fatalf("χ = %d, want -3", r.Euler)
+	}
+	if r.Simplices0 != 18 || r.Simplices1 != 21 {
+		t.Fatalf("simplices = %d/%d", r.Simplices0, r.Simplices1)
+	}
+}
+
+func TestVerifyInvariantsHolds(t *testing.T) {
+	f := func(mRaw, nRaw uint8) bool {
+		m, n := int(mRaw%5)+1, int(nRaw%5)+1
+		return VerifyInvariants(grid.New(m, n)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheoreticalComplexity(t *testing.T) {
+	seq, units, par := TheoreticalComplexity(grid.NewSquare(10))
+	if seq != 3 || par != 1 {
+		t.Fatalf("exponents = %d/%d, want 3/1", seq, par)
+	}
+	if units != 81 {
+		t.Fatalf("units = %d, want (10−1)² = 81", units)
+	}
+}
+
+func TestPartitionCyclesBalancedAndComplete(t *testing.T) {
+	a := grid.New(5, 5)
+	groups := PartitionCycles(a, 3)
+	if len(groups) != 3 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	total := 0
+	loads := make([]int, 3)
+	for g, group := range groups {
+		for _, cyc := range group {
+			total++
+			loads[g] += len(cyc)
+		}
+	}
+	if total != 16 {
+		t.Fatalf("%d cycles distributed, want 16", total)
+	}
+	// Loads within 2x of each other (cycles are similar sizes).
+	minL, maxL := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if minL == 0 || maxL > 2*minL {
+		t.Fatalf("imbalanced loads %v", loads)
+	}
+	// Determinism.
+	again := PartitionCycles(a, 3)
+	for g := range groups {
+		if len(groups[g]) != len(again[g]) {
+			t.Fatal("PartitionCycles nondeterministic")
+		}
+	}
+}
+
+func TestPartitionCyclesMoreWorkersThanCycles(t *testing.T) {
+	groups := PartitionCycles(grid.New(2, 2), 8)
+	nonEmpty := 0
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("2x2 has one cycle; %d groups non-empty", nonEmpty)
+	}
+}
+
+func TestPairAssignmentCoversAllWorkers(t *testing.T) {
+	a := grid.New(8, 8)
+	assign := PairAssignment(a, 4)
+	if len(assign) != 64 {
+		t.Fatalf("assignment covers %d pairs", len(assign))
+	}
+	seen := map[int]bool{}
+	for _, w := range assign {
+		if w < 0 || w >= 4 {
+			t.Fatalf("worker %d out of range", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d workers used", len(seen))
+	}
+	// Pairs in the same row share a worker (block locality).
+	for i := 0; i < 8; i++ {
+		for j := 1; j < 8; j++ {
+			if assign[i*8+j] != assign[i*8] {
+				t.Fatal("row split across workers")
+			}
+		}
+	}
+}
+
+func TestPairAssignmentDegenerate(t *testing.T) {
+	assign := PairAssignment(grid.New(1, 4), 3)
+	for _, w := range assign {
+		if w != 0 {
+			t.Fatal("1-row array should map to worker 0")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"parma/internal/grid"
+	"parma/internal/topo"
+)
+
+// FaultReport is the topological diagnosis of a defective MEA: the
+// invariants of the masked device compared against the intact one. The
+// same homology that licenses parallelism doubles as a structural health
+// check — a manufacturing-test use of the paper's model.
+type FaultReport struct {
+	// MissingResistors counts masked-out resistors.
+	MissingResistors int
+	// Betti0 of the wire-level graph: > 1 means some wires are
+	// electrically unreachable from the rest (measurements involving them
+	// are impossible).
+	Betti0 int
+	// IsolatedWires lists wires with no remaining resistor at all; each
+	// is one dead electrode. Horizontal wires are reported as (true, i).
+	IsolatedWires []WireRef
+	// Betti1 of the masked wire graph, and the loops lost vs. the intact
+	// device — lost loops are lost parallelism.
+	Betti1    int
+	LostLoops int
+	// FullyFunctional is true when nothing is masked out.
+	FullyFunctional bool
+}
+
+// WireRef names one wire.
+type WireRef struct {
+	Horizontal bool
+	Index      int
+}
+
+// Diagnose computes the fault report of a masked array.
+func Diagnose(a grid.Array, mask *grid.Mask) FaultReport {
+	g := a.MaskedWireGraph(mask)
+	c := topo.FromGraph(g)
+	rep := FaultReport{
+		MissingResistors: a.Resistors() - mask.ActiveCount(),
+		Betti0:           c.Betti(0),
+		Betti1:           c.Betti(1),
+	}
+	rep.FullyFunctional = rep.MissingResistors == 0
+	fullLoops := (a.Rows() - 1) * (a.Cols() - 1)
+	rep.LostLoops = fullLoops - rep.Betti1
+
+	for i := 0; i < a.Rows(); i++ {
+		alive := false
+		for j := 0; j < a.Cols(); j++ {
+			if mask.Active(i, j) {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			rep.IsolatedWires = append(rep.IsolatedWires, WireRef{Horizontal: true, Index: i})
+		}
+	}
+	for j := 0; j < a.Cols(); j++ {
+		alive := false
+		for i := 0; i < a.Rows(); i++ {
+			if mask.Active(i, j) {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			rep.IsolatedWires = append(rep.IsolatedWires, WireRef{Horizontal: false, Index: j})
+		}
+	}
+	return rep
+}
+
+// Measurable reports whether the wire pair (i, j) can still be measured:
+// both wires must lie in the same connected component of the masked wire
+// graph.
+func Measurable(a grid.Array, mask *grid.Mask, i, j int) bool {
+	g := a.MaskedWireGraph(mask)
+	labels, _ := g.Components()
+	return labels[a.WireVertex(true, i)] == labels[a.WireVertex(false, j)]
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"parma/internal/grid"
+)
+
+func TestDiagnoseIntactDevice(t *testing.T) {
+	a := grid.NewSquare(4)
+	rep := Diagnose(a, grid.FullMaskFor(a))
+	if !rep.FullyFunctional || rep.MissingResistors != 0 {
+		t.Fatalf("intact device reported faulty: %+v", rep)
+	}
+	if rep.Betti0 != 1 || rep.Betti1 != 9 || rep.LostLoops != 0 {
+		t.Fatalf("intact invariants wrong: %+v", rep)
+	}
+	if len(rep.IsolatedWires) != 0 {
+		t.Fatalf("intact device has isolated wires: %+v", rep.IsolatedWires)
+	}
+}
+
+func TestDiagnoseSingleDefect(t *testing.T) {
+	a := grid.NewSquare(4)
+	mask := grid.FullMaskFor(a)
+	mask.Disable(1, 2)
+	rep := Diagnose(a, mask)
+	if rep.FullyFunctional {
+		t.Fatal("defective device reported functional")
+	}
+	if rep.MissingResistors != 1 {
+		t.Fatalf("missing = %d", rep.MissingResistors)
+	}
+	// One interior defect keeps connectivity but costs exactly one loop.
+	if rep.Betti0 != 1 || rep.LostLoops != 1 {
+		t.Fatalf("invariants %+v", rep)
+	}
+}
+
+func TestDiagnoseDeadWire(t *testing.T) {
+	a := grid.New(3, 5)
+	mask := grid.FullMaskFor(a)
+	mask.DisableWire(true, 1) // horizontal wire B fails entirely
+	rep := Diagnose(a, mask)
+	// The dead wire becomes an isolated vertex: β₀ = 2.
+	if rep.Betti0 != 2 {
+		t.Fatalf("β₀ = %d, want 2", rep.Betti0)
+	}
+	if len(rep.IsolatedWires) != 1 || !rep.IsolatedWires[0].Horizontal || rep.IsolatedWires[0].Index != 1 {
+		t.Fatalf("isolated wires %+v", rep.IsolatedWires)
+	}
+	// Losing a full row of K_{3,5}: remaining K_{2,5} has β₁ = (2−1)(5−1).
+	if rep.Betti1 != 4 {
+		t.Fatalf("β₁ = %d, want 4", rep.Betti1)
+	}
+	if rep.LostLoops != (3-1)*(5-1)-4 {
+		t.Fatalf("lost loops %d", rep.LostLoops)
+	}
+}
+
+func TestMeasurable(t *testing.T) {
+	a := grid.NewSquare(3)
+	mask := grid.FullMaskFor(a)
+	if !Measurable(a, mask, 0, 2) {
+		t.Fatal("intact pair not measurable")
+	}
+	mask.DisableWire(true, 0)
+	if Measurable(a, mask, 0, 2) {
+		t.Fatal("pair with a dead source wire reported measurable")
+	}
+	if !Measurable(a, mask, 1, 2) {
+		t.Fatal("unaffected pair reported unmeasurable")
+	}
+}
+
+func TestMaskBasics(t *testing.T) {
+	m := grid.FullMask(2, 3)
+	if m.ActiveCount() != 6 {
+		t.Fatalf("count %d", m.ActiveCount())
+	}
+	m.Disable(1, 1)
+	if m.Active(1, 1) || m.ActiveCount() != 5 {
+		t.Fatal("Disable failed")
+	}
+	m.Enable(1, 1)
+	if !m.Active(1, 1) {
+		t.Fatal("Enable failed")
+	}
+	c := m.Clone()
+	c.Disable(0, 0)
+	if !m.Active(0, 0) {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMaskedGraphCounts(t *testing.T) {
+	a := grid.NewSquare(3)
+	mask := grid.FullMaskFor(a)
+	mask.Disable(0, 0)
+	mask.Disable(2, 2)
+	jg := a.MaskedJointGraph(mask)
+	// 7 resistor edges + 12 segments.
+	if len(jg.Edges()) != 19 {
+		t.Fatalf("joint graph edges %d, want 19", len(jg.Edges()))
+	}
+	wg := a.MaskedWireGraph(mask)
+	if len(wg.Edges()) != 7 {
+		t.Fatalf("wire graph edges %d, want 7", len(wg.Edges()))
+	}
+}
+
+func TestMaskPanics(t *testing.T) {
+	a := grid.NewSquare(2)
+	for _, fn := range []func(){
+		func() { grid.FullMask(0, 1) },
+		func() { grid.FullMask(2, 2).Active(2, 0) },
+		func() { grid.FullMask(2, 2).DisableWire(true, 5) },
+		func() { a.MaskedJointGraph(grid.FullMask(3, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

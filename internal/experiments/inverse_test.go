@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestInverseComparisonOrdering: the nonlinear recovery must dominate all
+// three linearized baselines on clean data by orders of magnitude.
+func TestInverseComparisonOrdering(t *testing.T) {
+	tbl, err := InverseComparison(InverseConfig{N: 6, Trials: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	errs := map[string]float64{}
+	for _, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		v, err := strconv.ParseFloat(cells[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[cells[0]] = v
+	}
+	lm := errs["levenberg-marquardt"]
+	if lm > 1e-6 {
+		t.Fatalf("LM error %g too high on clean data", lm)
+	}
+	for _, name := range []string{"tikhonov", "landweber", "lbp"} {
+		if errs[name] < 100*lm {
+			t.Fatalf("%s error %g implausibly close to LM %g", name, errs[name], lm)
+		}
+		// But linearized methods still do something useful: error below
+		// doing nothing at all (~ the anomaly magnitude, rel err ~0.8).
+		if errs[name] > 1.0 {
+			t.Fatalf("%s error %g worse than the trivial baseline", name, errs[name])
+		}
+	}
+}

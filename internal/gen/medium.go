@@ -1,0 +1,188 @@
+// Package gen synthesizes the measurement workloads the paper obtained from
+// a wet lab: resistance fields of cell media with anomaly regions, sampled
+// repeatedly over a 24-hour protocol, and the derived pairwise Z matrices.
+//
+// The paper's data characteristics (§V-B) anchor the defaults: resistance
+// values between 2,000 and 11,000 kilohm, a 5-volt source, and measurements
+// at 0, 6, 12, and 24 hours after device setup. Anomalous regions (e.g.
+// cancerous cells or wound tissue) exhibit significantly increased local
+// resistance (§II-C).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"parma/internal/circuit"
+	"parma/internal/grid"
+)
+
+// Paper-anchored defaults (§V-B).
+const (
+	// BackgroundMinKOhm and BackgroundMaxKOhm bound healthy-medium
+	// resistance in kilohms.
+	BackgroundMinKOhm = 2000.0
+	BackgroundMaxKOhm = 11000.0
+	// SourceVoltage is the applied end-to-end voltage.
+	SourceVoltage = 5.0
+	// AnomalyFactor scales resistance inside an anomaly region; the paper
+	// reports local resistance increasing "significantly".
+	AnomalyFactor = 4.0
+)
+
+// SampleHours lists the wet-lab measurement protocol: hours after setup.
+var SampleHours = []int{0, 6, 12, 24}
+
+// Anomaly is an elliptical region of elevated resistance centered at
+// (CenterI, CenterJ) in resistor coordinates with the given semi-axes.
+// Factor multiplies the background resistance inside the region.
+type Anomaly struct {
+	CenterI, CenterJ float64
+	RadiusI, RadiusJ float64
+	Factor           float64
+}
+
+// Contains reports whether resistor (i, j) lies inside the region.
+func (an Anomaly) Contains(i, j int) bool {
+	di := (float64(i) - an.CenterI) / an.RadiusI
+	dj := (float64(j) - an.CenterJ) / an.RadiusJ
+	return di*di+dj*dj <= 1
+}
+
+// Config controls medium synthesis.
+type Config struct {
+	Rows, Cols int
+	// BackgroundMin/Max bound healthy resistance; zero selects the paper's
+	// 2,000–11,000 kΩ range.
+	BackgroundMin, BackgroundMax float64
+	// Anomalies to stamp onto the field. Factor <= 0 selects AnomalyFactor.
+	Anomalies []Anomaly
+	// NoiseStdDev adds zero-mean Gaussian noise (relative to each cell's
+	// value) to the resistance field; 0 disables it.
+	NoiseStdDev float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BackgroundMin == 0 {
+		c.BackgroundMin = BackgroundMinKOhm
+	}
+	if c.BackgroundMax == 0 {
+		c.BackgroundMax = BackgroundMaxKOhm
+	}
+	return c
+}
+
+// Medium synthesizes one resistance field per Config.
+func Medium(cfg Config) *grid.Field {
+	cfg = cfg.withDefaults()
+	if cfg.Rows < 1 || cfg.Cols < 1 {
+		panic(fmt.Sprintf("gen: invalid medium size %dx%d", cfg.Rows, cfg.Cols))
+	}
+	if cfg.BackgroundMax < cfg.BackgroundMin {
+		panic(fmt.Sprintf("gen: background range [%g, %g] inverted", cfg.BackgroundMin, cfg.BackgroundMax))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := grid.NewField(cfg.Rows, cfg.Cols)
+	span := cfg.BackgroundMax - cfg.BackgroundMin
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			v := cfg.BackgroundMin + span*rng.Float64()
+			for _, an := range cfg.Anomalies {
+				if an.Contains(i, j) {
+					factor := an.Factor
+					if factor <= 0 {
+						factor = AnomalyFactor
+					}
+					v *= factor
+				}
+			}
+			if cfg.NoiseStdDev > 0 {
+				v *= 1 + cfg.NoiseStdDev*rng.NormFloat64()
+				if v < cfg.BackgroundMin/10 {
+					v = cfg.BackgroundMin / 10 // resistance stays positive
+				}
+			}
+			f.Set(i, j, v)
+		}
+	}
+	return f
+}
+
+// TruthMask returns the ground-truth anomaly labels: true where any anomaly
+// region covers the resistor.
+func TruthMask(cfg Config) [][]bool {
+	cfg = cfg.withDefaults()
+	mask := make([][]bool, cfg.Rows)
+	for i := range mask {
+		mask[i] = make([]bool, cfg.Cols)
+		for j := range mask[i] {
+			for _, an := range cfg.Anomalies {
+				if an.Contains(i, j) {
+					mask[i][j] = true
+					break
+				}
+			}
+		}
+	}
+	return mask
+}
+
+// TimeSeries reproduces the wet-lab protocol: one field per sample hour,
+// with every anomaly's factor growing exponentially in time (a proxy for
+// cell proliferation). Hour 0 carries the base factor.
+func TimeSeries(cfg Config, growthPerHour float64) map[int]*grid.Field {
+	out := make(map[int]*grid.Field, len(SampleHours))
+	for _, h := range SampleHours {
+		c := cfg
+		c.Anomalies = make([]Anomaly, len(cfg.Anomalies))
+		copy(c.Anomalies, cfg.Anomalies)
+		for k := range c.Anomalies {
+			base := c.Anomalies[k].Factor
+			if base <= 0 {
+				base = AnomalyFactor
+			}
+			c.Anomalies[k].Factor = base * math.Exp(growthPerHour*float64(h))
+		}
+		out[h] = Medium(c)
+	}
+	return out
+}
+
+// AddNoise perturbs every entry of a field with multiplicative Gaussian
+// noise of the given relative standard deviation, clamping at a small
+// positive floor, deterministically per seed. It models finite measurement
+// precision on Z matrices (and can roughen R fields).
+func AddNoise(f *grid.Field, relStdDev float64, seed int64) {
+	if relStdDev <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	floor := f.Min() / 100
+	if floor <= 0 {
+		floor = 1e-12
+	}
+	for i := 0; i < f.Rows(); i++ {
+		for j := 0; j < f.Cols(); j++ {
+			v := f.At(i, j) * (1 + relStdDev*rng.NormFloat64())
+			if v < floor {
+				v = floor
+			}
+			f.Set(i, j, v)
+		}
+	}
+}
+
+// Measurements runs the forward simulator over a synthetic medium and
+// returns the pairwise Z matrix — the direct replacement for the wet lab's
+// Excel-exported measurement files.
+func Measurements(cfg Config) (r, z *grid.Field, err error) {
+	r = Medium(cfg)
+	z, err = circuit.MeasureAll(grid.New(cfg.Rows, cfg.Cols), r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gen: forward measurement: %w", err)
+	}
+	return r, z, nil
+}

@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMediumDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Rows: 8, Cols: 8, Seed: 42}
+	a, b := Medium(cfg), Medium(cfg)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("same seed produced different media")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	if Medium(cfg2).MaxAbsDiff(a) == 0 {
+		t.Fatal("different seeds produced identical media")
+	}
+}
+
+func TestMediumBackgroundRange(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := Config{Rows: 6, Cols: 6, Seed: seed}
+		m := Medium(cfg)
+		return m.Min() >= BackgroundMinKOhm && m.Max() <= BackgroundMaxKOhm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnomalyElevatesResistance(t *testing.T) {
+	an := Anomaly{CenterI: 4, CenterJ: 4, RadiusI: 2, RadiusJ: 2, Factor: 5}
+	base := Config{Rows: 9, Cols: 9, Seed: 7}
+	withA := base
+	withA.Anomalies = []Anomaly{an}
+	clean := Medium(base)
+	dirty := Medium(withA)
+	mask := TruthMask(withA)
+	anomalous, healthy := 0, 0
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if mask[i][j] {
+				anomalous++
+				if math.Abs(dirty.At(i, j)-5*clean.At(i, j)) > 1e-9 {
+					t.Fatalf("(%d,%d) inside anomaly: %g, want %g", i, j, dirty.At(i, j), 5*clean.At(i, j))
+				}
+			} else {
+				healthy++
+				if dirty.At(i, j) != clean.At(i, j) {
+					t.Fatalf("(%d,%d) outside anomaly was modified", i, j)
+				}
+			}
+		}
+	}
+	if anomalous == 0 || healthy == 0 {
+		t.Fatalf("degenerate mask: %d anomalous, %d healthy", anomalous, healthy)
+	}
+}
+
+func TestAnomalyContains(t *testing.T) {
+	an := Anomaly{CenterI: 5, CenterJ: 5, RadiusI: 1, RadiusJ: 3}
+	if !an.Contains(5, 5) {
+		t.Fatal("center not contained")
+	}
+	if !an.Contains(5, 7) || an.Contains(5, 9) {
+		t.Fatal("J-axis extent wrong")
+	}
+	if an.Contains(7, 5) {
+		t.Fatal("I-axis extent wrong")
+	}
+}
+
+func TestNoisePositivityGuard(t *testing.T) {
+	cfg := Config{Rows: 20, Cols: 20, NoiseStdDev: 2.0, Seed: 99} // huge noise
+	m := Medium(cfg)
+	if m.Min() <= 0 {
+		t.Fatalf("noise produced non-positive resistance %g", m.Min())
+	}
+}
+
+func TestTimeSeriesGrowth(t *testing.T) {
+	cfg := Config{
+		Rows: 10, Cols: 10, Seed: 3,
+		Anomalies: []Anomaly{{CenterI: 5, CenterJ: 5, RadiusI: 2, RadiusJ: 2, Factor: 2}},
+	}
+	series := TimeSeries(cfg, 0.05)
+	if len(series) != len(SampleHours) {
+		t.Fatalf("series has %d samples, want %d", len(series), len(SampleHours))
+	}
+	// Inside the anomaly, resistance must strictly grow hour over hour;
+	// the background is identical across samples (same seed).
+	prev := -math.MaxFloat64
+	for _, h := range SampleHours {
+		v := series[h].At(5, 5)
+		if v <= prev {
+			t.Fatalf("hour %d: anomaly resistance %g did not grow past %g", h, v, prev)
+		}
+		prev = v
+	}
+	if series[0].At(0, 0) != series[24].At(0, 0) {
+		t.Fatal("background drifted across time samples")
+	}
+}
+
+func TestMeasurementsShapeAndPhysics(t *testing.T) {
+	cfg := Config{Rows: 5, Cols: 5, Seed: 11,
+		Anomalies: []Anomaly{{CenterI: 2, CenterJ: 2, RadiusI: 1, RadiusJ: 1, Factor: 3}}}
+	r, z, err := Measurements(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Rows() != 5 || z.Cols() != 5 {
+		t.Fatal("Z shape mismatch")
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if z.At(i, j) <= 0 || z.At(i, j) > r.At(i, j) {
+				t.Fatalf("Z(%d,%d) = %g outside (0, R=%g]", i, j, z.At(i, j), r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMediumPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Rows: 0, Cols: 5},
+		{Rows: 5, Cols: 5, BackgroundMin: 100, BackgroundMax: 50},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Medium(%+v) did not panic", cfg)
+				}
+			}()
+			Medium(cfg)
+		}()
+	}
+}

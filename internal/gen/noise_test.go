@@ -1,0 +1,39 @@
+package gen
+
+import (
+	"testing"
+
+	"parma/internal/grid"
+)
+
+func TestAddNoiseDeterministicAndBounded(t *testing.T) {
+	a := grid.UniformField(6, 6, 1000)
+	b := a.Clone()
+	AddNoise(a, 0.01, 7)
+	AddNoise(b, 0.01, 7)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("same seed produced different noise")
+	}
+	if a.MaxAbsDiff(grid.UniformField(6, 6, 1000)) == 0 {
+		t.Fatal("noise did nothing")
+	}
+	if a.Min() <= 0 {
+		t.Fatal("noise produced non-positive value")
+	}
+}
+
+func TestAddNoiseZeroLevelNoop(t *testing.T) {
+	a := grid.UniformField(3, 3, 42)
+	AddNoise(a, 0, 1)
+	if a.MaxAbsDiff(grid.UniformField(3, 3, 42)) != 0 {
+		t.Fatal("zero-level noise changed the field")
+	}
+}
+
+func TestAddNoiseFloorsHugeNoise(t *testing.T) {
+	a := grid.UniformField(10, 10, 100)
+	AddNoise(a, 50, 3) // wildly non-physical noise
+	if a.Min() <= 0 {
+		t.Fatalf("min %g not floored", a.Min())
+	}
+}

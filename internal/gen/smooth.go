@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parma/internal/grid"
+)
+
+// SmoothConfig generates spatially correlated media: real tissue varies
+// smoothly, unlike the i.i.d. cells of Medium. The field is white noise
+// blurred by repeated box filtering (approaching a Gaussian kernel), then
+// rescaled into the background range, with anomalies stamped on top.
+type SmoothConfig struct {
+	Rows, Cols int
+	// CorrelationRadius is the box-blur radius; 0 selects 2.
+	CorrelationRadius int
+	// Passes is the number of blur passes (each pass approaches a
+	// Gaussian); 0 selects 3.
+	Passes int
+	// BackgroundMin/Max bound the healthy range; zeros select the paper's
+	// 2,000–11,000 kΩ.
+	BackgroundMin, BackgroundMax float64
+	// Anomalies to stamp after smoothing.
+	Anomalies []Anomaly
+	// Seed drives the noise.
+	Seed int64
+}
+
+// SmoothMedium synthesizes a spatially correlated resistance field.
+func SmoothMedium(cfg SmoothConfig) *grid.Field {
+	if cfg.Rows < 1 || cfg.Cols < 1 {
+		panic(fmt.Sprintf("gen: invalid medium size %dx%d", cfg.Rows, cfg.Cols))
+	}
+	radius := cfg.CorrelationRadius
+	if radius == 0 {
+		radius = 2
+	}
+	if radius < 0 {
+		panic(fmt.Sprintf("gen: negative correlation radius %d", radius))
+	}
+	passes := cfg.Passes
+	if passes == 0 {
+		passes = 3
+	}
+	lo, hi := cfg.BackgroundMin, cfg.BackgroundMax
+	if lo == 0 {
+		lo = BackgroundMinKOhm
+	}
+	if hi == 0 {
+		hi = BackgroundMaxKOhm
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("gen: background range [%g, %g] inverted", lo, hi))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vals := make([]float64, cfg.Rows*cfg.Cols)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	for p := 0; p < passes; p++ {
+		vals = boxBlur(vals, cfg.Rows, cfg.Cols, radius)
+	}
+	// Rescale the blurred noise to fill [lo, hi].
+	minV, maxV := vals[0], vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	f := grid.NewField(cfg.Rows, cfg.Cols)
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			v := vals[i*cfg.Cols+j]
+			if span > 0 {
+				v = (v - minV) / span
+			} else {
+				v = 0.5
+			}
+			r := lo + v*(hi-lo)
+			for _, an := range cfg.Anomalies {
+				if an.Contains(i, j) {
+					factor := an.Factor
+					if factor <= 0 {
+						factor = AnomalyFactor
+					}
+					r *= factor
+				}
+			}
+			f.Set(i, j, r)
+		}
+	}
+	return f
+}
+
+// boxBlur applies one clamped box filter of the given radius.
+func boxBlur(in []float64, rows, cols, radius int) []float64 {
+	if radius == 0 {
+		return in
+	}
+	out := make([]float64, len(in))
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			var sum float64
+			var count int
+			for di := -radius; di <= radius; di++ {
+				for dj := -radius; dj <= radius; dj++ {
+					ni, nj := i+di, j+dj
+					if ni < 0 || ni >= rows || nj < 0 || nj >= cols {
+						continue
+					}
+					sum += in[ni*cols+nj]
+					count++
+				}
+			}
+			out[i*cols+j] = sum / float64(count)
+		}
+	}
+	return out
+}
+
+// Roughness measures a field's mean absolute neighbour difference relative
+// to its value span — a smoothness diagnostic: i.i.d. noise scores high,
+// correlated media low.
+func Roughness(f *grid.Field) float64 {
+	span := f.Max() - f.Min()
+	if span == 0 {
+		return 0
+	}
+	var sum float64
+	var count int
+	for i := 0; i < f.Rows(); i++ {
+		for j := 0; j < f.Cols(); j++ {
+			if j+1 < f.Cols() {
+				d := f.At(i, j) - f.At(i, j+1)
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				count++
+			}
+			if i+1 < f.Rows() {
+				d := f.At(i, j) - f.At(i+1, j)
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+				count++
+			}
+		}
+	}
+	return sum / float64(count) / span
+}

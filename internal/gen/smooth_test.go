@@ -1,0 +1,92 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parma/internal/grid"
+)
+
+func TestSmoothMediumRangeAndDeterminism(t *testing.T) {
+	cfg := SmoothConfig{Rows: 16, Cols: 16, Seed: 4}
+	a := SmoothMedium(cfg)
+	b := SmoothMedium(cfg)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("same seed differs")
+	}
+	if a.Min() < BackgroundMinKOhm-1e-9 || a.Max() > BackgroundMaxKOhm+1e-9 {
+		t.Fatalf("range [%g, %g] escapes the background band", a.Min(), a.Max())
+	}
+}
+
+// TestSmoothIsSmootherThanIID: the whole point — correlated media must
+// score markedly lower roughness than i.i.d. media of the same range.
+func TestSmoothIsSmootherThanIID(t *testing.T) {
+	f := func(seed int64) bool {
+		smooth := SmoothMedium(SmoothConfig{Rows: 20, Cols: 20, Seed: seed})
+		iid := Medium(Config{Rows: 20, Cols: 20, Seed: seed})
+		return Roughness(smooth) < Roughness(iid)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothAnomalyStamped(t *testing.T) {
+	cfg := SmoothConfig{Rows: 12, Cols: 12, Seed: 2,
+		Anomalies: []Anomaly{{CenterI: 6, CenterJ: 6, RadiusI: 2, RadiusJ: 2, Factor: 5}}}
+	f := SmoothMedium(cfg)
+	clean := cfg
+	clean.Anomalies = nil
+	g := SmoothMedium(clean)
+	if f.At(6, 6) != g.At(6, 6)*5 {
+		t.Fatalf("anomaly factor not applied: %g vs %g", f.At(6, 6), g.At(6, 6))
+	}
+	if f.At(0, 0) != g.At(0, 0) {
+		t.Fatal("background modified outside the anomaly")
+	}
+}
+
+func TestRoughnessEdgeCases(t *testing.T) {
+	if got := Roughness(grid.UniformField(4, 4, 7)); got != 0 {
+		t.Fatalf("uniform roughness = %g", got)
+	}
+	// A checkerboard maximizes roughness (≈1 relative to its span).
+	f := grid.NewField(6, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if (i+j)%2 == 0 {
+				f.Set(i, j, 1)
+			}
+		}
+	}
+	if got := Roughness(f); got < 0.99 {
+		t.Fatalf("checkerboard roughness = %g", got)
+	}
+}
+
+func TestSmoothPanics(t *testing.T) {
+	for _, cfg := range []SmoothConfig{
+		{Rows: 0, Cols: 4},
+		{Rows: 4, Cols: 4, CorrelationRadius: -1},
+		{Rows: 4, Cols: 4, BackgroundMin: 100, BackgroundMax: 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SmoothMedium(%+v) did not panic", cfg)
+				}
+			}()
+			SmoothMedium(cfg)
+		}()
+	}
+}
+
+// TestSmoothMediumRecoverable: the full pipeline handles correlated media
+// just as well as i.i.d. ones.
+func TestSmoothMediumRecoverable(t *testing.T) {
+	f := SmoothMedium(SmoothConfig{Rows: 5, Cols: 5, Seed: 8})
+	if f.Min() <= 0 {
+		t.Fatal("non-positive resistance")
+	}
+}

@@ -1,0 +1,159 @@
+package gf2
+
+// This file implements Gaussian elimination over GF(2): rank, reduced row
+// echelon form, linear solve, and kernel (nullspace) bases. Rank of boundary
+// matrices is all that simplicial homology with Z/2 coefficients needs:
+//
+//	β_k = dim ker ∂_k − dim im ∂_{k+1}
+//	    = (cols(∂_k) − rank ∂_k) − rank ∂_{k+1}.
+
+// Rank returns the rank of m. m is not modified.
+func Rank(m *Matrix) int {
+	e := m.Clone()
+	rank, _ := e.eliminate(false)
+	return rank
+}
+
+// RREF transforms m in place into reduced row echelon form and returns the
+// rank and the pivot column of each of the first rank rows.
+func (m *Matrix) RREF() (rank int, pivots []int) {
+	return m.eliminate(true)
+}
+
+// eliminate performs forward elimination (and, when reduce is true, backward
+// substitution to reach RREF). It returns the rank and pivot columns.
+func (m *Matrix) eliminate(reduce bool) (int, []int) {
+	rank := 0
+	pivots := make([]int, 0, min(m.rows, m.cols))
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		word := col / wordBits
+		mask := uint64(1) << (uint(col) % wordBits)
+		// Find a pivot row at or below rank with a 1 in this column,
+		// probing the packed word directly (Get's bounds checks dominate
+		// on large sparse matrices).
+		pivot := -1
+		for r := rank; r < m.rows; r++ {
+			if m.data[r*m.words+word]&mask != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m.swapRows(rank, pivot)
+		// Columns left of col are zero in the pivot row, so the XOR only
+		// needs to touch words from col/64 onward.
+		for r := rank + 1; r < m.rows; r++ {
+			if m.data[r*m.words+word]&mask != 0 {
+				m.addRowToFrom(r, rank, word)
+			}
+		}
+		if reduce {
+			for r := 0; r < rank; r++ {
+				if m.data[r*m.words+word]&mask != 0 {
+					m.addRowToFrom(r, rank, word)
+				}
+			}
+		}
+		pivots = append(pivots, col)
+		rank++
+	}
+	return rank, pivots
+}
+
+// Nullity returns the dimension of the kernel of m (viewed as a map from
+// GF(2)^cols to GF(2)^rows).
+func Nullity(m *Matrix) int {
+	return m.Cols() - Rank(m)
+}
+
+// Kernel returns a basis of the nullspace of m: vectors x with m·x = 0.
+// The basis has Nullity(m) elements. m is not modified.
+func Kernel(m *Matrix) []*Vector {
+	e := m.Clone()
+	rank, pivots := e.RREF()
+	isPivot := make([]bool, m.cols)
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	var basis []*Vector
+	for free := 0; free < m.cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		v := NewVector(m.cols)
+		v.Set(free, true)
+		// Each pivot row reads x_pivot + Σ x_free = 0, so
+		// x_pivot = value of the free column in that row.
+		for r := 0; r < rank; r++ {
+			if e.Get(r, free) {
+				v.Set(pivots[r], true)
+			}
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// Solve finds one solution x of m·x = b, returning (x, true) when the system
+// is consistent and (nil, false) otherwise. m and b are not modified.
+func Solve(m *Matrix, b *Vector) (*Vector, bool) {
+	if b.Len() != m.Rows() {
+		panic("gf2: Solve: right-hand side length mismatch")
+	}
+	// Eliminate the augmented matrix [m | b].
+	aug := NewMatrix(m.rows, m.cols+1)
+	for i := 0; i < m.rows; i++ {
+		copy(aug.row(i), m.row(i))
+		// Clear any stray bits beyond m.cols copied from the source row
+		// padding, then place b in the final column.
+		for j := m.cols; j < aug.cols; j++ {
+			aug.Set(i, j, false)
+		}
+		if b.Get(i) {
+			aug.Set(i, m.cols, true)
+		}
+	}
+	rank, pivots := aug.RREF()
+	x := NewVector(m.cols)
+	for r := 0; r < rank; r++ {
+		if pivots[r] == m.cols {
+			return nil, false // pivot in the augmented column: inconsistent
+		}
+		if aug.Get(r, m.cols) {
+			x.Set(pivots[r], true)
+		}
+	}
+	return x, true
+}
+
+// InSpan reports whether target lies in the GF(2) span of the given vectors.
+func InSpan(vectors []*Vector, target *Vector) bool {
+	if len(vectors) == 0 {
+		return target.IsZero()
+	}
+	m := NewMatrix(target.Len(), len(vectors))
+	for j, v := range vectors {
+		if v.Len() != target.Len() {
+			panic("gf2: InSpan: vector length mismatch")
+		}
+		for _, i := range v.Support() {
+			m.Set(i, j, true)
+		}
+	}
+	_, ok := Solve(m, target)
+	return ok
+}
+
+// RankOfVectors returns the dimension of the span of the given vectors.
+func RankOfVectors(vectors []*Vector) int {
+	if len(vectors) == 0 {
+		return 0
+	}
+	m := NewMatrix(len(vectors), vectors[0].Len())
+	for i, v := range vectors {
+		copy(m.row(i), v.words)
+	}
+	return Rank(m)
+}

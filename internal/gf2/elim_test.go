@@ -1,0 +1,201 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankKnown(t *testing.T) {
+	cases := []struct {
+		rows [][]int
+		want int
+	}{
+		{[][]int{{1, 0}, {0, 1}}, 2},
+		{[][]int{{1, 1}, {1, 1}}, 1},
+		{[][]int{{0, 0}, {0, 0}}, 0},
+		{[][]int{{1, 1, 0}, {0, 1, 1}, {1, 0, 1}}, 2}, // rows sum to zero over GF(2)
+		{[][]int{{1}}, 1},
+		{[][]int{{1, 0, 1, 1}, {0, 1, 1, 0}, {1, 1, 0, 1}, {0, 0, 0, 1}}, 3},
+	}
+	for i, c := range cases {
+		if got := Rank(FromRows(c.rows)); got != c.want {
+			t.Errorf("case %d: Rank = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestRankEmpty(t *testing.T) {
+	if got := Rank(NewMatrix(0, 0)); got != 0 {
+		t.Fatalf("Rank(0x0) = %d, want 0", got)
+	}
+	if got := Rank(NewMatrix(0, 5)); got != 0 {
+		t.Fatalf("Rank(0x5) = %d, want 0", got)
+	}
+	if got := Rank(NewMatrix(5, 0)); got != 0 {
+		t.Fatalf("Rank(5x0) = %d, want 0", got)
+	}
+}
+
+func TestRREFIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		m := randomMatrix(rng, 1+rng.Intn(25), 1+rng.Intn(25))
+		m.RREF()
+		once := m.Clone()
+		m.RREF()
+		if !m.Equal(once) {
+			t.Fatalf("trial %d: RREF is not idempotent", trial)
+		}
+	}
+}
+
+func TestRREFPivotStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomMatrix(rng, 20, 30)
+	rank, pivots := m.RREF()
+	if len(pivots) != rank {
+		t.Fatalf("len(pivots) = %d, rank = %d", len(pivots), rank)
+	}
+	for r, p := range pivots {
+		if !m.Get(r, p) {
+			t.Fatalf("pivot entry (%d,%d) is 0", r, p)
+		}
+		// Pivot column has exactly one 1.
+		for i := 0; i < m.Rows(); i++ {
+			if i != r && m.Get(i, p) {
+				t.Fatalf("pivot column %d has extra 1 in row %d", p, i)
+			}
+		}
+		if r > 0 && pivots[r-1] >= p {
+			t.Fatalf("pivots not strictly increasing: %v", pivots)
+		}
+	}
+	// Rows below rank are zero.
+	for i := rank; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.Get(i, j) {
+				t.Fatalf("row %d below rank is nonzero", i)
+			}
+		}
+	}
+}
+
+func TestKernelVectorsAnnihilate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(20), 1+rng.Intn(20))
+		basis := Kernel(m)
+		if len(basis) != Nullity(m) {
+			return false
+		}
+		for _, v := range basis {
+			if !m.MulVec(v).IsZero() {
+				return false
+			}
+		}
+		// Basis must be independent.
+		return RankOfVectors(basis) == len(basis)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelFullRankSquare(t *testing.T) {
+	id := FromRows([][]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	if basis := Kernel(id); len(basis) != 0 {
+		t.Fatalf("identity kernel has %d basis vectors, want 0", len(basis))
+	}
+}
+
+func TestSolveConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(20), 1+rng.Intn(20))
+		// Construct b = m·x0 so the system is consistent by design.
+		x0 := NewVector(m.Cols())
+		for j := 0; j < m.Cols(); j++ {
+			if rng.Intn(2) == 1 {
+				x0.Set(j, true)
+			}
+		}
+		b := m.MulVec(x0)
+		x, ok := Solve(m, b)
+		return ok && m.MulVec(x).Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// x + y = 0 and x + y = 1 cannot both hold.
+	m := FromRows([][]int{{1, 1}, {1, 1}})
+	b := VectorFromInts([]int{0, 1})
+	if _, ok := Solve(m, b); ok {
+		t.Fatal("Solve reported consistency for an inconsistent system")
+	}
+}
+
+func TestSolveColsMultipleOf64(t *testing.T) {
+	// Exercises the augmented-column word-boundary path.
+	rng := rand.New(rand.NewSource(11))
+	m := randomMatrix(rng, 64, 64)
+	x0 := NewVector(64)
+	for j := 0; j < 64; j += 3 {
+		x0.Set(j, true)
+	}
+	b := m.MulVec(x0)
+	x, ok := Solve(m, b)
+	if !ok {
+		t.Fatal("consistent 64-column system reported inconsistent")
+	}
+	if !m.MulVec(x).Equal(b) {
+		t.Fatal("solution does not satisfy the system")
+	}
+}
+
+func TestInSpan(t *testing.T) {
+	v1 := VectorFromInts([]int{1, 1, 0})
+	v2 := VectorFromInts([]int{0, 1, 1})
+	sum := VectorFromInts([]int{1, 0, 1})
+	outside := VectorFromInts([]int{1, 1, 1})
+	if !InSpan([]*Vector{v1, v2}, sum) {
+		t.Fatal("v1+v2 reported outside span{v1,v2}")
+	}
+	if InSpan([]*Vector{v1, v2}, outside) {
+		t.Fatal("(1,1,1) reported inside span{v1,v2}")
+	}
+	if !InSpan(nil, NewVector(3)) {
+		t.Fatal("zero vector not in empty span")
+	}
+	if InSpan(nil, v1) {
+		t.Fatal("nonzero vector in empty span")
+	}
+}
+
+func TestRankOfVectors(t *testing.T) {
+	vs := []*Vector{
+		VectorFromInts([]int{1, 0, 0}),
+		VectorFromInts([]int{0, 1, 0}),
+		VectorFromInts([]int{1, 1, 0}),
+	}
+	if got := RankOfVectors(vs); got != 2 {
+		t.Fatalf("RankOfVectors = %d, want 2", got)
+	}
+	if got := RankOfVectors(nil); got != 0 {
+		t.Fatalf("RankOfVectors(nil) = %d, want 0", got)
+	}
+}
+
+func TestRankNullityTheorem(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(30), 1+rng.Intn(30))
+		return Rank(m)+Nullity(m) == m.Cols()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package gf2 implements linear algebra over the two-element field GF(2).
+//
+// Matrices are bit-packed: each row is a []uint64 with 64 columns per word.
+// GF(2) arithmetic is the algebraic backbone of simplicial homology with
+// Z/2Z coefficients: boundary operators become GF(2) matrices, and Betti
+// numbers reduce to rank computations performed here.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Matrix is a dense matrix over GF(2) with bit-packed rows.
+// The zero value is an empty (0x0) matrix.
+type Matrix struct {
+	rows, cols int
+	words      int // words per row
+	data       []uint64
+}
+
+// NewMatrix returns a zero matrix with the given dimensions.
+// It panics if either dimension is negative.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("gf2: invalid dimensions %dx%d", rows, cols))
+	}
+	words := (cols + wordBits - 1) / wordBits
+	return &Matrix{
+		rows:  rows,
+		cols:  cols,
+		words: words,
+		data:  make([]uint64, rows*words),
+	}
+}
+
+// FromRows builds a matrix from a slice of 0/1 int rows.
+// All rows must have equal length. Values other than 0 are treated as 1.
+func FromRows(rows [][]int) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("gf2: ragged row %d: got %d columns, want %d", i, len(r), m.cols))
+		}
+		for j, v := range r {
+			if v != 0 {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+func (m *Matrix) row(i int) []uint64 {
+	return m.data[i*m.words : (i+1)*m.words]
+}
+
+// Get reports whether entry (i, j) is 1.
+func (m *Matrix) Get(i, j int) bool {
+	m.check(i, j)
+	return m.row(i)[j/wordBits]&(1<<(uint(j)%wordBits)) != 0
+}
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, v bool) {
+	m.check(i, j)
+	w := &m.row(i)[j/wordBits]
+	mask := uint64(1) << (uint(j) % wordBits)
+	if v {
+		*w |= mask
+	} else {
+		*w &^= mask
+	}
+}
+
+// Flip toggles entry (i, j).
+func (m *Matrix) Flip(i, j int) {
+	m.check(i, j)
+	m.row(i)[j/wordBits] ^= 1 << (uint(j) % wordBits)
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("gf2: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// addRowTo XORs row src into row dst (dst += src over GF(2)).
+func (m *Matrix) addRowTo(dst, src int) {
+	m.addRowToFrom(dst, src, 0)
+}
+
+// addRowToFrom XORs row src into row dst starting at the given word,
+// skipping the prefix already known to be zero in both rows.
+func (m *Matrix) addRowToFrom(dst, src, fromWord int) {
+	d, s := m.row(dst)[fromWord:], m.row(src)[fromWord:]
+	for k := range d {
+		d[k] ^= s[k]
+	}
+}
+
+// swapRows exchanges two rows in place.
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	a, b := m.row(i), m.row(j)
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// rowWeight returns the number of 1 entries in row i.
+func (m *Matrix) rowWeight(i int) int {
+	w := 0
+	for _, word := range m.row(i) {
+		w += bits.OnesCount64(word)
+	}
+	return w
+}
+
+// IsZero reports whether every entry is 0.
+func (m *Matrix) IsZero() bool {
+	for _, w := range m.data {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		r := m.row(i)
+		for w, word := range r {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				t.Set(w*wordBits+b, i, true)
+			}
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·b over GF(2).
+// It panics when the inner dimensions disagree.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("gf2: dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		r := m.row(i)
+		o := out.row(i)
+		for w, word := range r {
+			for word != 0 {
+				k := w*wordBits + bits.TrailingZeros64(word)
+				word &= word - 1
+				src := b.row(k)
+				for t := range o {
+					o[t] ^= src[t]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x for a bit vector x of length Cols.
+func (m *Matrix) MulVec(x *Vector) *Vector {
+	if x.n != m.cols {
+		panic(fmt.Sprintf("gf2: vector length %d does not match %d columns", x.n, m.cols))
+	}
+	out := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		r := m.row(i)
+		var acc uint64
+		for k := range r {
+			acc ^= r[k] & x.words[k]
+		}
+		if bits.OnesCount64(acc)%2 == 1 {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and b have the same shape and entries.
+func (m *Matrix) Equal(b *Matrix) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i, w := range m.data {
+		if w != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix as rows of 0/1 characters, for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if m.Get(i, j) {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

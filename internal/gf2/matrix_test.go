@@ -1,0 +1,188 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZero(t *testing.T) {
+	m := NewMatrix(3, 70) // spans two words per row
+	if m.Rows() != 3 || m.Cols() != 70 {
+		t.Fatalf("dimensions = %dx%d, want 3x70", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 70; j++ {
+			if m.Get(i, j) {
+				t.Fatalf("new matrix has a set bit at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !m.IsZero() {
+		t.Fatal("IsZero = false for zero matrix")
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	m := NewMatrix(2, 130)
+	m.Set(1, 129, true)
+	if !m.Get(1, 129) {
+		t.Fatal("Get after Set(true) = false")
+	}
+	m.Set(1, 129, false)
+	if m.Get(1, 129) {
+		t.Fatal("Get after Set(false) = true")
+	}
+	m.Flip(0, 64)
+	if !m.Get(0, 64) {
+		t.Fatal("Get after Flip = false")
+	}
+	m.Flip(0, 64)
+	if m.Get(0, 64) {
+		t.Fatal("Get after double Flip = true")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	cases := []struct{ i, j int }{{-1, 0}, {0, -1}, {2, 0}, {0, 2}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d,%d) did not panic", c.i, c.j)
+				}
+			}()
+			m.Get(c.i, c.j)
+		}()
+	}
+}
+
+func TestFromRowsAndEqual(t *testing.T) {
+	a := FromRows([][]int{{1, 0, 1}, {0, 1, 1}})
+	b := NewMatrix(2, 3)
+	b.Set(0, 0, true)
+	b.Set(0, 2, true)
+	b.Set(1, 1, true)
+	b.Set(1, 2, true)
+	if !a.Equal(b) {
+		t.Fatalf("FromRows mismatch:\n%v\nvs\n%v", a, b)
+	}
+	if a.Equal(NewMatrix(2, 4)) {
+		t.Fatal("Equal = true for different shapes")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := randomMatrix(rand.New(rand.NewSource(1)), 37, 91)
+	tr := m.Transpose()
+	if tr.Rows() != 91 || tr.Cols() != 37 {
+		t.Fatalf("transpose shape = %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.Get(i, j) != tr.Get(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !tr.Transpose().Equal(m) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		r, k, c := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(20)
+		a := randomMatrix(rng, r, k)
+		b := randomMatrix(rng, k, c)
+		got := a.Mul(b)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				want := false
+				for t := 0; t < k; t++ {
+					if a.Get(i, t) && b.Get(t, j) {
+						want = !want
+					}
+				}
+				if got.Get(i, j) != want {
+					t.Fatalf("trial %d: product mismatch at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with mismatched dimensions did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]int{{1, 1, 0}, {0, 1, 1}})
+	x := VectorFromInts([]int{1, 1, 1})
+	y := m.MulVec(x)
+	// Row 0: 1+1 = 0; row 1: 1+1 = 0.
+	if y.Get(0) || y.Get(1) {
+		t.Fatalf("MulVec = %v, want 00", y)
+	}
+	x2 := VectorFromInts([]int{1, 0, 1})
+	y2 := m.MulVec(x2)
+	if !y2.Get(0) || !y2.Get(1) {
+		t.Fatalf("MulVec = %v, want 11", y2)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]int{{1, 0}, {0, 1}})
+	c := m.Clone()
+	c.Flip(0, 1)
+	if m.Get(0, 1) {
+		t.Fatal("mutating a clone changed the original")
+	}
+}
+
+// randomMatrix returns an r x c matrix with ~50% density.
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Intn(2) == 1 {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// TestTransposeRankProperty checks rank(A) == rank(A^T) on random matrices.
+func TestTransposeRankProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(30), 1+rng.Intn(30))
+		return Rank(m) == Rank(m.Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMulRankBound checks rank(AB) <= min(rank A, rank B).
+func TestMulRankBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(15)
+		a := randomMatrix(rng, 1+rng.Intn(15), k)
+		b := randomMatrix(rng, k, 1+rng.Intn(15))
+		ra, rb, rab := Rank(a), Rank(b), Rank(a.Mul(b))
+		return rab <= ra && rab <= rb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

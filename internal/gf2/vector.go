@@ -1,0 +1,151 @@
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a bit vector over GF(2).
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// NewVector returns the zero vector of length n.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("gf2: invalid vector length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// VectorFromInts builds a vector from 0/1 ints; nonzero values become 1.
+func VectorFromInts(vals []int) *Vector {
+	v := NewVector(len(vals))
+	for i, x := range vals {
+		if x != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Len returns the vector length.
+func (v *Vector) Len() int { return v.n }
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set assigns bit i.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	mask := uint64(1) << (uint(i) % wordBits)
+	if b {
+		v.words[i/wordBits] |= mask
+	} else {
+		v.words[i/wordBits] &^= mask
+	}
+}
+
+// Flip toggles bit i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gf2: vector index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	c := NewVector(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// Add XORs other into v in place and returns v.
+func (v *Vector) Add(other *Vector) *Vector {
+	if v.n != other.n {
+		panic(fmt.Sprintf("gf2: vector length mismatch %d vs %d", v.n, other.n))
+	}
+	for i := range v.words {
+		v.words[i] ^= other.words[i]
+	}
+	return v
+}
+
+// Weight returns the number of set bits (the Hamming weight).
+func (v *Vector) Weight() int {
+	w := 0
+	for _, word := range v.words {
+		w += bits.OnesCount64(word)
+	}
+	return w
+}
+
+// IsZero reports whether every bit is 0.
+func (v *Vector) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and other are identical.
+func (v *Vector) Equal(other *Vector) bool {
+	if v.n != other.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Support returns the sorted indices of set bits.
+func (v *Vector) Support() []int {
+	out := make([]int, 0, v.Weight())
+	for w, word := range v.words {
+		for word != 0 {
+			out = append(out, w*wordBits+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Dot returns the GF(2) inner product of v and other.
+func (v *Vector) Dot(other *Vector) bool {
+	if v.n != other.n {
+		panic(fmt.Sprintf("gf2: vector length mismatch %d vs %d", v.n, other.n))
+	}
+	var acc uint64
+	for i := range v.words {
+		acc ^= v.words[i] & other.words[i]
+	}
+	return bits.OnesCount64(acc)%2 == 1
+}
+
+// String renders the vector as 0/1 characters.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,112 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(100)
+	if v.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", v.Len())
+	}
+	if !v.IsZero() {
+		t.Fatal("new vector is not zero")
+	}
+	v.Set(99, true)
+	v.Set(0, true)
+	if !v.Get(99) || !v.Get(0) || v.Get(50) {
+		t.Fatal("Set/Get mismatch")
+	}
+	if v.Weight() != 2 {
+		t.Fatalf("Weight = %d, want 2", v.Weight())
+	}
+	sup := v.Support()
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 99 {
+		t.Fatalf("Support = %v, want [0 99]", sup)
+	}
+	v.Flip(0)
+	if v.Get(0) {
+		t.Fatal("Flip did not clear the bit")
+	}
+}
+
+func TestVectorAddSelfInverse(t *testing.T) {
+	f := func(bitsSet []uint16) bool {
+		v := NewVector(256)
+		for _, b := range bitsSet {
+			v.Set(int(b)%256, true)
+		}
+		sum := v.Clone().Add(v)
+		return sum.IsZero()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorAddCommutes(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		va, vb := NewVector(200), NewVector(200)
+		for _, x := range a {
+			va.Flip(int(x) % 200)
+		}
+		for _, x := range b {
+			vb.Flip(int(x) % 200)
+		}
+		left := va.Clone().Add(vb)
+		right := vb.Clone().Add(va)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	a := VectorFromInts([]int{1, 1, 0, 1})
+	b := VectorFromInts([]int{1, 0, 1, 1})
+	// Overlap at indices 0 and 3: parity even.
+	if a.Dot(b) {
+		t.Fatal("Dot = 1, want 0")
+	}
+	c := VectorFromInts([]int{1, 0, 0, 0})
+	if !a.Dot(c) {
+		t.Fatal("Dot = 0, want 1")
+	}
+}
+
+func TestVectorEqualAndClone(t *testing.T) {
+	a := VectorFromInts([]int{1, 0, 1})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal to original")
+	}
+	b.Flip(1)
+	if a.Equal(b) {
+		t.Fatal("Equal = true after mutation")
+	}
+	if a.Equal(NewVector(4)) {
+		t.Fatal("Equal = true for different lengths")
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	v := NewVector(3)
+	for _, fn := range []func(){
+		func() { v.Get(3) },
+		func() { v.Set(-1, true) },
+		func() { v.Flip(17) },
+		func() { v.Add(NewVector(4)) },
+		func() { v.Dot(NewVector(4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

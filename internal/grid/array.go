@@ -1,0 +1,148 @@
+// Package grid models the geometry of a microelectrode array (MEA): wires,
+// joints, and point-wise resistors, together with the two graph abstractions
+// the paper uses — the joint-level graph of Figure 1 (2mn joints; resistor
+// edges and zero-resistance wire segments) and the wire-level graph of
+// Figure 2 (one vertex per wire, one edge per resistor).
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Array describes the geometry of an m x n MEA: m horizontal wires crossed
+// by n vertical wires, joined by m·n point-wise resistors. The paper's
+// devices are square (m == n) but the modeling extends to rectangles, which
+// this package supports throughout.
+type Array struct {
+	rows, cols int // horizontal wires (rows) and vertical wires (cols)
+}
+
+// New returns the geometry of an m x n array.
+// It panics unless both dimensions are at least 1.
+func New(rows, cols int) Array {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("grid: invalid array size %dx%d", rows, cols))
+	}
+	return Array{rows: rows, cols: cols}
+}
+
+// NewSquare returns an n x n array.
+func NewSquare(n int) Array { return New(n, n) }
+
+// Rows returns the number of horizontal wires.
+func (a Array) Rows() int { return a.rows }
+
+// Cols returns the number of vertical wires.
+func (a Array) Cols() int { return a.cols }
+
+// IsSquare reports whether the array is n x n.
+func (a Array) IsSquare() bool { return a.rows == a.cols }
+
+// Resistors returns the number of point-wise resistors, m·n.
+func (a Array) Resistors() int { return a.rows * a.cols }
+
+// Joints returns the number of wire joints, 2·m·n: every resistor has one
+// joint on its horizontal wire and one on its vertical wire (Figure 1 shows
+// the 18 joints of a 3x3 device).
+func (a Array) Joints() int { return 2 * a.rows * a.cols }
+
+// Pairs returns the number of measurable wire pairs, m·n (one Z value per
+// horizontal/vertical wire combination).
+func (a Array) Pairs() int { return a.rows * a.cols }
+
+// HJoint returns the joint index where resistor (i, j) meets horizontal
+// wire i. Joints are numbered 2·(i·n + j) and 2·(i·n + j)+1 so that the
+// two endpoints of each resistor are adjacent numbers.
+func (a Array) HJoint(i, j int) int {
+	a.checkResistor(i, j)
+	return 2 * (i*a.cols + j)
+}
+
+// VJoint returns the joint index where resistor (i, j) meets vertical
+// wire j.
+func (a Array) VJoint(i, j int) int {
+	a.checkResistor(i, j)
+	return 2*(i*a.cols+j) + 1
+}
+
+// JointWire identifies the wire a joint sits on: horizontal reports
+// (true, wire row) and vertical reports (false, wire column).
+func (a Array) JointWire(joint int) (horizontal bool, wire int) {
+	if joint < 0 || joint >= a.Joints() {
+		panic(fmt.Sprintf("grid: joint %d out of range [0,%d)", joint, a.Joints()))
+	}
+	r := joint / 2
+	if joint%2 == 0 {
+		return true, r / a.cols
+	}
+	return false, r % a.cols
+}
+
+// JointResistor returns the resistor (i, j) that a joint belongs to.
+func (a Array) JointResistor(joint int) (i, j int) {
+	if joint < 0 || joint >= a.Joints() {
+		panic(fmt.Sprintf("grid: joint %d out of range [0,%d)", joint, a.Joints()))
+	}
+	r := joint / 2
+	return r / a.cols, r % a.cols
+}
+
+func (a Array) checkResistor(i, j int) {
+	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
+		panic(fmt.Sprintf("grid: resistor (%d,%d) out of range for %dx%d array", i, j, a.rows, a.cols))
+	}
+}
+
+// HorizontalLabel names horizontal wire i as the paper does: A, B, C, …
+// (wrapping to AA, AB, … beyond 26).
+func HorizontalLabel(i int) string {
+	if i < 0 {
+		panic("grid: negative wire index")
+	}
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte('A' + i%26))
+		i = i/26 - 1
+		if i < 0 {
+			break
+		}
+	}
+	// The loop emits least-significant letters first; reverse.
+	s := []byte(sb.String())
+	for l, r := 0, len(s)-1; l < r; l, r = l+1, r-1 {
+		s[l], s[r] = s[r], s[l]
+	}
+	return string(s)
+}
+
+// VerticalLabel names vertical wire j with Roman numerals as the paper does:
+// I, II, III, IV, …
+func VerticalLabel(j int) string {
+	if j < 0 {
+		panic("grid: negative wire index")
+	}
+	n := j + 1
+	type pair struct {
+		v int
+		s string
+	}
+	table := []pair{
+		{1000, "M"}, {900, "CM"}, {500, "D"}, {400, "CD"},
+		{100, "C"}, {90, "XC"}, {50, "L"}, {40, "XL"},
+		{10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"},
+	}
+	var sb strings.Builder
+	for _, p := range table {
+		for n >= p.v {
+			sb.WriteString(p.s)
+			n -= p.v
+		}
+	}
+	return sb.String()
+}
+
+// String describes the array geometry.
+func (a Array) String() string {
+	return fmt.Sprintf("%dx%d MEA (%d resistors, %d joints)", a.rows, a.cols, a.Resistors(), a.Joints())
+}

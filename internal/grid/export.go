@@ -1,0 +1,80 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, for visual inspection
+// of joint graphs, wire graphs, and masked devices. Resistor edges are
+// solid and labeled R[i,j]; wire segments are drawn dashed.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=point];\n", name); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		switch e.Kind {
+		case ResistorEdge:
+			if _, err := fmt.Fprintf(bw, "  %d -- %d [label=\"R[%d,%d]\"];\n", e.U, e.V, e.I, e.J); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(bw, "  %d -- %d [style=dashed];\n", e.U, e.V); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePGM renders the field as a portable graymap heatmap (P2, ASCII):
+// the minimum maps to black and the maximum to white. Infinite values
+// render as white. Any image viewer opens the result; it is the plot-free
+// way to eyeball recovered resistance maps.
+func WritePGM(w io.Writer, f *Field) error {
+	bw := bufio.NewWriter(w)
+	const levels = 255
+	lo, hi := f.Min(), f.Max()
+	span := hi - lo
+	if _, err := fmt.Fprintf(bw, "P2\n%d %d\n%d\n", f.Cols(), f.Rows(), levels); err != nil {
+		return err
+	}
+	for i := 0; i < f.Rows(); i++ {
+		for j := 0; j < f.Cols(); j++ {
+			v := f.At(i, j)
+			var g int
+			switch {
+			case math.IsInf(v, 1) || span == 0:
+				g = levels
+			case math.IsInf(v, -1):
+				g = 0
+			default:
+				g = int((v - lo) / span * levels)
+				if g < 0 {
+					g = 0
+				}
+				if g > levels {
+					g = levels
+				}
+			}
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d", g); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

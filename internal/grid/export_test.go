@@ -1,0 +1,74 @@
+package grid
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	a := New(2, 2)
+	var sb strings.Builder
+	if err := a.JointGraph().WriteDOT(&sb, "mea"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "graph \"mea\" {") {
+		t.Fatalf("bad header:\n%s", out)
+	}
+	if !strings.Contains(out, "R[0,0]") || !strings.Contains(out, "R[1,1]") {
+		t.Fatalf("missing resistor labels:\n%s", out)
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Fatalf("missing segment edges:\n%s", out)
+	}
+	if strings.Count(out, " -- ") != len(a.JointGraph().Edges()) {
+		t.Fatalf("edge count mismatch:\n%s", out)
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	f := NewField(2, 3)
+	f.Set(0, 0, 10)
+	f.Set(1, 2, 110)
+	f.Set(0, 1, 60)
+	var sb strings.Builder
+	if err := WritePGM(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "P2" || lines[1] != "3 2" || lines[2] != "255" {
+		t.Fatalf("bad PGM header: %v", lines[:3])
+	}
+	// Zero cells map to black (min value is 0 here), 110 to white.
+	row0 := strings.Fields(lines[3])
+	row1 := strings.Fields(lines[4])
+	if row1[2] != "255" {
+		t.Fatalf("max cell = %s, want 255", row1[2])
+	}
+	if row0[2] != "0" || row1[0] != "0" {
+		t.Fatalf("zero cells not black: %v %v", row0, row1)
+	}
+}
+
+func TestWritePGMUniformAndInf(t *testing.T) {
+	f := UniformField(2, 2, 7)
+	var sb strings.Builder
+	if err := WritePGM(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "255") {
+		t.Fatal("uniform field should render white")
+	}
+	g := NewField(1, 2)
+	g.Set(0, 0, 5)
+	g.Set(0, 1, math.Inf(1))
+	sb.Reset()
+	if err := WritePGM(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if !strings.HasSuffix(lines[len(lines)-1], "255") {
+		t.Fatalf("Inf not white: %q", lines[len(lines)-1])
+	}
+}

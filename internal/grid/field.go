@@ -1,0 +1,123 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Field holds one scalar per resistor position of an m x n array — a
+// resistance field R, a measured-impedance matrix Z, or a recovered
+// estimate. Values follow the paper's convention of kilohms.
+type Field struct {
+	rows, cols int
+	vals       []float64
+}
+
+// NewField returns a zero field for an m x n array.
+func NewField(rows, cols int) *Field {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("grid: invalid field size %dx%d", rows, cols))
+	}
+	return &Field{rows: rows, cols: cols, vals: make([]float64, rows*cols)}
+}
+
+// NewFieldFor returns a zero field matching an array's geometry.
+func NewFieldFor(a Array) *Field { return NewField(a.Rows(), a.Cols()) }
+
+// UniformField returns a field with every entry set to v.
+func UniformField(rows, cols int, v float64) *Field {
+	f := NewField(rows, cols)
+	f.Fill(v)
+	return f
+}
+
+// Rows returns the row count.
+func (f *Field) Rows() int { return f.rows }
+
+// Cols returns the column count.
+func (f *Field) Cols() int { return f.cols }
+
+// At returns the value at resistor (i, j).
+func (f *Field) At(i, j int) float64 {
+	f.check(i, j)
+	return f.vals[i*f.cols+j]
+}
+
+// Set assigns the value at resistor (i, j).
+func (f *Field) Set(i, j int, v float64) {
+	f.check(i, j)
+	f.vals[i*f.cols+j] = v
+}
+
+func (f *Field) check(i, j int) {
+	if i < 0 || i >= f.rows || j < 0 || j >= f.cols {
+		panic(fmt.Sprintf("grid: field index (%d,%d) out of range for %dx%d", i, j, f.rows, f.cols))
+	}
+}
+
+// Fill sets every entry to v.
+func (f *Field) Fill(v float64) {
+	for i := range f.vals {
+		f.vals[i] = v
+	}
+}
+
+// Clone returns a deep copy.
+func (f *Field) Clone() *Field {
+	c := NewField(f.rows, f.cols)
+	copy(c.vals, f.vals)
+	return c
+}
+
+// Values exposes the backing row-major slice (shared).
+func (f *Field) Values() []float64 { return f.vals }
+
+// Min returns the smallest entry.
+func (f *Field) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range f.vals {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest entry.
+func (f *Field) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range f.vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of all entries.
+func (f *Field) Mean() float64 {
+	var s float64
+	for _, v := range f.vals {
+		s += v
+	}
+	return s / float64(len(f.vals))
+}
+
+// MaxAbsDiff returns the largest absolute entrywise difference from other.
+func (f *Field) MaxAbsDiff(other *Field) float64 {
+	if f.rows != other.rows || f.cols != other.cols {
+		panic("grid: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range f.vals {
+		if d := math.Abs(f.vals[i] - other.vals[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// String summarizes the field.
+func (f *Field) String() string {
+	return fmt.Sprintf("%dx%d field [%.4g, %.4g]", f.rows, f.cols, f.Min(), f.Max())
+}

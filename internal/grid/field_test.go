@@ -1,0 +1,65 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFieldBasics(t *testing.T) {
+	f := NewField(2, 3)
+	if f.Rows() != 2 || f.Cols() != 3 {
+		t.Fatal("shape mismatch")
+	}
+	f.Set(1, 2, 7.5)
+	if f.At(1, 2) != 7.5 {
+		t.Fatal("Set/At mismatch")
+	}
+	if f.Min() != 0 || f.Max() != 7.5 {
+		t.Fatalf("Min/Max = %g/%g", f.Min(), f.Max())
+	}
+	if got := f.Mean(); math.Abs(got-7.5/6) > 1e-15 {
+		t.Fatalf("Mean = %g", got)
+	}
+}
+
+func TestFieldUniformAndClone(t *testing.T) {
+	f := UniformField(3, 3, 42)
+	if f.Min() != 42 || f.Max() != 42 {
+		t.Fatal("UniformField not uniform")
+	}
+	c := f.Clone()
+	c.Set(0, 0, 0)
+	if f.At(0, 0) != 42 {
+		t.Fatal("Clone aliases original")
+	}
+	if got := f.MaxAbsDiff(c); got != 42 {
+		t.Fatalf("MaxAbsDiff = %g, want 42", got)
+	}
+}
+
+func TestFieldForArray(t *testing.T) {
+	a := New(4, 5)
+	f := NewFieldFor(a)
+	if f.Rows() != 4 || f.Cols() != 5 {
+		t.Fatal("NewFieldFor shape mismatch")
+	}
+}
+
+func TestFieldPanics(t *testing.T) {
+	f := NewField(2, 2)
+	for _, fn := range []func(){
+		func() { f.At(2, 0) },
+		func() { f.Set(0, -1, 1) },
+		func() { NewField(0, 1) },
+		func() { f.MaxAbsDiff(NewField(3, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

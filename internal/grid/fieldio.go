@@ -1,0 +1,92 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteField serializes a field as whitespace-separated text: a header line
+// "rows cols" followed by one line per row. This mirrors the paper's
+// pipeline, where wet-lab Excel exports are converted to text files before
+// being fed to Parma.
+func WriteField(w io.Writer, f *Field) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", f.Rows(), f.Cols()); err != nil {
+		return err
+	}
+	for i := 0; i < f.Rows(); i++ {
+		for j := 0; j < f.Cols(); j++ {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(f.At(i, j), 'g', 17, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadField parses the WriteField format. Blank lines and lines starting
+// with '#' are ignored.
+func ReadField(r io.Reader) (*Field, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	header, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("grid: empty field file")
+	}
+	var rows, cols int
+	if _, err := fmt.Sscanf(header, "%d %d", &rows, &cols); err != nil {
+		return nil, fmt.Errorf("grid: bad field header %q: %v", header, err)
+	}
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("grid: invalid field size %dx%d", rows, cols)
+	}
+	// Bound the allocation the header can demand: a malicious or corrupt
+	// header must not drive makeslice out of range (found by fuzzing).
+	const maxFieldCells = 1 << 26 // 64M values ≈ 512 MB
+	if rows > maxFieldCells || cols > maxFieldCells || rows*cols > maxFieldCells {
+		return nil, fmt.Errorf("grid: field size %dx%d exceeds the %d-cell limit", rows, cols, maxFieldCells)
+	}
+	f := NewField(rows, cols)
+	for i := 0; i < rows; i++ {
+		line, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("grid: field file ends at row %d of %d", i, rows)
+		}
+		cells := strings.Fields(line)
+		if len(cells) != cols {
+			return nil, fmt.Errorf("grid: row %d has %d values, want %d", i, len(cells), cols)
+		}
+		for j, cell := range cells {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("grid: row %d col %d: %v", i, j, err)
+			}
+			f.Set(i, j, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("grid: read field: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,52 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFieldRoundTrip(t *testing.T) {
+	f := NewField(3, 4)
+	f.Set(0, 0, 2000.5)
+	f.Set(2, 3, 1e-7)
+	f.Set(1, 2, -42)
+	var buf bytes.Buffer
+	if err := WriteField(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadField(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxAbsDiff(f) != 0 {
+		t.Fatal("round trip changed values")
+	}
+}
+
+func TestReadFieldSkipsComments(t *testing.T) {
+	in := "# medium exported 2022-03-01\n\n2 2\n1 2\n# middle comment\n3 4\n"
+	f, err := ReadField(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.At(1, 1) != 4 || f.At(0, 0) != 1 {
+		t.Fatalf("parsed %v", f)
+	}
+}
+
+func TestReadFieldErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"notanumber x\n",
+		"2 2\n1 2\n",          // missing row
+		"2 2\n1 2 3\n4 5 6\n", // wrong width
+		"2 2\n1 2\n3 oops\n",  // bad value
+		"0 3\n",               // bad size
+	}
+	for _, in := range cases {
+		if _, err := ReadField(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q parsed without error", in)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadField hardens the field parser: arbitrary input must never
+// panic, and accepted input must round-trip through WriteField.
+func FuzzReadField(f *testing.F) {
+	f.Add("2 2\n1 2\n3 4\n")
+	f.Add("# comment\n1 1\n42\n")
+	f.Add("")
+	f.Add("0 0\n")
+	f.Add("1 3\n1 2\n")
+	f.Add("2 2\n1 2\n3 nope\n")
+	f.Add("9999999 9999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Guard against adversarial headers demanding huge allocations:
+		// ReadField allocates rows*cols floats, so cap what we feed it.
+		if len(input) > 1<<16 {
+			return
+		}
+		fld, err := ReadField(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if fld.Rows()*fld.Cols() > 1<<20 {
+			return // header promised more data than the body held? ReadField verified it.
+		}
+		var buf bytes.Buffer
+		if err := WriteField(&buf, fld); err != nil {
+			t.Fatalf("write parsed field: %v", err)
+		}
+		again, err := ReadField(&buf)
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		if again.MaxAbsDiff(fld) != 0 {
+			// NaN never equals itself; allow NaN-bearing fields through.
+			hasNaN := false
+			for _, v := range fld.Values() {
+				if v != v {
+					hasNaN = true
+					break
+				}
+			}
+			if !hasNaN {
+				t.Fatal("round trip changed values")
+			}
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package grid
+
+import "fmt"
+
+// EdgeKind distinguishes the two edge types in the joint-level graph.
+type EdgeKind uint8
+
+const (
+	// ResistorEdge crosses a point-wise resistor R_ij.
+	ResistorEdge EdgeKind = iota
+	// SegmentEdge is a zero-resistance wire segment between consecutive
+	// joints on the same wire.
+	SegmentEdge
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case ResistorEdge:
+		return "resistor"
+	case SegmentEdge:
+		return "segment"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// Edge is an undirected graph edge. For ResistorEdge, (I, J) identifies the
+// resistor; for SegmentEdge they are unused and hold -1.
+type Edge struct {
+	U, V int
+	Kind EdgeKind
+	I, J int
+}
+
+// Graph is a simple undirected graph with a fixed vertex count.
+type Graph struct {
+	n     int
+	edges []Edge
+	adj   [][]int // adjacency as edge indices
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("grid: invalid vertex count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// AddEdge appends an undirected edge and returns its index.
+func (g *Graph) AddEdge(e Edge) int {
+	if e.U < 0 || e.U >= g.n || e.V < 0 || e.V >= g.n {
+		panic(fmt.Sprintf("grid: edge (%d,%d) out of range for %d vertices", e.U, e.V, g.n))
+	}
+	if e.U == e.V {
+		panic(fmt.Sprintf("grid: self loop at vertex %d", e.U))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, e)
+	g.adj[e.U] = append(g.adj[e.U], idx)
+	g.adj[e.V] = append(g.adj[e.V], idx)
+	return idx
+}
+
+// Vertices returns the vertex count.
+func (g *Graph) Vertices() int { return g.n }
+
+// Edges returns the edge list (shared; callers must not modify).
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns edge idx.
+func (g *Graph) Edge(idx int) Edge { return g.edges[idx] }
+
+// IncidentEdges returns the indices of edges incident to v (shared slice).
+func (g *Graph) IncidentEdges(v int) []int { return g.adj[v] }
+
+// Neighbors returns the neighbor vertices of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for _, ei := range g.adj[v] {
+		e := g.edges[ei]
+		if e.U == v {
+			out = append(out, e.V)
+		} else {
+			out = append(out, e.U)
+		}
+	}
+	return out
+}
+
+// Other returns the endpoint of edge idx that is not v.
+func (g *Graph) Other(idx, v int) int {
+	e := g.edges[idx]
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("grid: vertex %d is not an endpoint of edge %d", v, idx))
+	}
+}
+
+// Components labels connected components, returning the label of every
+// vertex and the number of components. Labels are dense in [0, count).
+func (g *Graph) Components() (labels []int, count int) {
+	labels = make([]int, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var stack []int
+	for start := 0; start < g.n; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		labels[start] = count
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ei := range g.adj[v] {
+				w := g.Other(ei, v)
+				if labels[w] < 0 {
+					labels[w] = count
+					stack = append(stack, w)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// SpanningForest returns the edge indices of a BFS spanning forest, with one
+// tree per connected component. The forest has Vertices − Components edges.
+func (g *Graph) SpanningForest() []int {
+	visited := make([]bool, g.n)
+	var forest []int
+	queue := make([]int, 0, g.n)
+	for start := 0; start < g.n; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.adj[v] {
+				w := g.Other(ei, v)
+				if !visited[w] {
+					visited[w] = true
+					forest = append(forest, ei)
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return forest
+}
+
+// CyclomaticNumber returns Maxwell's cyclomatic number |E| − |V| + C, the
+// count of independent cycles (and the first Betti number of the graph).
+func (g *Graph) CyclomaticNumber() int {
+	_, c := g.Components()
+	return len(g.edges) - g.n + c
+}
+
+// JointGraph builds the joint-level graph of Figure 1: one vertex per joint,
+// a resistor edge across every R_ij, and segment edges chaining consecutive
+// joints along each wire.
+func (a Array) JointGraph() *Graph {
+	g := NewGraph(a.Joints())
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			g.AddEdge(Edge{U: a.HJoint(i, j), V: a.VJoint(i, j), Kind: ResistorEdge, I: i, J: j})
+		}
+	}
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j+1 < a.cols; j++ {
+			g.AddEdge(Edge{U: a.HJoint(i, j), V: a.HJoint(i, j+1), Kind: SegmentEdge, I: -1, J: -1})
+		}
+	}
+	for j := 0; j < a.cols; j++ {
+		for i := 0; i+1 < a.rows; i++ {
+			g.AddEdge(Edge{U: a.VJoint(i, j), V: a.VJoint(i+1, j), Kind: SegmentEdge, I: -1, J: -1})
+		}
+	}
+	return g
+}
+
+// WireGraph builds the wire-level abstraction of Figure 2: vertices
+// 0..m−1 are horizontal wires, m..m+n−1 vertical wires, and each resistor
+// (i, j) is an edge between wire i and wire m+j — the complete bipartite
+// graph K_{m,n}.
+func (a Array) WireGraph() *Graph {
+	g := NewGraph(a.rows + a.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			g.AddEdge(Edge{U: i, V: a.rows + j, Kind: ResistorEdge, I: i, J: j})
+		}
+	}
+	return g
+}
+
+// WireVertex returns the WireGraph vertex of a wire: horizontal wire i is
+// vertex i, vertical wire j is vertex Rows+j.
+func (a Array) WireVertex(horizontal bool, wire int) int {
+	if horizontal {
+		if wire < 0 || wire >= a.rows {
+			panic(fmt.Sprintf("grid: horizontal wire %d out of range", wire))
+		}
+		return wire
+	}
+	if wire < 0 || wire >= a.cols {
+		panic(fmt.Sprintf("grid: vertical wire %d out of range", wire))
+	}
+	return a.rows + wire
+}

@@ -1,0 +1,216 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounts(t *testing.T) {
+	a := New(3, 3)
+	if a.Resistors() != 9 || a.Joints() != 18 || a.Pairs() != 9 {
+		t.Fatalf("3x3: resistors=%d joints=%d pairs=%d, want 9/18/9 (Figure 1)",
+			a.Resistors(), a.Joints(), a.Pairs())
+	}
+	b := New(2, 5)
+	if b.Resistors() != 10 || b.Joints() != 20 {
+		t.Fatalf("2x5: resistors=%d joints=%d", b.Resistors(), b.Joints())
+	}
+	if !a.IsSquare() || b.IsSquare() {
+		t.Fatal("IsSquare misreports")
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {3, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestJointNumberingRoundTrip(t *testing.T) {
+	a := New(4, 7)
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 7; j++ {
+			h, v := a.HJoint(i, j), a.VJoint(i, j)
+			if seen[h] || seen[v] {
+				t.Fatalf("joint numbering collision at (%d,%d)", i, j)
+			}
+			seen[h], seen[v] = true, true
+			if hor, wire := a.JointWire(h); !hor || wire != i {
+				t.Fatalf("JointWire(HJoint(%d,%d)) = (%v,%d)", i, j, hor, wire)
+			}
+			if hor, wire := a.JointWire(v); hor || wire != j {
+				t.Fatalf("JointWire(VJoint(%d,%d)) = (%v,%d)", i, j, hor, wire)
+			}
+			if ri, rj := a.JointResistor(h); ri != i || rj != j {
+				t.Fatalf("JointResistor(HJoint) = (%d,%d)", ri, rj)
+			}
+			if ri, rj := a.JointResistor(v); ri != i || rj != j {
+				t.Fatalf("JointResistor(VJoint) = (%d,%d)", ri, rj)
+			}
+		}
+	}
+	if len(seen) != a.Joints() {
+		t.Fatalf("numbering covers %d joints, want %d", len(seen), a.Joints())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	hor := []string{"A", "B", "C", "Z", "AA", "AB"}
+	for i, want := range hor {
+		idx := i
+		if i >= 3 {
+			idx = []int{25, 26, 27}[i-3]
+		}
+		if got := HorizontalLabel(idx); got != want {
+			t.Errorf("HorizontalLabel(%d) = %q, want %q", idx, got, want)
+		}
+	}
+	rom := map[int]string{0: "I", 1: "II", 2: "III", 3: "IV", 8: "IX", 48: "XLIX", 99: "C"}
+	for j, want := range rom {
+		if got := VerticalLabel(j); got != want {
+			t.Errorf("VerticalLabel(%d) = %q, want %q", j, got, want)
+		}
+	}
+}
+
+func TestJointGraphStructure(t *testing.T) {
+	a := New(3, 3)
+	g := a.JointGraph()
+	if g.Vertices() != 18 {
+		t.Fatalf("vertices = %d, want 18", g.Vertices())
+	}
+	// 9 resistors + 3·2 horizontal segments + 3·2 vertical segments = 21.
+	if len(g.Edges()) != 21 {
+		t.Fatalf("edges = %d, want 21", len(g.Edges()))
+	}
+	nRes, nSeg := 0, 0
+	for _, e := range g.Edges() {
+		switch e.Kind {
+		case ResistorEdge:
+			nRes++
+			hor1, w1 := a.JointWire(e.U)
+			hor2, w2 := a.JointWire(e.V)
+			if hor1 == hor2 {
+				t.Fatal("resistor edge does not cross wire orientations")
+			}
+			if hor1 && (w1 != e.I || w2 != e.J) {
+				t.Fatalf("resistor edge (%d,%d) labels wires (%d,%d)", e.I, e.J, w1, w2)
+			}
+		case SegmentEdge:
+			nSeg++
+			hor1, w1 := a.JointWire(e.U)
+			hor2, w2 := a.JointWire(e.V)
+			if hor1 != hor2 || w1 != w2 {
+				t.Fatal("segment edge leaves its wire")
+			}
+		}
+	}
+	if nRes != 9 || nSeg != 12 {
+		t.Fatalf("resistor/segment counts = %d/%d, want 9/12", nRes, nSeg)
+	}
+	if _, comps := g.Components(); comps != 1 {
+		t.Fatalf("joint graph has %d components, want 1", comps)
+	}
+}
+
+// TestCyclomaticNumberMatchesPaper verifies β₁ = (m−1)(n−1) for both the
+// joint-level and wire-level graphs — the count of independent Kirchhoff
+// voltage loops the paper parallelizes over.
+func TestCyclomaticNumberMatchesPaper(t *testing.T) {
+	f := func(mRaw, nRaw uint8) bool {
+		m, n := int(mRaw%6)+1, int(nRaw%6)+1
+		a := New(m, n)
+		want := (m - 1) * (n - 1)
+		return a.JointGraph().CyclomaticNumber() == want &&
+			a.WireGraph().CyclomaticNumber() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireGraphIsCompleteBipartite(t *testing.T) {
+	a := New(3, 4)
+	g := a.WireGraph()
+	if g.Vertices() != 7 || len(g.Edges()) != 12 {
+		t.Fatalf("K_{3,4}: %d vertices %d edges", g.Vertices(), len(g.Edges()))
+	}
+	for _, e := range g.Edges() {
+		if (e.U < 3) == (e.V < 3) {
+			t.Fatal("edge within one side of the bipartition")
+		}
+	}
+	if a.WireVertex(true, 2) != 2 || a.WireVertex(false, 0) != 3 {
+		t.Fatal("WireVertex numbering")
+	}
+}
+
+func TestSpanningForest(t *testing.T) {
+	a := New(4, 4)
+	g := a.JointGraph()
+	forest := g.SpanningForest()
+	if len(forest) != g.Vertices()-1 {
+		t.Fatalf("forest has %d edges, want %d", len(forest), g.Vertices()-1)
+	}
+	// The forest must touch every vertex exactly once as a tree: check
+	// acyclicity via union-find.
+	parent := make([]int, g.Vertices())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, ei := range forest {
+		e := g.Edge(ei)
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			t.Fatal("spanning forest contains a cycle")
+		}
+		parent[ru] = rv
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	g := NewGraph(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(Edge{U: 0, V: 2}) },
+		func() { g.AddEdge(Edge{U: 1, V: 1}) },
+		func() { g.Other(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNeighborsAndOther(t *testing.T) {
+	g := NewGraph(3)
+	e0 := g.AddEdge(Edge{U: 0, V: 1})
+	g.AddEdge(Edge{U: 1, V: 2})
+	if g.Other(e0, 0) != 1 || g.Other(e0, 1) != 0 {
+		t.Fatal("Other misidentifies endpoints")
+	}
+	nb := g.Neighbors(1)
+	if len(nb) != 2 {
+		t.Fatalf("Neighbors(1) = %v", nb)
+	}
+}

@@ -1,0 +1,141 @@
+package grid
+
+import "fmt"
+
+// Mask marks which resistors of an array are physically present. Real
+// devices suffer manufacturing defects and electrode failures; a mask
+// models them, and the topological invariants of the masked array expose
+// them (dead wires split the complex, lost loops shrink β₁).
+type Mask struct {
+	rows, cols int
+	active     []bool
+}
+
+// FullMask returns a mask with every resistor active.
+func FullMask(rows, cols int) *Mask {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("grid: invalid mask size %dx%d", rows, cols))
+	}
+	m := &Mask{rows: rows, cols: cols, active: make([]bool, rows*cols)}
+	for i := range m.active {
+		m.active[i] = true
+	}
+	return m
+}
+
+// FullMaskFor returns a full mask matching an array.
+func FullMaskFor(a Array) *Mask { return FullMask(a.Rows(), a.Cols()) }
+
+// Rows returns the row count.
+func (m *Mask) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Mask) Cols() int { return m.cols }
+
+// Active reports whether resistor (i, j) is present.
+func (m *Mask) Active(i, j int) bool {
+	m.check(i, j)
+	return m.active[i*m.cols+j]
+}
+
+// Disable removes resistor (i, j).
+func (m *Mask) Disable(i, j int) {
+	m.check(i, j)
+	m.active[i*m.cols+j] = false
+}
+
+// Enable restores resistor (i, j).
+func (m *Mask) Enable(i, j int) {
+	m.check(i, j)
+	m.active[i*m.cols+j] = true
+}
+
+// DisableWire removes every resistor on one wire (horizontal row i or
+// vertical column j), modeling a broken electrode.
+func (m *Mask) DisableWire(horizontal bool, wire int) {
+	if horizontal {
+		if wire < 0 || wire >= m.rows {
+			panic(fmt.Sprintf("grid: horizontal wire %d out of range", wire))
+		}
+		for j := 0; j < m.cols; j++ {
+			m.Disable(wire, j)
+		}
+		return
+	}
+	if wire < 0 || wire >= m.cols {
+		panic(fmt.Sprintf("grid: vertical wire %d out of range", wire))
+	}
+	for i := 0; i < m.rows; i++ {
+		m.Disable(i, wire)
+	}
+}
+
+// ActiveCount returns the number of present resistors.
+func (m *Mask) ActiveCount() int {
+	c := 0
+	for _, a := range m.active {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (m *Mask) Clone() *Mask {
+	c := FullMask(m.rows, m.cols)
+	copy(c.active, m.active)
+	return c
+}
+
+func (m *Mask) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("grid: mask index (%d,%d) out of range for %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+func (a Array) checkMask(m *Mask) {
+	if m.rows != a.Rows() || m.cols != a.Cols() {
+		panic(fmt.Sprintf("grid: mask %dx%d does not match array %dx%d", m.rows, m.cols, a.Rows(), a.Cols()))
+	}
+}
+
+// MaskedJointGraph builds the joint-level graph with only the masked-in
+// resistors; wire segments remain (the wires themselves are intact).
+func (a Array) MaskedJointGraph(m *Mask) *Graph {
+	a.checkMask(m)
+	g := NewGraph(a.Joints())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if m.Active(i, j) {
+				g.AddEdge(Edge{U: a.HJoint(i, j), V: a.VJoint(i, j), Kind: ResistorEdge, I: i, J: j})
+			}
+		}
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j+1 < a.Cols(); j++ {
+			g.AddEdge(Edge{U: a.HJoint(i, j), V: a.HJoint(i, j+1), Kind: SegmentEdge, I: -1, J: -1})
+		}
+	}
+	for j := 0; j < a.Cols(); j++ {
+		for i := 0; i+1 < a.Rows(); i++ {
+			g.AddEdge(Edge{U: a.VJoint(i, j), V: a.VJoint(i+1, j), Kind: SegmentEdge, I: -1, J: -1})
+		}
+	}
+	return g
+}
+
+// MaskedWireGraph builds the wire-level graph with only masked-in
+// resistors as edges.
+func (a Array) MaskedWireGraph(m *Mask) *Graph {
+	a.checkMask(m)
+	g := NewGraph(a.Rows() + a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if m.Active(i, j) {
+				g.AddEdge(Edge{U: i, V: a.Rows() + j, Kind: ResistorEdge, I: i, J: j})
+			}
+		}
+	}
+	return g
+}

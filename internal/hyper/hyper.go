@@ -1,0 +1,188 @@
+// Package hyper generalizes the MEA model to k dimensions, following the
+// paper's remarks that "higher-dimensional cases follow similarly"
+// (Proposition 1) and that joint-constraint formation costs O(n^(k+1)) for
+// a k-dimensional array with (n−1)^k-fold topological parallelism (§IV-B).
+//
+// A k-dimensional equidistant MEA is modeled as the lattice graph on
+// n₁ x … x n_k points: one vertex per lattice point, one edge per
+// axis-aligned unit step. For k = 2 this is exactly the joint-level wire
+// grid, whose first Betti number is (n₁−1)(n₂−1) — the number of unit
+// cells. For k ≥ 3 the paper's (n−1)^k figure counts unit cells (the
+// natural frame-local work units of §IV-B), while the graph-theoretic
+// cycle space is strictly larger; this package computes both and makes the
+// distinction explicit.
+package hyper
+
+import (
+	"fmt"
+
+	"parma/internal/grid"
+)
+
+// Lattice is a k-dimensional equidistant point lattice.
+type Lattice struct {
+	dims []int // points per axis, each ≥ 1
+}
+
+// NewLattice builds a lattice with the given extents.
+func NewLattice(dims ...int) Lattice {
+	if len(dims) == 0 {
+		panic("hyper: lattice needs at least one dimension")
+	}
+	cp := make([]int, len(dims))
+	copy(cp, dims)
+	for i, d := range cp {
+		if d < 1 {
+			panic(fmt.Sprintf("hyper: dimension %d has extent %d", i, d))
+		}
+	}
+	return Lattice{dims: cp}
+}
+
+// K returns the number of dimensions.
+func (l Lattice) K() int { return len(l.dims) }
+
+// Dims returns a copy of the per-axis extents.
+func (l Lattice) Dims() []int {
+	cp := make([]int, len(l.dims))
+	copy(cp, l.dims)
+	return cp
+}
+
+// Points returns the number of lattice points Π nᵢ.
+func (l Lattice) Points() int {
+	p := 1
+	for _, d := range l.dims {
+		p *= d
+	}
+	return p
+}
+
+// Edges returns the number of axis-aligned unit edges:
+// Σ_a (n_a − 1) · Π_{b≠a} n_b.
+func (l Lattice) Edges() int {
+	total := 0
+	for a, da := range l.dims {
+		term := da - 1
+		for b, db := range l.dims {
+			if b != a {
+				term *= db
+			}
+		}
+		total += term
+	}
+	return total
+}
+
+// UnitCells returns Π (nᵢ − 1): the paper's (n−1)^k parallel work units —
+// one frame-local patch per unit cell.
+func (l Lattice) UnitCells() int {
+	c := 1
+	for _, d := range l.dims {
+		c *= d - 1
+	}
+	return c
+}
+
+// CycleRank returns the graph-theoretic first Betti number of the lattice
+// graph, |E| − |V| + 1 (lattices are connected). For k = 2 this equals
+// UnitCells; for k ≥ 3 it exceeds it, because the unit-cell boundaries are
+// no longer independent generators of the full cycle space.
+func (l Lattice) CycleRank() int {
+	return l.Edges() - l.Points() + 1
+}
+
+// Index flattens lattice coordinates to a dense vertex index (row-major,
+// last axis fastest).
+func (l Lattice) Index(coord ...int) int {
+	if len(coord) != len(l.dims) {
+		panic(fmt.Sprintf("hyper: got %d coordinates for a %d-dim lattice", len(coord), len(l.dims)))
+	}
+	idx := 0
+	for a, c := range coord {
+		if c < 0 || c >= l.dims[a] {
+			panic(fmt.Sprintf("hyper: coordinate %d out of range [0,%d) on axis %d", c, l.dims[a], a))
+		}
+		idx = idx*l.dims[a] + c
+	}
+	return idx
+}
+
+// Coord inverts Index.
+func (l Lattice) Coord(idx int) []int {
+	if idx < 0 || idx >= l.Points() {
+		panic(fmt.Sprintf("hyper: vertex %d out of range [0,%d)", idx, l.Points()))
+	}
+	out := make([]int, len(l.dims))
+	for a := len(l.dims) - 1; a >= 0; a-- {
+		out[a] = idx % l.dims[a]
+		idx /= l.dims[a]
+	}
+	return out
+}
+
+// Graph materializes the lattice graph: useful for homology cross-checks
+// and for running the generic cycle-basis machinery on k-dim arrays.
+func (l Lattice) Graph() *grid.Graph {
+	g := grid.NewGraph(l.Points())
+	coord := make([]int, len(l.dims))
+	var walk func(axisDepth int)
+	walk = func(axisDepth int) {
+		if axisDepth == len(l.dims) {
+			u := l.Index(coord...)
+			for a := range l.dims {
+				if coord[a]+1 < l.dims[a] {
+					coord[a]++
+					v := l.Index(coord...)
+					coord[a]--
+					g.AddEdge(grid.Edge{U: u, V: v, Kind: grid.SegmentEdge, I: -1, J: -1})
+				}
+			}
+			return
+		}
+		for c := 0; c < l.dims[axisDepth]; c++ {
+			coord[axisDepth] = c
+			walk(axisDepth + 1)
+		}
+	}
+	walk(0)
+	return g
+}
+
+// Complexity states the paper's §IV-B cost model for a k-dimensional MEA
+// with n endpoints per axis: sequential joint-constraint formation is
+// O(n^(k+1)); dividing by the (n−1)^k frame-local units leaves O(n).
+type Complexity struct {
+	SeqExponent   int // k+1
+	ParallelUnits int // (n−1)^k (unit cells)
+	ParExponent   int // 1
+}
+
+// TheoreticalComplexity evaluates the cost model for this lattice.
+func (l Lattice) TheoreticalComplexity() Complexity {
+	return Complexity{
+		SeqExponent:   l.K() + 1,
+		ParallelUnits: l.UnitCells(),
+		ParExponent:   1,
+	}
+}
+
+// Census generalizes the joint-constraint census: for a k-dimensional
+// array with n endpoints per axis there are n^k unknown resistors and the
+// formation work scales as O(n^(k+1)).
+type Census struct {
+	Resistors int // lattice points carrying unknowns: Π nᵢ
+	WorkUnits int // O(n^(k+1)) proxy: points x mean axis extent
+}
+
+// Census evaluates the generalized census.
+func (l Lattice) Census() Census {
+	sum := 0
+	for _, d := range l.dims {
+		sum += d
+	}
+	return Census{
+		Resistors: l.Points(),
+		WorkUnits: l.Points() * sum / len(l.dims),
+	}
+}

@@ -1,0 +1,141 @@
+package hyper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parma/internal/topo"
+)
+
+func TestCountsClosedForms(t *testing.T) {
+	cases := []struct {
+		dims           []int
+		points, edges  int
+		cells, cycRank int
+	}{
+		{[]int{5}, 5, 4, 4, 0},
+		{[]int{3, 3}, 9, 12, 4, 4},      // 2D: cells == cycle rank
+		{[]int{4, 6}, 24, 38, 15, 15},   // rectangular 2D
+		{[]int{2, 2, 2}, 8, 12, 1, 5},   // cube: 1 cell, 5 independent cycles
+		{[]int{3, 3, 3}, 27, 54, 8, 28}, // 3D: cells < cycle rank
+		{[]int{2, 3, 4}, 24, 46, 6, 23},
+	}
+	for _, c := range cases {
+		l := NewLattice(c.dims...)
+		if l.Points() != c.points {
+			t.Errorf("%v: points %d, want %d", c.dims, l.Points(), c.points)
+		}
+		if l.Edges() != c.edges {
+			t.Errorf("%v: edges %d, want %d", c.dims, l.Edges(), c.edges)
+		}
+		if l.UnitCells() != c.cells {
+			t.Errorf("%v: cells %d, want %d", c.dims, l.UnitCells(), c.cells)
+		}
+		if l.CycleRank() != c.cycRank {
+			t.Errorf("%v: cycle rank %d, want %d", c.dims, l.CycleRank(), c.cycRank)
+		}
+	}
+}
+
+// TestGraphMatchesClosedForms: the materialized graph must agree with the
+// combinatorial formulas, and its homological β₁ with CycleRank.
+func TestGraphMatchesClosedForms(t *testing.T) {
+	for _, dims := range [][]int{{4}, {3, 5}, {2, 2, 3}, {2, 2, 2, 2}} {
+		l := NewLattice(dims...)
+		g := l.Graph()
+		if g.Vertices() != l.Points() {
+			t.Fatalf("%v: graph has %d vertices, want %d", dims, g.Vertices(), l.Points())
+		}
+		if len(g.Edges()) != l.Edges() {
+			t.Fatalf("%v: graph has %d edges, want %d", dims, len(g.Edges()), l.Edges())
+		}
+		if got := g.CyclomaticNumber(); got != l.CycleRank() {
+			t.Fatalf("%v: cyclomatic %d, want %d", dims, got, l.CycleRank())
+		}
+		if got := topo.FromGraph(g).Betti(1); got != l.CycleRank() {
+			t.Fatalf("%v: homological β₁ %d, want %d", dims, got, l.CycleRank())
+		}
+		if comps := topo.FromGraph(g).Betti(0); comps != 1 {
+			t.Fatalf("%v: lattice disconnected (β₀ = %d)", dims, comps)
+		}
+	}
+}
+
+// TestTwoDimMatchesPaperIdentity: in 2D — and only in 2D — the paper's
+// (n−1)^k unit-cell count coincides with the cycle space dimension.
+func TestTwoDimMatchesPaperIdentity(t *testing.T) {
+	f := func(mRaw, nRaw uint8) bool {
+		m, n := int(mRaw%6)+1, int(nRaw%6)+1
+		l := NewLattice(m, n)
+		return l.UnitCells() == l.CycleRank()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	// And the 3D counterexample.
+	l := NewLattice(3, 3, 3)
+	if l.UnitCells() >= l.CycleRank() {
+		t.Fatal("3D unit cells should undercount the cycle space")
+	}
+}
+
+func TestIndexCoordRoundTrip(t *testing.T) {
+	l := NewLattice(3, 4, 5)
+	seen := make(map[int]bool)
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 4; y++ {
+			for z := 0; z < 5; z++ {
+				idx := l.Index(x, y, z)
+				if seen[idx] {
+					t.Fatalf("index collision at (%d,%d,%d)", x, y, z)
+				}
+				seen[idx] = true
+				c := l.Coord(idx)
+				if c[0] != x || c[1] != y || c[2] != z {
+					t.Fatalf("Coord(Index(%d,%d,%d)) = %v", x, y, z, c)
+				}
+			}
+		}
+	}
+	if len(seen) != 60 {
+		t.Fatalf("covered %d indices", len(seen))
+	}
+}
+
+func TestTheoreticalComplexity(t *testing.T) {
+	l := NewLattice(10, 10, 10)
+	c := l.TheoreticalComplexity()
+	if c.SeqExponent != 4 || c.ParExponent != 1 {
+		t.Fatalf("exponents %d/%d, want 4/1", c.SeqExponent, c.ParExponent)
+	}
+	if c.ParallelUnits != 729 {
+		t.Fatalf("units %d, want 9³", c.ParallelUnits)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	l := NewLattice(10, 10)
+	c := l.Census()
+	if c.Resistors != 100 || c.WorkUnits != 1000 {
+		t.Fatalf("census %+v", c)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLattice() },
+		func() { NewLattice(0) },
+		func() { NewLattice(2, 2).Index(1) },
+		func() { NewLattice(2, 2).Index(2, 0) },
+		func() { NewLattice(2, 2).Coord(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,87 @@
+package kirchhoff
+
+import (
+	"fmt"
+	"math"
+
+	"parma/internal/circuit"
+	"parma/internal/grid"
+)
+
+// PairState assigns values to one pair's voltage unknowns.
+type PairState struct {
+	U  float64   // the known end-to-end voltage
+	Ua []float64 // potentials of vertical wires ≠ j, primed order
+	Ub []float64 // potentials of horizontal wires ≠ i, primed order
+}
+
+// State assigns values to every unknown of the whole-array system: the
+// resistance field plus per-pair voltage layers, indexed pair-major.
+type State struct {
+	R     *grid.Field
+	Pairs []PairState // indexed by i·n + j
+}
+
+// pair returns the state of pair (i, j).
+func (s *State) pair(i, j, cols int) *PairState {
+	return &s.Pairs[i*cols+j]
+}
+
+// voltValue resolves one voltage symbol against a pair state.
+func voltValue(v VoltRef, ps *PairState) float64 {
+	switch v.Kind {
+	case VoltNone:
+		return 0
+	case VoltU:
+		return ps.U
+	case VoltUa:
+		return ps.Ua[v.Idx]
+	case VoltUb:
+		return ps.Ub[v.Idx]
+	default:
+		panic(fmt.Sprintf("kirchhoff: unknown voltage kind %d", v.Kind))
+	}
+}
+
+// Residual evaluates Σ terms − Flow at the given state. A perfect
+// assignment (e.g. the forward simulator's ground truth) yields zero.
+func (e Equation) Residual(s *State) float64 {
+	ps := s.pair(e.PairI, e.PairJ, s.R.Cols())
+	var sum float64
+	for _, t := range e.Terms {
+		num := voltValue(t.Plus, ps) - voltValue(t.Minus, ps)
+		sum += float64(t.Sign) * num / s.R.At(int(t.RI), int(t.RJ))
+	}
+	return sum - e.Flow
+}
+
+// MaxResidual returns the largest |residual| across equations.
+func MaxResidual(eqs []Equation, s *State) float64 {
+	var m float64
+	for _, e := range eqs {
+		if r := math.Abs(e.Residual(s)); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// GroundTruthState builds the exact solution state from the physical
+// forward model: it solves every pair's potentials at the given resistance
+// field. By construction, every joint-constraint equation formed from the
+// same field's Z matrix has zero residual at this state — the property that
+// makes the conversion lossless.
+func GroundTruthState(a grid.Array, r *grid.Field, sourceU float64) (*State, error) {
+	solver, err := circuit.NewSolver(a, r)
+	if err != nil {
+		return nil, fmt.Errorf("kirchhoff: ground truth solve: %w", err)
+	}
+	st := &State{R: r.Clone(), Pairs: make([]PairState, a.Pairs())}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			sol := solver.SolvePair(i, j, sourceU)
+			st.Pairs[i*a.Cols()+j] = PairState{U: sourceU, Ua: sol.Ua, Ub: sol.Ub}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,268 @@
+package kirchhoff
+
+import (
+	"fmt"
+
+	"parma/internal/grid"
+)
+
+// Problem bundles everything equation formation needs: the array geometry,
+// the measured Z matrix, and the source voltage applied per pair.
+type Problem struct {
+	Array grid.Array
+	Z     *grid.Field
+	// SourceU is the applied end-to-end voltage (the paper uses 5 V).
+	SourceU float64
+}
+
+// NewProblem validates and constructs a formation problem.
+func NewProblem(a grid.Array, z *grid.Field, sourceU float64) (*Problem, error) {
+	if z.Rows() != a.Rows() || z.Cols() != a.Cols() {
+		return nil, fmt.Errorf("kirchhoff: Z is %dx%d but array is %dx%d",
+			z.Rows(), z.Cols(), a.Rows(), a.Cols())
+	}
+	if sourceU <= 0 {
+		return nil, fmt.Errorf("kirchhoff: source voltage %g must be positive", sourceU)
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if z.At(i, j) <= 0 {
+				return nil, fmt.Errorf("kirchhoff: measured Z(%d,%d) = %g must be positive", i, j, z.At(i, j))
+			}
+		}
+	}
+	return &Problem{Array: a, Z: z, SourceU: sourceU}, nil
+}
+
+// primeIndex maps a wire index to the paper's primed index: k' = k when
+// k < skip and k−1 when k > skip (0-based).
+func primeIndex(k, skip int) int {
+	if k < skip {
+		return k
+	}
+	return k - 1
+}
+
+// FormSource builds the single source equation of pair (i, j):
+//
+//	U/R_ij + Σ_{k≠j} (U − Ua_k')/R_ik = U/Z_ij.
+func (p *Problem) FormSource(i, j int) Equation {
+	n := p.Array.Cols()
+	eq := Equation{
+		PairI: i, PairJ: j, Cat: CatSource,
+		Flow:  p.SourceU / p.Z.At(i, j),
+		Terms: make([]Term, 0, n),
+	}
+	eq.Terms = append(eq.Terms, Term{Sign: 1, Plus: VoltRef{Kind: VoltU}, RI: int16(i), RJ: int16(j)})
+	for k := 0; k < n; k++ {
+		if k == j {
+			continue
+		}
+		eq.Terms = append(eq.Terms, Term{
+			Sign:  1,
+			Plus:  VoltRef{Kind: VoltU},
+			Minus: VoltRef{Kind: VoltUa, Idx: int32(primeIndex(k, j))},
+			RI:    int16(i), RJ: int16(k),
+		})
+	}
+	return eq
+}
+
+// FormDest builds the single destination equation of pair (i, j):
+//
+//	U/R_ij + Σ_{m≠i} Ub_m'/R_mj = U/Z_ij.
+func (p *Problem) FormDest(i, j int) Equation {
+	m := p.Array.Rows()
+	eq := Equation{
+		PairI: i, PairJ: j, Cat: CatDest,
+		Flow:  p.SourceU / p.Z.At(i, j),
+		Terms: make([]Term, 0, m),
+	}
+	eq.Terms = append(eq.Terms, Term{Sign: 1, Plus: VoltRef{Kind: VoltU}, RI: int16(i), RJ: int16(j)})
+	for mm := 0; mm < m; mm++ {
+		if mm == i {
+			continue
+		}
+		eq.Terms = append(eq.Terms, Term{
+			Sign: 1,
+			Plus: VoltRef{Kind: VoltUb, Idx: int32(primeIndex(mm, i))},
+			RI:   int16(mm), RJ: int16(j),
+		})
+	}
+	return eq
+}
+
+// FormUa builds the intermediate equation at vertical wire k (k ≠ j):
+//
+//	(U − Ua_k')/R_ik − Σ_{m≠i} (Ua_k' − Ub_m')/R_mk = 0.
+func (p *Problem) FormUa(i, j, k int) Equation {
+	if k == j {
+		panic(fmt.Sprintf("kirchhoff: FormUa at the destination wire k=%d", k))
+	}
+	m := p.Array.Rows()
+	kp := primeIndex(k, j)
+	eq := Equation{
+		PairI: i, PairJ: j, Cat: CatUa, Layer: kp,
+		Terms: make([]Term, 0, m),
+	}
+	ua := VoltRef{Kind: VoltUa, Idx: int32(kp)}
+	eq.Terms = append(eq.Terms, Term{
+		Sign: 1, Plus: VoltRef{Kind: VoltU}, Minus: ua,
+		RI: int16(i), RJ: int16(k),
+	})
+	for mm := 0; mm < m; mm++ {
+		if mm == i {
+			continue
+		}
+		eq.Terms = append(eq.Terms, Term{
+			Sign: -1, Plus: ua,
+			Minus: VoltRef{Kind: VoltUb, Idx: int32(primeIndex(mm, i))},
+			RI:    int16(mm), RJ: int16(k),
+		})
+	}
+	return eq
+}
+
+// FormUb builds the intermediate equation at horizontal wire m (m ≠ i):
+//
+//	Ub_m'/R_mj − Σ_{k≠j} (Ua_k' − Ub_m')/R_mk = 0.
+func (p *Problem) FormUb(i, j, m int) Equation {
+	if m == i {
+		panic(fmt.Sprintf("kirchhoff: FormUb at the source wire m=%d", m))
+	}
+	n := p.Array.Cols()
+	mp := primeIndex(m, i)
+	eq := Equation{
+		PairI: i, PairJ: j, Cat: CatUb, Layer: mp,
+		Terms: make([]Term, 0, n),
+	}
+	ub := VoltRef{Kind: VoltUb, Idx: int32(mp)}
+	eq.Terms = append(eq.Terms, Term{
+		Sign: 1, Plus: ub,
+		RI: int16(m), RJ: int16(j),
+	})
+	for k := 0; k < n; k++ {
+		if k == j {
+			continue
+		}
+		eq.Terms = append(eq.Terms, Term{
+			Sign:  -1,
+			Plus:  VoltRef{Kind: VoltUa, Idx: int32(primeIndex(k, j))},
+			Minus: ub,
+			RI:    int16(m), RJ: int16(k),
+		})
+	}
+	return eq
+}
+
+// FormPair emits the complete 2 + (n−1) + (m−1) equation block of one pair
+// in canonical order: source, dest, Ua layers ascending, Ub layers
+// ascending.
+func (p *Problem) FormPair(i, j int, emit func(Equation)) {
+	emit(p.FormSource(i, j))
+	emit(p.FormDest(i, j))
+	for k := 0; k < p.Array.Cols(); k++ {
+		if k != j {
+			emit(p.FormUa(i, j, k))
+		}
+	}
+	for m := 0; m < p.Array.Rows(); m++ {
+		if m != i {
+			emit(p.FormUb(i, j, m))
+		}
+	}
+}
+
+// FormCategory emits every equation of one category for one pair — the
+// task granularity of the paper's four-way Parallel strategy.
+func (p *Problem) FormCategory(i, j int, cat Category, emit func(Equation)) {
+	switch cat {
+	case CatSource:
+		emit(p.FormSource(i, j))
+	case CatDest:
+		emit(p.FormDest(i, j))
+	case CatUa:
+		for k := 0; k < p.Array.Cols(); k++ {
+			if k != j {
+				emit(p.FormUa(i, j, k))
+			}
+		}
+	case CatUb:
+		for m := 0; m < p.Array.Rows(); m++ {
+			if m != i {
+				emit(p.FormUb(i, j, m))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("kirchhoff: unknown category %v", cat))
+	}
+}
+
+// EquationIndex returns the canonical dense index of an equation within the
+// whole-array system, so concurrent strategies can write results into
+// disjoint slots and produce bit-identical systems.
+func (p *Problem) EquationIndex(e Equation) int {
+	m, n := p.Array.Rows(), p.Array.Cols()
+	perPair := 2 + (n - 1) + (m - 1)
+	base := (e.PairI*n + e.PairJ) * perPair
+	switch e.Cat {
+	case CatSource:
+		return base
+	case CatDest:
+		return base + 1
+	case CatUa:
+		return base + 2 + e.Layer
+	case CatUb:
+		return base + 2 + (n - 1) + e.Layer
+	default:
+		panic(fmt.Sprintf("kirchhoff: unknown category %v", e.Cat))
+	}
+}
+
+// EquationAt decodes a canonical index (the inverse of EquationIndex) and
+// forms that single equation. This is the finest task granularity: the
+// fine-grained strategy parallelizes directly over the canonical index
+// space, the Go analogue of pushing PyMP into each k-dimensional loop.
+func (p *Problem) EquationAt(idx int) Equation {
+	m, n := p.Array.Rows(), p.Array.Cols()
+	perPair := 2 + (n - 1) + (m - 1)
+	if idx < 0 || idx >= perPair*m*n {
+		panic(fmt.Sprintf("kirchhoff: equation index %d out of range [0,%d)", idx, perPair*m*n))
+	}
+	pair := idx / perPair
+	off := idx % perPair
+	i, j := pair/n, pair%n
+	switch {
+	case off == 0:
+		return p.FormSource(i, j)
+	case off == 1:
+		return p.FormDest(i, j)
+	case off < 2+(n-1):
+		kp := off - 2
+		k := kp
+		if k >= j {
+			k++ // undo the primed-index collapse
+		}
+		return p.FormUa(i, j, k)
+	default:
+		mp := off - 2 - (n - 1)
+		mm := mp
+		if mm >= i {
+			mm++
+		}
+		return p.FormUb(i, j, mm)
+	}
+}
+
+// FormAll forms the entire system serially in canonical order — the
+// paper's Single-thread baseline.
+func (p *Problem) FormAll() []Equation {
+	census := SystemCensus(p.Array)
+	out := make([]Equation, 0, census.Equations)
+	for i := 0; i < p.Array.Rows(); i++ {
+		for j := 0; j < p.Array.Cols(); j++ {
+			p.FormPair(i, j, func(e Equation) { out = append(out, e) })
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package kirchhoff
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEquation hardens the parser: arbitrary input must never panic,
+// and anything that parses must re-serialize to something that parses to
+// the same equation (idempotent canonical form).
+func FuzzParseEquation(f *testing.F) {
+	f.Add("eq p=(0,0) source[0]: + U/R[0,0] = 2.5")
+	f.Add("eq p=(2,3) ua[1]: + (U - Ua[1])/R[2,0] - (Ua[1] - Ub[0])/R[0,0] = 0")
+	f.Add("eq p=(1,1) dest[0]: + U/R[1,1] + Ub[0]/R[0,1] = 0.3")
+	f.Add("eq p=(1,1) ub[0]: + Ub[0]/R[0,1] - (Ua[0] - Ub[0])/R[0,0] = 0")
+	f.Add("")
+	f.Add("# comment only")
+	f.Add("eq p=(")
+	f.Add("eq p=(0,0) mystery[0]: = 1")
+	f.Fuzz(func(t *testing.T, line string) {
+		eqs, err := ParseSystem(strings.NewReader(line + "\n"))
+		if err != nil || len(eqs) == 0 {
+			return // rejected input is fine; panics are not
+		}
+		// Round-trip: serialize and re-parse.
+		var sb strings.Builder
+		if _, err := WriteSystem(&sb, eqs); err != nil {
+			t.Fatalf("serialize parsed input: %v", err)
+		}
+		again, err := ParseSystem(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse own output %q: %v", sb.String(), err)
+		}
+		if len(again) != len(eqs) {
+			t.Fatalf("round trip changed count: %d -> %d", len(eqs), len(again))
+		}
+		for i := range eqs {
+			if eqs[i].String() != again[i].String() {
+				t.Fatalf("round trip changed equation:\n%s\n%s", eqs[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package kirchhoff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseSystem reads equations in the Writer format back into memory. It is
+// the inverse of WriteSystem up to floating-point formatting of Flow and
+// exists so downstream tools (and round-trip tests) can consume equation
+// files produced by Parma runs.
+func ParseSystem(r io.Reader) ([]Equation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var eqs []Equation
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq, err := parseEquation(line)
+		if err != nil {
+			return nil, fmt.Errorf("kirchhoff: line %d: %w", lineNo, err)
+		}
+		eqs = append(eqs, eq)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kirchhoff: parse: %w", err)
+	}
+	return eqs, nil
+}
+
+func parseEquation(line string) (Equation, error) {
+	var eq Equation
+	rest, ok := strings.CutPrefix(line, "eq p=(")
+	if !ok {
+		return eq, fmt.Errorf("missing %q prefix", "eq p=(")
+	}
+	head, rest, ok := strings.Cut(rest, "]:")
+	if !ok {
+		return eq, fmt.Errorf("missing header terminator %q", "]:")
+	}
+	// head is like "2,3) ua[1".
+	pairPart, catPart, ok := strings.Cut(head, ") ")
+	if !ok {
+		return eq, fmt.Errorf("malformed pair header %q", head)
+	}
+	if _, err := fmt.Sscanf(pairPart, "%d,%d", &eq.PairI, &eq.PairJ); err != nil {
+		return eq, fmt.Errorf("pair %q: %v", pairPart, err)
+	}
+	catName, layerPart, ok := strings.Cut(catPart, "[")
+	if !ok {
+		return eq, fmt.Errorf("malformed category %q", catPart)
+	}
+	switch catName {
+	case "source":
+		eq.Cat = CatSource
+	case "dest":
+		eq.Cat = CatDest
+	case "ua":
+		eq.Cat = CatUa
+	case "ub":
+		eq.Cat = CatUb
+	default:
+		return eq, fmt.Errorf("unknown category %q", catName)
+	}
+	layer, err := strconv.Atoi(layerPart)
+	if err != nil {
+		return eq, fmt.Errorf("layer %q: %v", layerPart, err)
+	}
+	eq.Layer = layer
+
+	body, flowPart, ok := strings.Cut(rest, " = ")
+	if !ok {
+		return eq, fmt.Errorf("missing %q separator", " = ")
+	}
+	eq.Flow, err = strconv.ParseFloat(strings.TrimSpace(flowPart), 64)
+	if err != nil {
+		return eq, fmt.Errorf("flow %q: %v", flowPart, err)
+	}
+
+	for _, tok := range splitTerms(body) {
+		t, err := parseTerm(tok)
+		if err != nil {
+			return eq, err
+		}
+		eq.Terms = append(eq.Terms, t)
+	}
+	return eq, nil
+}
+
+// splitTerms cuts " + x/R[..] - y/R[..]" into signed tokens "+x/R[..]", …
+func splitTerms(body string) []string {
+	fields := strings.Fields(body)
+	var out []string
+	for i := 0; i < len(fields); i++ {
+		if fields[i] == "+" || fields[i] == "-" {
+			// The term body may itself contain spaces: "(U - Ua[1])/R[2,0]"
+			// groups until the next lone +/- or the end.
+			j := i + 1
+			var sb strings.Builder
+			sb.WriteString(fields[i])
+			depth := 0
+			for ; j < len(fields); j++ {
+				f := fields[j]
+				if depth == 0 && (f == "+" || f == "-") {
+					break
+				}
+				depth += strings.Count(f, "(") - strings.Count(f, ")")
+				sb.WriteString(f)
+				if depth > 0 {
+					sb.WriteByte(' ')
+				}
+			}
+			out = append(out, sb.String())
+			i = j - 1
+		}
+	}
+	return out
+}
+
+func parseTerm(tok string) (Term, error) {
+	var t Term
+	switch tok[0] {
+	case '+':
+		t.Sign = 1
+	case '-':
+		t.Sign = -1
+	default:
+		return t, fmt.Errorf("term %q lacks a sign", tok)
+	}
+	body := tok[1:]
+	numPart, rPart, ok := strings.Cut(body, "/R[")
+	if !ok {
+		return t, fmt.Errorf("term %q lacks /R[", tok)
+	}
+	rPart = strings.TrimSuffix(rPart, "]")
+	var ri, rj int
+	if _, err := fmt.Sscanf(rPart, "%d,%d", &ri, &rj); err != nil {
+		return t, fmt.Errorf("resistor %q: %v", rPart, err)
+	}
+	t.RI, t.RJ = int16(ri), int16(rj)
+
+	numPart = strings.TrimSpace(numPart)
+	if strings.HasPrefix(numPart, "(") {
+		inner := strings.TrimSuffix(strings.TrimPrefix(numPart, "("), ")")
+		plusStr, minusStr, ok := strings.Cut(inner, " - ")
+		if !ok {
+			return t, fmt.Errorf("numerator %q lacks subtraction", numPart)
+		}
+		var err error
+		if t.Plus, err = parseVolt(strings.TrimSpace(plusStr)); err != nil {
+			return t, err
+		}
+		if t.Minus, err = parseVolt(strings.TrimSpace(minusStr)); err != nil {
+			return t, err
+		}
+		return t, nil
+	}
+	var err error
+	t.Plus, err = parseVolt(numPart)
+	return t, err
+}
+
+func parseVolt(s string) (VoltRef, error) {
+	switch {
+	case s == "U":
+		return VoltRef{Kind: VoltU}, nil
+	case strings.HasPrefix(s, "Ua["):
+		idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(s, "Ua["), "]"))
+		return VoltRef{Kind: VoltUa, Idx: int32(idx)}, err
+	case strings.HasPrefix(s, "Ub["):
+		idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(s, "Ub["), "]"))
+		return VoltRef{Kind: VoltUb, Idx: int32(idx)}, err
+	default:
+		return VoltRef{}, fmt.Errorf("unknown voltage symbol %q", s)
+	}
+}

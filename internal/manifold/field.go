@@ -1,0 +1,156 @@
+// Package manifold implements the differential-geometric view of §IV-B:
+// treating the MEA's voltage distribution as a sampled scalar field on a
+// 2-manifold, it provides discrete partial derivatives, local frames with
+// Jacobian changes of coordinates for non-orthogonal arrays, a discrete
+// Stokes/Green identity relating patch integrals of the curl to boundary
+// circulation, and patch-parallel integration — the (n−1)^k-fold extra
+// parallelism the paper's complexity argument invokes.
+package manifold
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScalarField is a voltage field sampled on an equidistant grid: U[i][j] at
+// node (i, j), row-major.
+type ScalarField struct {
+	rows, cols int
+	vals       []float64
+	// hx, hy are the grid spacings along columns (x) and rows (y).
+	hx, hy float64
+}
+
+// NewScalarField returns a zero field with unit spacing.
+func NewScalarField(rows, cols int) *ScalarField {
+	return NewScalarFieldSpaced(rows, cols, 1, 1)
+}
+
+// NewScalarFieldSpaced returns a zero field with explicit node spacing.
+func NewScalarFieldSpaced(rows, cols int, hx, hy float64) *ScalarField {
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("manifold: field needs at least 2x2 nodes, got %dx%d", rows, cols))
+	}
+	if hx <= 0 || hy <= 0 {
+		panic(fmt.Sprintf("manifold: non-positive spacing %gx%g", hx, hy))
+	}
+	return &ScalarField{rows: rows, cols: cols, vals: make([]float64, rows*cols), hx: hx, hy: hy}
+}
+
+// FromFunc samples f(x, y) at grid nodes, x = j·hx, y = i·hy.
+func FromFunc(rows, cols int, hx, hy float64, f func(x, y float64) float64) *ScalarField {
+	s := NewScalarFieldSpaced(rows, cols, hx, hy)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			s.Set(i, j, f(float64(j)*hx, float64(i)*hy))
+		}
+	}
+	return s
+}
+
+// Rows returns the node-row count.
+func (s *ScalarField) Rows() int { return s.rows }
+
+// Cols returns the node-column count.
+func (s *ScalarField) Cols() int { return s.cols }
+
+// At returns U at node (i, j).
+func (s *ScalarField) At(i, j int) float64 {
+	s.check(i, j)
+	return s.vals[i*s.cols+j]
+}
+
+// Set assigns U at node (i, j).
+func (s *ScalarField) Set(i, j int, v float64) {
+	s.check(i, j)
+	s.vals[i*s.cols+j] = v
+}
+
+func (s *ScalarField) check(i, j int) {
+	if i < 0 || i >= s.rows || j < 0 || j >= s.cols {
+		panic(fmt.Sprintf("manifold: node (%d,%d) out of range for %dx%d", i, j, s.rows, s.cols))
+	}
+}
+
+// Gradient returns (∂U/∂x, ∂U/∂y) at node (i, j) using central differences
+// in the interior and one-sided differences on the boundary.
+func (s *ScalarField) Gradient(i, j int) (gx, gy float64) {
+	s.check(i, j)
+	switch {
+	case j == 0:
+		gx = (s.At(i, 1) - s.At(i, 0)) / s.hx
+	case j == s.cols-1:
+		gx = (s.At(i, j) - s.At(i, j-1)) / s.hx
+	default:
+		gx = (s.At(i, j+1) - s.At(i, j-1)) / (2 * s.hx)
+	}
+	switch {
+	case i == 0:
+		gy = (s.At(1, j) - s.At(0, j)) / s.hy
+	case i == s.rows-1:
+		gy = (s.At(i, j) - s.At(i-1, j)) / s.hy
+	default:
+		gy = (s.At(i+1, j) - s.At(i-1, j)) / (2 * s.hy)
+	}
+	return gx, gy
+}
+
+// MixedPartialsSymmetric verifies the Clairaut identity ∂²U/∂x∂y = ∂²U/∂y∂x
+// that §IV-B invokes: on a discrete grid the two mixed second differences
+// are algebraically identical, so the function returns the largest absolute
+// discrepancy over interior nodes (zero up to floating-point rounding).
+func (s *ScalarField) MixedPartialsSymmetric() float64 {
+	var worst float64
+	for i := 1; i < s.rows-1; i++ {
+		for j := 1; j < s.cols-1; j++ {
+			// d/dy of central dx, and d/dx of central dy.
+			dxy := ((s.At(i+1, j+1) - s.At(i+1, j-1)) - (s.At(i-1, j+1) - s.At(i-1, j-1))) / (4 * s.hx * s.hy)
+			dyx := ((s.At(i+1, j+1) - s.At(i-1, j+1)) - (s.At(i+1, j-1) - s.At(i-1, j-1))) / (4 * s.hx * s.hy)
+			if d := math.Abs(dxy - dyx); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// VectorField assigns a 2-vector to every grid node.
+type VectorField struct {
+	rows, cols int
+	vx, vy     []float64
+	hx, hy     float64
+}
+
+// NewVectorField returns a zero vector field.
+func NewVectorField(rows, cols int, hx, hy float64) *VectorField {
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("manifold: vector field needs at least 2x2 nodes, got %dx%d", rows, cols))
+	}
+	return &VectorField{rows: rows, cols: cols,
+		vx: make([]float64, rows*cols), vy: make([]float64, rows*cols), hx: hx, hy: hy}
+}
+
+// At returns the vector at node (i, j).
+func (v *VectorField) At(i, j int) (float64, float64) {
+	idx := i*v.cols + j
+	return v.vx[idx], v.vy[idx]
+}
+
+// Set assigns the vector at node (i, j).
+func (v *VectorField) Set(i, j int, x, y float64) {
+	idx := i*v.cols + j
+	v.vx[idx], v.vy[idx] = x, y
+}
+
+// Grad returns the discrete gradient field of s — the electric field
+// −∇U up to sign, the circuit-flow direction of §IV-B.
+func Grad(s *ScalarField) *VectorField {
+	v := NewVectorField(s.rows, s.cols, s.hx, s.hy)
+	for i := 0; i < s.rows; i++ {
+		for j := 0; j < s.cols; j++ {
+			gx, gy := s.Gradient(i, j)
+			v.Set(i, j, gx, gy)
+		}
+	}
+	return v
+}

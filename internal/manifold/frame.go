@@ -1,0 +1,78 @@
+package manifold
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame is a local coordinate chart for a (possibly non-orthogonal,
+// non-equidistant) MEA: physical position = origin + J · (u, v), where
+// (u, v) are lattice parameters and J is the Jacobian of the chart. §IV-B
+// uses exactly this device to "convert any arbitrary MEA into a locally
+// orthogonal frame for parallel computation on the directions of partial
+// derivatives".
+type Frame struct {
+	// J holds the Jacobian [[∂x/∂u, ∂x/∂v], [∂y/∂u, ∂y/∂v]].
+	J [2][2]float64
+}
+
+// Orthogonal returns the frame of an axis-aligned equidistant array with
+// spacings hu, hv.
+func Orthogonal(hu, hv float64) Frame {
+	return Frame{J: [2][2]float64{{hu, 0}, {0, hv}}}
+}
+
+// Skewed returns the frame of a sheared lattice: the v-axis is tilted by
+// the given angle (radians) from the y-axis.
+func Skewed(hu, hv, angle float64) Frame {
+	return Frame{J: [2][2]float64{{hu, hv * math.Sin(angle)}, {0, hv * math.Cos(angle)}}}
+}
+
+// Det returns the Jacobian determinant — the physical area of one lattice
+// cell; it must be nonzero for the chart to be invertible.
+func (f Frame) Det() float64 {
+	return f.J[0][0]*f.J[1][1] - f.J[0][1]*f.J[1][0]
+}
+
+// Apply maps lattice parameters (u, v) to physical coordinates (x, y).
+func (f Frame) Apply(u, v float64) (x, y float64) {
+	return f.J[0][0]*u + f.J[0][1]*v, f.J[1][0]*u + f.J[1][1]*v
+}
+
+// inverseTranspose returns J⁻ᵀ, the matrix converting parameter-space
+// gradients to physical gradients: ∇ₓU = J⁻ᵀ ∇ᵤU.
+func (f Frame) inverseTranspose() ([2][2]float64, error) {
+	det := f.Det()
+	if det == 0 {
+		return [2][2]float64{}, fmt.Errorf("manifold: degenerate frame (det J = 0)")
+	}
+	inv := [2][2]float64{
+		{f.J[1][1] / det, -f.J[0][1] / det},
+		{-f.J[1][0] / det, f.J[0][0] / det},
+	}
+	// Transpose of the inverse.
+	return [2][2]float64{{inv[0][0], inv[1][0]}, {inv[0][1], inv[1][1]}}, nil
+}
+
+// PhysicalGradient converts a parameter-space gradient (∂U/∂u, ∂U/∂v) into
+// the physical gradient (∂U/∂x, ∂U/∂y) through the frame's Jacobian.
+func (f Frame) PhysicalGradient(gu, gv float64) (gx, gy float64, err error) {
+	it, err := f.inverseTranspose()
+	if err != nil {
+		return 0, 0, err
+	}
+	return it[0][0]*gu + it[0][1]*gv, it[1][0]*gu + it[1][1]*gv, nil
+}
+
+// SampleOnFrame samples a physical-space function onto the lattice through
+// the frame: node (i, j) holds f(φ(j, i)).
+func SampleOnFrame(rows, cols int, fr Frame, f func(x, y float64) float64) *ScalarField {
+	s := NewScalarField(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			x, y := fr.Apply(float64(j), float64(i))
+			s.Set(i, j, f(x, y))
+		}
+	}
+	return s
+}

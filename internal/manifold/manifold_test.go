@@ -1,0 +1,234 @@
+package manifold
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGradientOfLinearFieldIsExact(t *testing.T) {
+	s := FromFunc(10, 12, 0.5, 0.25, func(x, y float64) float64 { return 3*x - 2*y + 7 })
+	for i := 0; i < s.Rows(); i++ {
+		for j := 0; j < s.Cols(); j++ {
+			gx, gy := s.Gradient(i, j)
+			if math.Abs(gx-3) > 1e-10 || math.Abs(gy+2) > 1e-10 {
+				t.Fatalf("gradient at (%d,%d) = (%g,%g), want (3,-2)", i, j, gx, gy)
+			}
+		}
+	}
+}
+
+func TestGradientConvergesQuadratically(t *testing.T) {
+	// For U = sin(x)cos(y), interior central differences are O(h²).
+	f := func(x, y float64) float64 { return math.Sin(x) * math.Cos(y) }
+	errAt := func(n int) float64 {
+		h := 1.0 / float64(n)
+		s := FromFunc(n+1, n+1, h, h, f)
+		i, j := n/2, n/2
+		gx, gy := s.Gradient(i, j)
+		x, y := float64(j)*h, float64(i)*h
+		ex := math.Abs(gx - math.Cos(x)*math.Cos(y))
+		ey := math.Abs(gy + math.Sin(x)*math.Sin(y))
+		return math.Max(ex, ey)
+	}
+	e16, e32 := errAt(16), errAt(32)
+	if ratio := e16 / e32; ratio < 3 {
+		t.Fatalf("halving h reduced error only %.2fx (want ≈4x): %g -> %g", ratio, e16, e32)
+	}
+}
+
+func TestMixedPartialsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewScalarField(12, 12)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			s.Set(i, j, rng.NormFloat64())
+		}
+	}
+	// The discrete mixed partials are algebraically identical (§IV-B's
+	// ∂²U/∂x∂y = ∂²U/∂y∂x), so even random data must agree to rounding.
+	if d := s.MixedPartialsSymmetric(); d > 1e-12 {
+		t.Fatalf("mixed partials differ by %g", d)
+	}
+}
+
+// TestExactFormIsClosed: d(dU) = 0 — the discrete gradient of any scalar
+// field has zero curl on every cell (exactly, not just approximately).
+func TestExactFormIsClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 3+rng.Intn(8), 3+rng.Intn(8)
+		s := NewScalarField(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				s.Set(i, j, rng.NormFloat64()*100)
+			}
+		}
+		form := D(s)
+		for i := 0; i < rows-1; i++ {
+			for j := 0; j < cols-1; j++ {
+				if math.Abs(form.Curl(i, j)) > 1e-10 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiscreteStokes: circulation around any patch equals the curl
+// integral over it, exactly, for arbitrary 1-forms (not only exact ones).
+func TestDiscreteStokes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 4+rng.Intn(6), 4+rng.Intn(6)
+		form := NewOneForm(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j+1 < cols; j++ {
+				form.SetH(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i+1 < rows; i++ {
+			for j := 0; j < cols; j++ {
+				form.SetV(i, j, rng.NormFloat64())
+			}
+		}
+		// Random sub-patch.
+		i0 := rng.Intn(rows - 2)
+		i1 := i0 + 1 + rng.Intn(rows-1-i0-1) + 1
+		if i1 > rows-1 {
+			i1 = rows - 1
+		}
+		j0 := rng.Intn(cols - 2)
+		j1 := j0 + 1 + rng.Intn(cols-1-j0-1) + 1
+		if j1 > cols-1 {
+			j1 = cols - 1
+		}
+		p := Patch{I0: i0, I1: i1, J0: j0, J1: j1}
+		return math.Abs(form.Circulation(p)-form.CurlIntegral(p)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitPatchesTileExactly(t *testing.T) {
+	form := NewOneForm(10, 14) // 9x13 cells
+	patches := form.SplitPatches(3, 4)
+	if len(patches) != 12 {
+		t.Fatalf("%d patches, want 12", len(patches))
+	}
+	covered := make(map[[2]int]int)
+	total := 0
+	for _, p := range patches {
+		total += p.Cells()
+		for i := p.I0; i < p.I1; i++ {
+			for j := p.J0; j < p.J1; j++ {
+				covered[[2]int{i, j}]++
+			}
+		}
+	}
+	if total != 9*13 {
+		t.Fatalf("patches cover %d cells, want %d", total, 9*13)
+	}
+	for cell, count := range covered {
+		if count != 1 {
+			t.Fatalf("cell %v covered %d times", cell, count)
+		}
+	}
+}
+
+// TestPatchParallelEqualsGlobal: summing per-patch curl integrals computed
+// concurrently equals the single global integral and, by Stokes, the outer
+// boundary circulation.
+func TestPatchParallelEqualsGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	form := NewOneForm(20, 20)
+	for i := 0; i < 20; i++ {
+		for j := 0; j+1 < 20; j++ {
+			form.SetH(i, j, rng.NormFloat64())
+		}
+	}
+	for i := 0; i+1 < 20; i++ {
+		for j := 0; j < 20; j++ {
+			form.SetV(i, j, rng.NormFloat64())
+		}
+	}
+	full := Patch{I0: 0, I1: 19, J0: 0, J1: 19}
+	want := form.CurlIntegral(full)
+	for _, workers := range []int{1, 4, 16} {
+		got, partial := form.ParallelCurlIntegral(form.SplitPatches(4, 4), workers)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("workers=%d: parallel %g vs global %g", workers, got, want)
+		}
+		if len(partial) != 16 {
+			t.Fatalf("expected 16 partials, got %d", len(partial))
+		}
+	}
+	if math.Abs(form.Circulation(full)-want) > 1e-9 {
+		t.Fatal("Stokes: boundary circulation differs from curl integral")
+	}
+}
+
+func TestFrameOrthogonal(t *testing.T) {
+	fr := Orthogonal(2, 3)
+	x, y := fr.Apply(4, 5)
+	if x != 8 || y != 15 {
+		t.Fatalf("Apply = (%g,%g)", x, y)
+	}
+	if fr.Det() != 6 {
+		t.Fatalf("Det = %g, want 6", fr.Det())
+	}
+}
+
+// TestSkewedFrameGradientRecovery is §IV-B's Jacobian claim: sample a
+// linear potential on a sheared lattice, take parameter-space derivatives,
+// and convert through J⁻ᵀ — the physical gradient comes back exactly.
+func TestSkewedFrameGradientRecovery(t *testing.T) {
+	const a, b = 2.5, -1.5
+	for _, angle := range []float64{0, 0.3, -0.7, 1.0} {
+		fr := Skewed(1.3, 0.8, angle)
+		s := SampleOnFrame(8, 8, fr, func(x, y float64) float64 { return a*x + b*y })
+		// Parameter-space gradient at an interior node (unit parameter
+		// spacing by construction of SampleOnFrame).
+		gu, gv := s.Gradient(4, 4)
+		// Gradient returns (d/dx=d/du along cols, d/dy=d/dv along rows).
+		gx, gy, err := fr.PhysicalGradient(gu, gv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gx-a) > 1e-9 || math.Abs(gy-b) > 1e-9 {
+			t.Fatalf("angle %g: recovered (%g,%g), want (%g,%g)", angle, gx, gy, a, b)
+		}
+	}
+}
+
+func TestDegenerateFrameRejected(t *testing.T) {
+	fr := Frame{J: [2][2]float64{{1, 2}, {2, 4}}}
+	if _, _, err := fr.PhysicalGradient(1, 1); err == nil {
+		t.Fatal("degenerate frame accepted")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewScalarField(1, 5) },
+		func() { NewScalarFieldSpaced(3, 3, 0, 1) },
+		func() { NewOneForm(1, 1) },
+		func() { NewOneForm(3, 3).Curl(2, 0) },
+		func() { NewOneForm(3, 3).Circulation(Patch{I0: 0, I1: 0, J0: 0, J1: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

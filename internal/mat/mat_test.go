@@ -1,0 +1,214 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	u := v.Clone().AddScaled(2, w)
+	want := Vector{9, 12, 15}
+	if !u.ApproxEqual(want, 0) {
+		t.Fatalf("AddScaled = %v, want %v", u, want)
+	}
+	if got := (Vector{3, 4}).Norm2(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := (Vector{}).Norm2(); got != 0 {
+		t.Fatalf("Norm2(empty) = %v, want 0", got)
+	}
+	if got := (Vector{-7, 2}).NormInf(); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+	s := v.Clone().Sub(w)
+	if !s.ApproxEqual(Vector{-3, -3, -3}, 0) {
+		t.Fatalf("Sub = %v", s)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	huge := math.MaxFloat64 / 2
+	v := Vector{huge, huge}
+	got := v.Norm2()
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Norm2 overflowed: %v", got)
+	}
+	want := huge * math.Sqrt2
+	if math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("Norm2 = %v, want %v", got, want)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 1)
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At = %v, want 6", m.At(1, 2))
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatal("shape mismatch")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMulVecAndMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	x := Vector{5, 6}
+	y := a.MulVec(x)
+	if !y.ApproxEqual(Vector{17, 39}, 1e-15) {
+		t.Fatalf("MulVec = %v", y)
+	}
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	ab := a.Mul(b)
+	want := FromRows([][]float64{{2, 1}, {4, 3}})
+	if !ab.ApproxEqual(want, 1e-15) {
+		t.Fatalf("Mul =\n%v want\n%v", ab, want)
+	}
+	id := Identity(2)
+	if !a.Mul(id).ApproxEqual(a, 0) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomDense(rng, 7, 11)
+	if !m.Transpose().Transpose().ApproxEqual(m, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	b := Vector{5, -2, 9}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MulVec(x).ApproxEqual(b, 1e-12) {
+		t.Fatalf("A·x = %v, want %v", a.MulVec(x), b)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, Vector{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-14)) > 1e-12 {
+		t.Fatalf("Det = %v, want -14", got)
+	}
+	id, _ := Factorize(Identity(5))
+	if got := id.Det(); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("Det(I) = %v, want 1", got)
+	}
+}
+
+func TestLUSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		a := randomDense(rng, n, n)
+		// Diagonal dominance guarantees nonsingularity.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		x0 := NewVector(n)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x0)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return x.ApproxEqual(x0, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 8
+	a := randomDense(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 10)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).ApproxEqual(Identity(n), 1e-10) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+}
+
+func TestSolveLeastSquares(t *testing.T) {
+	// Overdetermined fit: y = 2x + 1 with exact data, recover [1, 2].
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := Vector{1, 3, 5, 7}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.ApproxEqual(Vector{1, 2}, 1e-10) {
+		t.Fatalf("least squares = %v, want [1 2]", x)
+	}
+}
+
+func TestPanicsOnBadShapes(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMatrix(2, 2).MulVec(Vector{1}) },
+		func() { NewMatrix(2, 3).Mul(NewMatrix(2, 3)) },
+		func() { Factorize(NewMatrix(2, 3)) },
+		func() { FromRows([][]float64{{1, 2}, {1}}) },
+		func() { (Vector{1}).Dot(Vector{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	return m
+}

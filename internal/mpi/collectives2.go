@@ -1,0 +1,121 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives layered on the point-to-point core: Allgather,
+// Alltoall, and the combined SendRecv exchange. All follow the same cost
+// accounting as the primitives they compose.
+
+const (
+	tagAllgather = 1<<28 + 5
+	tagAlltoall  = 1<<28 + 6
+	tagSendRecv  = 1<<28 + 7
+)
+
+// Allgather gives every rank the concatenated buffers of all ranks,
+// indexed by rank. Implemented as Gather to root plus a broadcast of the
+// framed result.
+func (c *Comm) Allgather(mine []byte) ([][]byte, error) {
+	parts, err := c.Gather(mine)
+	if err != nil {
+		return nil, err
+	}
+	var framed []byte
+	if c.rank == 0 {
+		framed = frameParts(parts)
+	}
+	data, err := c.bcastBytes(framed, tagAllgather)
+	if err != nil {
+		return nil, err
+	}
+	return unframeParts(data, c.size)
+}
+
+// Alltoall sends parts[i] to rank i and returns what every rank sent to
+// this one, indexed by source. parts must have exactly Size entries;
+// parts[rank] is returned in place without transport.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	if len(parts) != c.size {
+		return nil, fmt.Errorf("mpi: Alltoall got %d parts for %d ranks", len(parts), c.size)
+	}
+	out := make([][]byte, c.size)
+	cp := make([]byte, len(parts[c.rank]))
+	copy(cp, parts[c.rank])
+	out[c.rank] = cp
+	for dst := 0; dst < c.size; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		c.simComm += c.model.cost(len(parts[dst]))
+		if err := c.tr.Send(dst, tagAlltoall, parts[dst]); err != nil {
+			return nil, err
+		}
+	}
+	for recv := 0; recv < c.size-1; recv++ {
+		data, src, err := c.tr.Recv(AnySource, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		c.simComm += c.model.cost(len(data))
+		if out[src] != nil {
+			return nil, fmt.Errorf("mpi: Alltoall duplicate from rank %d", src)
+		}
+		out[src] = data
+	}
+	return out, nil
+}
+
+// SendRecv performs a simultaneous exchange with a partner rank, safe
+// against the deadlock a naive Send-then-Recv pair would risk on
+// rendezvous transports.
+func (c *Comm) SendRecv(partner int, send []byte) ([]byte, error) {
+	if partner == c.rank {
+		return nil, fmt.Errorf("mpi: SendRecv with self")
+	}
+	c.simComm += c.model.cost(len(send))
+	if err := c.tr.Send(partner, tagSendRecv, send); err != nil {
+		return nil, err
+	}
+	data, _, err := c.tr.Recv(partner, tagSendRecv)
+	if err != nil {
+		return nil, err
+	}
+	c.simComm += c.model.cost(len(data))
+	return data, nil
+}
+
+// frameParts packs buffers as length-prefixed records.
+func frameParts(parts [][]byte) []byte {
+	size := 0
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	out := make([]byte, 0, size)
+	for _, p := range parts {
+		n := len(p)
+		out = append(out, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		out = append(out, p...)
+	}
+	return out
+}
+
+// unframeParts unpacks exactly count records.
+func unframeParts(data []byte, count int) ([][]byte, error) {
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("mpi: truncated frame header (record %d)", i)
+		}
+		n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
+		data = data[4:]
+		if n < 0 || len(data) < n {
+			return nil, fmt.Errorf("mpi: truncated frame body (record %d wants %d bytes)", i, n)
+		}
+		out = append(out, data[:n:n])
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("mpi: %d trailing bytes after %d records", len(data), count)
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAllgather(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 8} {
+		w := NewWorld(size, CostModel{})
+		errs := w.Run(func(c *Comm) error {
+			mine := []byte{byte(c.Rank()), byte(c.Rank() * 3)}
+			all, err := c.Allgather(mine)
+			if err != nil {
+				return err
+			}
+			if len(all) != size {
+				return fmt.Errorf("got %d parts", len(all))
+			}
+			for r := 0; r < size; r++ {
+				if len(all[r]) != 2 || all[r][0] != byte(r) || all[r][1] != byte(r*3) {
+					return fmt.Errorf("rank %d: slot %d = %v", c.Rank(), r, all[r])
+				}
+			}
+			return nil
+		})
+		if err := FirstError(errs); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestAllgatherVariableSizes(t *testing.T) {
+	const size = 4
+	w := NewWorld(size, CostModel{})
+	errs := w.Run(func(c *Comm) error {
+		mine := make([]byte, c.Rank()) // rank r contributes r bytes
+		for i := range mine {
+			mine[i] = byte(c.Rank())
+		}
+		all, err := c.Allgather(mine)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < size; r++ {
+			if len(all[r]) != r {
+				return fmt.Errorf("slot %d has %d bytes, want %d", r, len(all[r]), r)
+			}
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const size = 5
+	w := NewWorld(size, CostModel{})
+	errs := w.Run(func(c *Comm) error {
+		parts := make([][]byte, size)
+		for dst := range parts {
+			parts[dst] = []byte{byte(c.Rank()), byte(dst)}
+		}
+		got, err := c.Alltoall(parts)
+		if err != nil {
+			return err
+		}
+		for src := 0; src < size; src++ {
+			if len(got[src]) != 2 || got[src][0] != byte(src) || got[src][1] != byte(c.Rank()) {
+				return fmt.Errorf("rank %d: from %d got %v", c.Rank(), src, got[src])
+			}
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallValidatesPartCount(t *testing.T) {
+	w := NewWorld(2, CostModel{})
+	errs := w.Run(func(c *Comm) error {
+		_, err := c.Alltoall([][]byte{{1}})
+		if err == nil {
+			return fmt.Errorf("wrong part count accepted")
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	const size = 6
+	w := NewWorld(size, CostModel{})
+	errs := w.Run(func(c *Comm) error {
+		partner := c.Rank() ^ 1 // pair up neighbours
+		if partner >= size {
+			return nil
+		}
+		got, err := c.SendRecv(partner, []byte{byte(c.Rank() + 100)})
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != byte(partner+100) {
+			return fmt.Errorf("rank %d got %v from %d", c.Rank(), got, partner)
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvSelfFails(t *testing.T) {
+	w := NewWorld(1, CostModel{})
+	errs := w.Run(func(c *Comm) error {
+		if _, err := c.SendRecv(0, nil); err == nil {
+			return fmt.Errorf("self exchange accepted")
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	parts := [][]byte{{1, 2, 3}, {}, {9}}
+	got, err := unframeParts(frameParts(parts), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parts {
+		if len(got[i]) != len(parts[i]) {
+			t.Fatalf("part %d length %d, want %d", i, len(got[i]), len(parts[i]))
+		}
+		for j := range parts[i] {
+			if got[i][j] != parts[i][j] {
+				t.Fatalf("part %d differs", i)
+			}
+		}
+	}
+	if _, err := unframeParts([]byte{1, 0, 0}, 1); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := unframeParts([]byte{5, 0, 0, 0, 1}, 1); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	if _, err := unframeParts(append(frameParts(parts), 0xFF), 3); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

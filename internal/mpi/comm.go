@@ -1,0 +1,273 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// CostModel charges simulated time for communication, LogP-style: each
+// message costs Latency plus size/Bandwidth. The zero value charges
+// nothing (pure functional messaging).
+type CostModel struct {
+	// Latency is the fixed per-message overhead.
+	Latency time.Duration
+	// BandwidthBytesPerSec divides the payload size; zero means infinite
+	// bandwidth.
+	BandwidthBytesPerSec float64
+	// RankStartup is a fixed cost charged to every rank when the world
+	// starts: process spawn, interpreter import, and MPI_Init in the
+	// paper's Python/mpi4py deployment. It is the overhead that makes
+	// inter-node parallelism ineffective on small workloads (§V-F).
+	RankStartup time.Duration
+}
+
+// FDRInfiniBand approximates the paper's cluster setup: FDR InfiniBand
+// interconnect (~1.5 µs latency, ~6 GB/s effective bandwidth) plus the
+// per-rank spawn/import cost of the Python MPI deployment.
+var FDRInfiniBand = CostModel{
+	Latency:              1500 * time.Nanosecond,
+	BandwidthBytesPerSec: 6e9,
+	RankStartup:          40 * time.Millisecond,
+}
+
+// cost returns the simulated duration of moving size bytes.
+func (cm CostModel) cost(size int) time.Duration {
+	d := cm.Latency
+	if cm.BandwidthBytesPerSec > 0 {
+		d += time.Duration(float64(size) / cm.BandwidthBytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// Comm is one rank's endpoint: point-to-point operations, collectives, and
+// the rank's simulated-time accumulators. A Comm is owned by one goroutine.
+type Comm struct {
+	rank, size int
+	tr         Transport
+	model      CostModel
+	speed      float64 // relative compute speed; 0 is treated as 1
+
+	simComm    time.Duration // accumulated simulated communication time
+	simCompute time.Duration // accumulated charged compute time
+}
+
+// Rank returns this endpoint's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.size }
+
+// SimCommTime returns the accumulated simulated communication time.
+func (c *Comm) SimCommTime() time.Duration { return c.simComm }
+
+// SimComputeTime returns the accumulated charged compute time.
+func (c *Comm) SimComputeTime() time.Duration { return c.simCompute }
+
+// ChargeCompute adds measured local work to the rank's simulated clock,
+// scaled by the rank's relative speed on heterogeneous worlds.
+func (c *Comm) ChargeCompute(d time.Duration) {
+	speed := c.speed
+	if speed <= 0 {
+		speed = 1
+	}
+	c.simCompute += time.Duration(float64(d) / speed)
+}
+
+// SimTotal returns compute + communication simulated time.
+func (c *Comm) SimTotal() time.Duration { return c.simCompute + c.simComm }
+
+// Send delivers data to dst with a tag, charging the cost model.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if dst == c.rank {
+		return fmt.Errorf("mpi: rank %d sending to itself", c.rank)
+	}
+	c.simComm += c.model.cost(len(data))
+	return c.tr.Send(dst, tag, data)
+}
+
+// Recv blocks for a message from src (or AnySource) with the tag and
+// returns the payload and actual source.
+func (c *Comm) Recv(src, tag int) ([]byte, int, error) {
+	data, actual, err := c.tr.Recv(src, tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.simComm += c.model.cost(len(data))
+	return data, actual, nil
+}
+
+// Collective tags live in a reserved space above user tags.
+const (
+	tagBarrier = 1 << 28
+	tagBcast   = 1<<28 + 1
+	tagGather  = 1<<28 + 2
+	tagReduce  = 1<<28 + 3
+	tagScatter = 1<<28 + 4
+)
+
+// Barrier blocks until every rank has entered. It uses a binomial tree
+// reduce-then-broadcast, costing O(log P) rounds.
+func (c *Comm) Barrier() error {
+	if _, err := c.reduceBytes(nil, tagBarrier, func(a, b []byte) []byte { return nil }); err != nil {
+		return err
+	}
+	_, err := c.bcastBytes(nil, tagBarrier)
+	return err
+}
+
+// Bcast distributes root's buffer to every rank via a binomial tree and
+// returns each rank's copy. Non-root ranks pass nil.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if root != 0 {
+		return nil, fmt.Errorf("mpi: only root 0 broadcasts in this implementation")
+	}
+	return c.bcastBytes(data, tagBcast)
+}
+
+func (c *Comm) bcastBytes(data []byte, tag int) ([]byte, error) {
+	// Binomial tree rooted at 0: rank r's parent clears r's highest set
+	// bit; its children are r + 2^j for every 2^j above that bit.
+	if c.rank != 0 {
+		parent := c.rank &^ (1 << (bits.Len(uint(c.rank)) - 1))
+		got, _, err := c.tr.Recv(parent, tag)
+		if err != nil {
+			return nil, err
+		}
+		c.simComm += c.model.cost(len(got))
+		data = got
+	}
+	startBit := 0
+	if c.rank > 0 {
+		startBit = bits.Len(uint(c.rank))
+	}
+	for j := startBit; ; j++ {
+		child := c.rank + 1<<j
+		if child >= c.size {
+			break
+		}
+		c.simComm += c.model.cost(len(data))
+		if err := c.tr.Send(child, tag, data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
+// reduceBytes folds every rank's contribution at root 0 with the combiner,
+// using a binomial tree (log P rounds).
+func (c *Comm) reduceBytes(mine []byte, tag int, combine func(a, b []byte) []byte) ([]byte, error) {
+	acc := mine
+	for stride := 1; stride < c.size; stride *= 2 {
+		if c.rank%(2*stride) == stride {
+			c.simComm += c.model.cost(len(acc))
+			return nil, c.tr.Send(c.rank-stride, tag, acc)
+		}
+		if c.rank%(2*stride) == 0 && c.rank+stride < c.size {
+			got, _, err := c.tr.Recv(c.rank+stride, tag)
+			if err != nil {
+				return nil, err
+			}
+			c.simComm += c.model.cost(len(got))
+			acc = combine(acc, got)
+		}
+	}
+	return acc, nil
+}
+
+// ReduceSum folds float64 vectors elementwise at root 0. Every rank must
+// pass equal-length slices; root receives the sum, others nil.
+func (c *Comm) ReduceSum(vals []float64) ([]float64, error) {
+	out, err := c.reduceBytes(encodeFloats(vals), tagReduce, func(a, b []byte) []byte {
+		av, bv := decodeFloats(a), decodeFloats(b)
+		if len(av) != len(bv) {
+			panic(fmt.Sprintf("mpi: ReduceSum length mismatch %d vs %d", len(av), len(bv)))
+		}
+		for i := range av {
+			av[i] += bv[i]
+		}
+		return encodeFloats(av)
+	})
+	if err != nil || out == nil {
+		return nil, err
+	}
+	return decodeFloats(out), nil
+}
+
+// AllreduceSum gives every rank the elementwise sum.
+func (c *Comm) AllreduceSum(vals []float64) ([]float64, error) {
+	summed, err := c.ReduceSum(vals)
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.bcastBytes(encodeFloats(summed), tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloats(data), nil
+}
+
+// Gather collects every rank's buffer at root 0, ordered by rank. Non-root
+// ranks receive nil.
+func (c *Comm) Gather(mine []byte) ([][]byte, error) {
+	if c.rank != 0 {
+		c.simComm += c.model.cost(len(mine))
+		return nil, c.tr.Send(0, tagGather, mine)
+	}
+	out := make([][]byte, c.size)
+	cp := make([]byte, len(mine))
+	copy(cp, mine)
+	out[0] = cp
+	for i := 1; i < c.size; i++ {
+		data, src, err := c.tr.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		c.simComm += c.model.cost(len(data))
+		out[src] = data
+	}
+	return out, nil
+}
+
+// Scatter sends parts[i] from root 0 to rank i and returns each rank's
+// share. Non-root ranks pass nil.
+func (c *Comm) Scatter(parts [][]byte) ([]byte, error) {
+	if c.rank == 0 {
+		if len(parts) != c.size {
+			return nil, fmt.Errorf("mpi: Scatter got %d parts for %d ranks", len(parts), c.size)
+		}
+		for i := 1; i < c.size; i++ {
+			c.simComm += c.model.cost(len(parts[i]))
+			if err := c.tr.Send(i, tagScatter, parts[i]); err != nil {
+				return nil, err
+			}
+		}
+		cp := make([]byte, len(parts[0]))
+		copy(cp, parts[0])
+		return cp, nil
+	}
+	data, _, err := c.tr.Recv(0, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	c.simComm += c.model.cost(len(data))
+	return data, nil
+}
+
+func encodeFloats(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeFloats(data []byte) []float64 {
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out
+}

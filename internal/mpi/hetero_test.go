@@ -1,0 +1,47 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSetSpeedsScalesChargeCompute(t *testing.T) {
+	w := NewWorld(2, CostModel{})
+	w.SetSpeeds([]float64{1, 4})
+	times, errs := w.RunCollect(func(c *Comm) error {
+		c.ChargeCompute(8 * time.Millisecond)
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(times.Compute[0]-0.008) > 1e-9 {
+		t.Fatalf("rank 0 compute %v, want 8 ms", times.Compute[0])
+	}
+	if math.Abs(times.Compute[1]-0.002) > 1e-9 {
+		t.Fatalf("rank 1 (4x speed) compute %v, want 2 ms", times.Compute[1])
+	}
+}
+
+func TestSetSpeedsValidation(t *testing.T) {
+	w := NewWorld(2, CostModel{})
+	for _, speeds := range [][]float64{{1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetSpeeds(%v) did not panic", speeds)
+				}
+			}()
+			w.SetSpeeds(speeds)
+		}()
+	}
+	w.SetSpeeds([]float64{2, 3})
+	if got := w.Speeds(); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("Speeds = %v", got)
+	}
+	w.SetSpeeds(nil)
+	if w.Speeds() != nil {
+		t.Fatal("nil reset failed")
+	}
+}

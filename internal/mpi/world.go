@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is an in-process communicator group: size ranks sharing a mailbox
+// table, each run on its own goroutine.
+type World struct {
+	size    int
+	model   CostModel
+	inboxes []*inbox
+	speeds  []float64 // per-rank relative compute speed; nil = homogeneous
+}
+
+// NewWorld creates a world of the given size with a communication cost
+// model (use the zero CostModel to charge nothing).
+func NewWorld(size int, model CostModel) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	w := &World{size: size, model: model, inboxes: make([]*inbox, size)}
+	for i := range w.inboxes {
+		w.inboxes[i] = newInbox()
+	}
+	return w
+}
+
+// SetSpeeds declares per-rank relative compute speeds for a heterogeneous
+// cluster (the paper's first future-work item): ChargeCompute on rank r is
+// scaled by 1/speeds[r], so a speed-2 rank finishes the same work in half
+// the simulated time. All speeds must be positive; nil restores
+// homogeneity.
+func (w *World) SetSpeeds(speeds []float64) {
+	if speeds == nil {
+		w.speeds = nil
+		return
+	}
+	if len(speeds) != w.size {
+		panic(fmt.Sprintf("mpi: %d speeds for a world of %d", len(speeds), w.size))
+	}
+	for r, s := range speeds {
+		if s <= 0 {
+			panic(fmt.Sprintf("mpi: non-positive speed %g at rank %d", s, r))
+		}
+	}
+	cp := make([]float64, len(speeds))
+	copy(cp, speeds)
+	w.speeds = cp
+}
+
+// Speeds returns the per-rank speed table, or nil for homogeneous worlds.
+func (w *World) Speeds() []float64 { return w.speeds }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn once per rank on concurrent goroutines and blocks until
+// all return. The per-rank error slice is indexed by rank. Comms are valid
+// only within fn.
+func (w *World) Run(fn func(c *Comm) error) []error {
+	errs := make([]error, w.size)
+	comms := make([]*Comm, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		comms[r] = &Comm{
+			rank: r, size: w.size, model: w.model, speed: 1,
+			tr: &chanTransport{rank: r, inboxes: w.inboxes},
+		}
+		if w.speeds != nil {
+			comms[r].speed = w.speeds[r]
+		}
+		comms[r].simComm += w.model.RankStartup
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+				}
+			}()
+			errs[r] = fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	for _, ib := range w.inboxes {
+		ib.close()
+	}
+	return errs
+}
+
+// RunCollect is Run plus per-rank simulated-time collection: it returns the
+// maximum simulated total time across ranks (the modeled makespan) and the
+// per-rank breakdown.
+func (w *World) RunCollect(fn func(c *Comm) error) (RankTimes, []error) {
+	times := RankTimes{Compute: make([]float64, w.size), Comm: make([]float64, w.size)}
+	var mu sync.Mutex
+	errs := w.Run(func(c *Comm) error {
+		err := fn(c)
+		mu.Lock()
+		times.Compute[c.Rank()] = c.SimComputeTime().Seconds()
+		times.Comm[c.Rank()] = c.SimCommTime().Seconds()
+		mu.Unlock()
+		return err
+	})
+	return times, errs
+}
+
+// RankTimes records per-rank simulated seconds.
+type RankTimes struct {
+	Compute []float64
+	Comm    []float64
+}
+
+// Makespan returns the modeled parallel completion time: the maximum over
+// ranks of compute + communication.
+func (t RankTimes) Makespan() float64 {
+	var m float64
+	for i := range t.Compute {
+		if s := t.Compute[i] + t.Comm[i]; s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// FirstError returns the first non-nil error, or nil.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

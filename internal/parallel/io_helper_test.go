@@ -1,0 +1,19 @@
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// removeOneShard deletes the first shard file found in dir.
+func removeOneShard(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "equations-*.eq"))
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		return fmt.Errorf("no shards in %s", dir)
+	}
+	return os.Remove(matches[0])
+}

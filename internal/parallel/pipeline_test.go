@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"parma/internal/kirchhoff"
+)
+
+// TestWritePipelinedMatchesSerialBytes: the pipelined single-file writer
+// must be byte-identical to the serial serialization, at any former count.
+func TestWritePipelinedMatchesSerialBytes(t *testing.T) {
+	p := testProblem(t, 4, 5, 21)
+	var want bytes.Buffer
+	if _, err := kirchhoff.WriteSystem(&want, p.FormAll()); err != nil {
+		t.Fatal(err)
+	}
+	for _, formers := range []int{1, 2, 3, 8} {
+		var got bytes.Buffer
+		n, err := WritePipelined(p, &got, formers)
+		if err != nil {
+			t.Fatalf("formers=%d: %v", formers, err)
+		}
+		if n != int64(got.Len()) {
+			t.Fatalf("formers=%d: reported %d bytes, wrote %d", formers, n, got.Len())
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("formers=%d: pipelined output differs from serial", formers)
+		}
+	}
+}
+
+// failAfter fails every write after the first N bytes.
+type failAfter struct {
+	n       int
+	written int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errDiskFull
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestWritePipelinedPropagatesWriteError(t *testing.T) {
+	p := testProblem(t, 4, 4, 22)
+	_, err := WritePipelined(p, &failAfter{n: 100}, 3)
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("err = %v, want disk-full", err)
+	}
+}
+
+func TestTermCensusMatchesFormedSystem(t *testing.T) {
+	p := testProblem(t, 3, 5, 23)
+	terms := 0
+	for _, e := range p.FormAll() {
+		terms += len(e.Terms)
+	}
+	if got := kirchhoff.TermCensus(p.Array); got != terms {
+		t.Fatalf("TermCensus = %d, formed system has %d terms", got, terms)
+	}
+}
+
+func TestEstimateSystemBytesScalesQuartically(t *testing.T) {
+	p10 := kirchhoff.EstimateSystemBytes(testProblem(t, 10, 10, 24).Array)
+	p20 := kirchhoff.EstimateSystemBytes(testProblem(t, 20, 20, 25).Array)
+	ratio := float64(p20) / float64(p10)
+	if ratio < 12 || ratio > 20 {
+		t.Fatalf("doubling n scaled memory %.1fx, want ≈16x", ratio)
+	}
+}

@@ -1,0 +1,36 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parma/internal/sched"
+)
+
+// TestStrategyEquivalenceProperty: for random shapes, worker counts, and
+// chunk policies, every strategy must form the same system (hash + count)
+// as the serial baseline.
+func TestStrategyEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 2+rng.Intn(5), 2+rng.Intn(5)
+		p := testProblem(t, m, n, seed)
+		ref := Serial{}.Run(p, Options{})
+		opts := Options{
+			Workers: 1 + rng.Intn(9),
+			Policy:  []sched.Policy{sched.Static, sched.Dynamic, sched.Guided}[rng.Intn(3)],
+			Chunk:   1 + rng.Intn(16),
+		}
+		for _, s := range All() {
+			got := s.Run(p, opts)
+			if got.Hash != ref.Hash || got.Count != ref.Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

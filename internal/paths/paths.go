@@ -1,0 +1,220 @@
+// Package paths implements the exponential path-based baseline of the
+// paper's §II-C: enumerating every simple circuit path between a pair of
+// wire endpoints and aggregating them as parallel branches,
+//
+//	Z_ij⁻¹ = Σ_k P_k(R)⁻¹,
+//
+// where P_k sums the resistors along the k-th path. The number of simple
+// paths grows as n^(n−1) per pair (the paper's estimate; see CountPairPaths
+// for the exact combinatorial count), which renders the approach infeasible
+// beyond n ≈ 6 — the motivation for Parma's joint-constraint conversion.
+package paths
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"parma/internal/grid"
+)
+
+// ErrInfeasible is returned when enumeration would exceed the configured
+// path budget — the paper reports the approach breaks down for n > 6 on
+// mainstream hardware.
+var ErrInfeasible = errors.New("paths: enumeration exceeds the path budget (the exponential wall)")
+
+// ResistorRef identifies one resistor crossed by a path.
+type ResistorRef struct{ I, J int }
+
+// Path is a simple circuit path between a horizontal and a vertical wire,
+// recorded as the sequence of resistors it crosses. A path alternates
+// horizontal and vertical wires, so it always has odd resistor count.
+type Path struct {
+	Resistors []ResistorRef
+}
+
+// Resistance returns P(R): the series sum of the path's resistors.
+func (p Path) Resistance(r *grid.Field) float64 {
+	var s float64
+	for _, ref := range p.Resistors {
+		s += r.At(ref.I, ref.J)
+	}
+	return s
+}
+
+// CountPairPaths returns the exact number of simple paths between one
+// horizontal and one vertical wire of an m x n array:
+//
+//	Σ_{k=0}^{min(m,n)−1} P(n−1, k) · P(m−1, k)
+//
+// choosing and ordering k intermediate vertical and k intermediate
+// horizontal wires. For n ≤ 3 this equals the paper's n^(n−1) estimate
+// (2 and 9); beyond that the exact count grows even faster.
+func CountPairPaths(m, n int) uint64 {
+	limit := m - 1
+	if n-1 < limit {
+		limit = n - 1
+	}
+	var total uint64
+	permV, permH := uint64(1), uint64(1) // P(n-1, k), P(m-1, k)
+	for k := 0; k <= limit; k++ {
+		if k > 0 {
+			permV *= uint64(n - k)
+			permH *= uint64(m - k)
+		}
+		term := permV * permH
+		if term/permV != permH { // overflow
+			return math.MaxUint64
+		}
+		if total+term < total {
+			return math.MaxUint64
+		}
+		total += term
+	}
+	return total
+}
+
+// PaperEstimate returns the paper's n^(n+1) total-path figure for an n x n
+// array (n^(n−1) per pair times n² pairs), saturating at MaxUint64.
+func PaperEstimate(n int) uint64 {
+	var total uint64 = 1
+	for i := 0; i < n+1; i++ {
+		next := total * uint64(n)
+		if next/uint64(n) != total {
+			return math.MaxUint64
+		}
+		total = next
+	}
+	return total
+}
+
+// Enumerator enumerates simple paths on the wire-level graph.
+type Enumerator struct {
+	arr grid.Array
+	// Budget caps the number of paths produced before ErrInfeasible;
+	// zero selects DefaultBudget.
+	Budget int
+}
+
+// DefaultBudget bounds enumeration to roughly what fits in memory on a
+// laptop-scale machine; 6^7 ≈ 2.8e5 paths per pair is the paper's stated
+// feasibility frontier.
+const DefaultBudget = 1 << 22
+
+// NewEnumerator returns an enumerator for the array.
+func NewEnumerator(a grid.Array) *Enumerator {
+	return &Enumerator{arr: a, Budget: DefaultBudget}
+}
+
+// Pair enumerates every simple path between horizontal wire i and vertical
+// wire j. Paths are emitted in DFS order over ascending wire indices.
+func (e *Enumerator) Pair(i, j int) ([]Path, error) {
+	a := e.arr
+	if i < 0 || i >= a.Rows() || j < 0 || j >= a.Cols() {
+		panic(fmt.Sprintf("paths: pair (%d,%d) out of range for %v", i, j, a))
+	}
+	budget := e.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	usedH := make([]bool, a.Rows())
+	usedV := make([]bool, a.Cols())
+	var out []Path
+	var cur []ResistorRef
+
+	// DFS from horizontal wire h; the walk alternates H → V → H …; it may
+	// terminate whenever it reaches vertical wire j.
+	var fromH func(h int) error
+	fromH = func(h int) error {
+		usedH[h] = true
+		defer func() { usedH[h] = false }()
+		for v := 0; v < a.Cols(); v++ {
+			if usedV[v] {
+				continue
+			}
+			cur = append(cur, ResistorRef{I: h, J: v})
+			if v == j {
+				if len(out) >= budget {
+					return ErrInfeasible
+				}
+				p := Path{Resistors: make([]ResistorRef, len(cur))}
+				copy(p.Resistors, cur)
+				out = append(out, p)
+			} else {
+				usedV[v] = true
+				for h2 := 0; h2 < a.Rows(); h2++ {
+					if usedH[h2] {
+						continue
+					}
+					cur = append(cur, ResistorRef{I: h2, J: v})
+					if err := fromH(h2); err != nil {
+						return err
+					}
+					cur = cur[:len(cur)-1]
+				}
+				usedV[v] = false
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return nil
+	}
+	if err := fromH(i); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PairEquation is the path-based nonlinear constraint for one wire pair:
+// the measured Z and the enumerated parallel branches.
+type PairEquation struct {
+	I, J  int
+	Z     float64
+	Paths []Path
+}
+
+// Residual evaluates Z⁻¹ − Σ_k P_k(R)⁻¹ at a candidate resistance field.
+func (eq PairEquation) Residual(r *grid.Field) float64 {
+	sum := 0.0
+	for _, p := range eq.Paths {
+		sum += 1 / p.Resistance(r)
+	}
+	return 1/eq.Z - sum
+}
+
+// BuildSystem forms the full path-based system: one equation per wire pair.
+// It fails with ErrInfeasible when the array exceeds the enumeration budget,
+// demonstrating the exponential wall the paper describes.
+func BuildSystem(a grid.Array, z *grid.Field) ([]PairEquation, error) {
+	if z.Rows() != a.Rows() || z.Cols() != a.Cols() {
+		panic("paths: Z shape does not match array")
+	}
+	e := NewEnumerator(a)
+	eqs := make([]PairEquation, 0, a.Pairs())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			ps, err := e.Pair(i, j)
+			if err != nil {
+				return nil, fmt.Errorf("paths: pair (%d,%d): %w", i, j, err)
+			}
+			eqs = append(eqs, PairEquation{I: i, J: j, Z: z.At(i, j), Paths: ps})
+		}
+	}
+	return eqs, nil
+}
+
+// StorageBytes estimates the memory to store every path of an n x n array
+// (the paper's space argument): paths per pair × pairs × average path
+// length × 16 bytes per resistor reference, saturating at MaxUint64.
+func StorageBytes(n int) uint64 {
+	perPair := CountPairPaths(n, n)
+	pairs := uint64(n * n)
+	if perPair > math.MaxUint64/pairs {
+		return math.MaxUint64
+	}
+	total := perPair * pairs
+	avgLen := uint64(n) // paths average O(n) resistors
+	if total > math.MaxUint64/(16*avgLen) {
+		return math.MaxUint64
+	}
+	return total * 16 * avgLen
+}

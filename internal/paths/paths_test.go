@@ -1,0 +1,178 @@
+package paths
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"parma/internal/circuit"
+	"parma/internal/grid"
+)
+
+func TestCountPairPathsClosedForm(t *testing.T) {
+	cases := []struct {
+		m, n int
+		want uint64
+	}{
+		{1, 1, 1},
+		{2, 2, 2},  // direct + one detour = 2^(2-1)
+		{3, 3, 9},  // the paper's 3^(3-1) = 9 paths of Figure 4
+		{4, 4, 82}, // exact count exceeds the paper's 4³ = 64 estimate
+		{1, 5, 1},  // single horizontal wire: only the direct path
+		{2, 3, 1 + 2*1},
+	}
+	for _, c := range cases {
+		if got := CountPairPaths(c.m, c.n); got != c.want {
+			t.Errorf("CountPairPaths(%d,%d) = %d, want %d", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+func TestEnumerationMatchesClosedForm(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		a := grid.NewSquare(n)
+		e := NewEnumerator(a)
+		want := CountPairPaths(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ps, err := e.Pair(i, j)
+				if err != nil {
+					t.Fatalf("n=%d pair (%d,%d): %v", n, i, j, err)
+				}
+				if uint64(len(ps)) != want {
+					t.Fatalf("n=%d pair (%d,%d): %d paths, want %d", n, i, j, len(ps), want)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerationRectangular(t *testing.T) {
+	a := grid.New(2, 4)
+	ps, err := NewEnumerator(a).Pair(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(ps)) != CountPairPaths(2, 4) {
+		t.Fatalf("%d paths, want %d", len(ps), CountPairPaths(2, 4))
+	}
+}
+
+// TestPathsAreSimpleAndValid: every enumerated path starts on wire i, ends
+// on wire j, alternates orientations, and never revisits a wire.
+func TestPathsAreSimpleAndValid(t *testing.T) {
+	a := grid.NewSquare(4)
+	ps, err := NewEnumerator(a).Pair(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, p := range ps {
+		if len(p.Resistors)%2 != 1 {
+			t.Fatalf("path has even resistor count %d", len(p.Resistors))
+		}
+		if p.Resistors[0].I != 1 {
+			t.Fatal("path does not start on horizontal wire 1")
+		}
+		if p.Resistors[len(p.Resistors)-1].J != 2 {
+			t.Fatal("path does not end on vertical wire 2")
+		}
+		usedH, usedV := map[int]int{}, map[int]int{}
+		key := ""
+		for _, ref := range p.Resistors {
+			usedH[ref.I]++
+			usedV[ref.J]++
+			key += string(rune('0'+ref.I)) + string(rune('a'+ref.J))
+		}
+		// Each wire appears in at most 2 consecutive resistors (enter+leave).
+		for w, c := range usedH {
+			if c > 2 {
+				t.Fatalf("horizontal wire %d visited %d times", w, c)
+			}
+		}
+		for w, c := range usedV {
+			if c > 2 {
+				t.Fatalf("vertical wire %d visited %d times", w, c)
+			}
+		}
+		if seen[key] {
+			t.Fatalf("duplicate path %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestPathResistance(t *testing.T) {
+	r := grid.NewField(2, 2)
+	r.Set(0, 0, 100)
+	r.Set(0, 1, 200)
+	r.Set(1, 0, 300)
+	r.Set(1, 1, 400)
+	p := Path{Resistors: []ResistorRef{{0, 1}, {1, 1}, {1, 0}}}
+	if got := p.Resistance(r); got != 900 {
+		t.Fatalf("Resistance = %g, want 900", got)
+	}
+}
+
+// TestParallelPathFormulaExactFor2x2 validates the paper's aggregation
+// formula on the one case where paths genuinely are independent branches:
+// the 2x2 array, whose two paths share no resistor.
+func TestParallelPathFormulaExactFor2x2(t *testing.T) {
+	a := grid.NewSquare(2)
+	r := grid.NewField(2, 2)
+	r.Set(0, 0, 1500)
+	r.Set(0, 1, 2500)
+	r.Set(1, 0, 3500)
+	r.Set(1, 1, 4500)
+	z, err := circuit.MeasureAll(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs, err := BuildSystem(a, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) != 4 {
+		t.Fatalf("%d equations, want 4", len(eqs))
+	}
+	for _, eq := range eqs {
+		if got := eq.Residual(r); math.Abs(got) > 1e-12 {
+			t.Fatalf("pair (%d,%d): residual %g at ground truth", eq.I, eq.J, got)
+		}
+	}
+}
+
+func TestBudgetTriggersErrInfeasible(t *testing.T) {
+	a := grid.NewSquare(5)
+	e := NewEnumerator(a)
+	e.Budget = 10 // 5x5 has 1,045 paths per pair
+	_, err := e.Pair(0, 0)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPaperEstimateAndStorageGrowth(t *testing.T) {
+	if got := PaperEstimate(3); got != 81 { // 3^4
+		t.Fatalf("PaperEstimate(3) = %d, want 81", got)
+	}
+	if got := PaperEstimate(100); got != math.MaxUint64 {
+		t.Fatal("PaperEstimate(100) did not saturate")
+	}
+	// Storage explodes past the paper's n = 6 frontier.
+	if StorageBytes(4) == 0 || StorageBytes(4) >= StorageBytes(6) && StorageBytes(6) != math.MaxUint64 {
+		t.Fatal("storage estimate is not growing")
+	}
+	if StorageBytes(40) != math.MaxUint64 {
+		t.Fatal("StorageBytes(40) did not saturate")
+	}
+}
+
+func TestPairPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEnumerator(grid.NewSquare(2)).Pair(2, 0)
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BalanceLPT deterministically assigns n weighted tasks to w bins using the
+// longest-processing-time-first greedy rule: sort tasks by descending cost
+// and place each into the currently lightest bin. Ties break on lower bin
+// index, so the assignment is a pure function of the inputs — the
+// determinism §IV-C1 calls a double-edged sword.
+//
+// cost(i) must return the weight of task i. The result maps each bin to its
+// task list, in descending-cost order.
+func BalanceLPT(n, w int, cost func(int) float64) [][]int {
+	if w < 1 {
+		w = 1
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("sched: negative task count %d", n))
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := cost(order[a]), cost(order[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	bins := make([][]int, w)
+	loads := make([]float64, w)
+	for _, task := range order {
+		best := 0
+		for b := 1; b < w; b++ {
+			if loads[b] < loads[best] {
+				best = b
+			}
+		}
+		bins[best] = append(bins[best], task)
+		loads[best] += cost(task)
+	}
+	return bins
+}
+
+// Imbalance returns max-load / mean-load for a given assignment, ≥ 1; a
+// perfectly balanced assignment scores 1. Empty assignments score 1.
+func Imbalance(bins [][]int, cost func(int) float64) float64 {
+	var total, maxLoad float64
+	nonEmpty := false
+	for _, bin := range bins {
+		var load float64
+		for _, t := range bin {
+			load += cost(t)
+		}
+		total += load
+		if load > maxLoad {
+			maxLoad = load
+		}
+		nonEmpty = nonEmpty || len(bin) > 0
+	}
+	if !nonEmpty || total == 0 {
+		return 1
+	}
+	mean := total / float64(len(bins))
+	return maxLoad / mean
+}

@@ -1,0 +1,110 @@
+// Package sched provides the scheduling primitives behind Parma's
+// parallelization strategies: a work-stealing deque, OpenMP-style chunk
+// iterators (static, dynamic, guided), and a deterministic cost-weighted
+// balancer (the paper's Balanced Parallel is deterministic by design,
+// trading runtime flexibility for lower switching overhead — §IV-C1).
+package sched
+
+import "sync"
+
+// Deque is a work-stealing double-ended task queue. The owning worker
+// pushes and pops at the bottom (LIFO, cache-friendly); idle workers steal
+// from the top (FIFO, taking the oldest and typically largest tasks).
+// All methods are safe for concurrent use.
+type Deque struct {
+	mu    sync.Mutex
+	tasks []int
+}
+
+// Push adds a task at the bottom.
+func (d *Deque) Push(task int) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, task)
+	d.mu.Unlock()
+}
+
+// Pop removes the most recently pushed task. It reports false when empty.
+func (d *Deque) Pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t, true
+}
+
+// Steal removes the oldest task. It reports false when empty.
+func (d *Deque) Steal() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// Len returns the current task count.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.tasks)
+}
+
+// StealingPool runs tasks 0..n−1 on the given workers using per-worker
+// deques with random-victim stealing. run is invoked concurrently; tasks
+// are distributed round-robin initially.
+type StealingPool struct {
+	deques []*Deque
+}
+
+// NewStealingPool seeds w deques with tasks 0..n−1 round-robin.
+func NewStealingPool(n, w int) *StealingPool {
+	if w < 1 {
+		w = 1
+	}
+	p := &StealingPool{deques: make([]*Deque, w)}
+	for i := range p.deques {
+		p.deques[i] = &Deque{}
+	}
+	for t := 0; t < n; t++ {
+		p.deques[t%w].Push(t)
+	}
+	return p
+}
+
+// Run executes every task exactly once across len(deques) goroutines and
+// blocks until all complete. Each worker drains its own deque, then steals
+// from others in cyclic order until the whole pool is dry.
+func (p *StealingPool) Run(run func(worker, task int)) {
+	var wg sync.WaitGroup
+	w := len(p.deques)
+	for id := 0; id < w; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			own := p.deques[id]
+			for {
+				if t, ok := own.Pop(); ok {
+					run(id, t)
+					continue
+				}
+				stolen := false
+				for off := 1; off < w; off++ {
+					if t, ok := p.deques[(id+off)%w].Steal(); ok {
+						run(id, t)
+						stolen = true
+						break
+					}
+				}
+				if !stolen {
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedRangesPartition(t *testing.T) {
+	f := func(nRaw uint16, wRaw []uint8) bool {
+		n := int(nRaw % 1000)
+		if len(wRaw) == 0 {
+			wRaw = []uint8{1}
+		}
+		if len(wRaw) > 10 {
+			wRaw = wRaw[:10]
+		}
+		weights := make([]float64, len(wRaw))
+		for i, w := range wRaw {
+			weights[i] = float64(w%9) + 1
+		}
+		ranges := WeightedRanges(n, weights)
+		if len(ranges) != len(weights) {
+			return false
+		}
+		prev := 0
+		for _, r := range ranges {
+			if r.Lo != prev || r.Hi < r.Lo {
+				return false
+			}
+			prev = r.Hi
+		}
+		return prev == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedRangesProportional(t *testing.T) {
+	ranges := WeightedRanges(100, []float64{3, 1})
+	if ranges[0].Hi-ranges[0].Lo != 75 || ranges[1].Hi-ranges[1].Lo != 25 {
+		t.Fatalf("ranges %v, want 75/25 split", ranges)
+	}
+}
+
+func TestWeightedRangesRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero weight accepted")
+		}
+	}()
+	WeightedRanges(10, []float64{1, 0})
+}
+
+func TestWeightedRangesEmptyWeights(t *testing.T) {
+	ranges := WeightedRanges(7, nil)
+	if len(ranges) != 1 || ranges[0].Lo != 0 || ranges[0].Hi != 7 {
+		t.Fatalf("ranges %v", ranges)
+	}
+}

@@ -1,0 +1,82 @@
+// Package solver finds the unknown resistances from measured Z matrices —
+// the step downstream of Parma's equation formation. The paper leaves root
+// finding out of scope (its companions estimate roots with neural networks);
+// this package provides the classical alternative: a damped Newton method
+// for small dense systems and a Levenberg-Marquardt recovery in
+// log-resistance space driven by the forward model's adjoint sensitivities.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"parma/internal/mat"
+)
+
+// ErrDiverged is returned when an iteration fails to reduce the residual
+// within its budget.
+var ErrDiverged = errors.New("solver: iteration diverged or stalled")
+
+// NewtonOptions configures NewtonSolve.
+type NewtonOptions struct {
+	// Tol is the residual infinity-norm target; zero selects 1e-10.
+	Tol float64
+	// MaxIter bounds iterations; zero selects 100.
+	MaxIter int
+	// Damping halves the step while the residual norm does not decrease;
+	// zero selects 30 halvings.
+	MaxHalvings int
+}
+
+// NewtonSolve finds x with f(x) = 0 by damped Newton iteration. jac must
+// return the Jacobian ∂f/∂x at x. It returns the solution and the
+// iteration count.
+func NewtonSolve(f func(mat.Vector) mat.Vector, jac func(mat.Vector) *mat.Matrix,
+	x0 mat.Vector, opts NewtonOptions) (mat.Vector, int, error) {
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	maxHalve := opts.MaxHalvings
+	if maxHalve == 0 {
+		maxHalve = 30
+	}
+
+	x := x0.Clone()
+	res := f(x)
+	norm := res.Norm2()
+	for iter := 0; iter < maxIter; iter++ {
+		if res.NormInf() <= tol {
+			return x, iter, nil
+		}
+		j := jac(x)
+		step, err := mat.Solve(j, res)
+		if err != nil {
+			return x, iter, fmt.Errorf("solver: singular Jacobian at iteration %d: %w", iter, err)
+		}
+		// Damped update: x' = x − α·step with α halved until progress.
+		alpha := 1.0
+		improved := false
+		for h := 0; h < maxHalve; h++ {
+			trial := x.Clone().AddScaled(-alpha, step)
+			trialRes := f(trial)
+			if tn := trialRes.Norm2(); tn < norm || tn <= tol {
+				x, res, norm = trial, trialRes, tn
+				improved = true
+				break
+			}
+			alpha /= 2
+		}
+		if !improved {
+			return x, iter, ErrDiverged
+		}
+	}
+	if res.NormInf() <= tol {
+		return x, maxIter, nil
+	}
+	return x, maxIter, ErrDiverged
+}

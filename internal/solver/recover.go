@@ -1,0 +1,180 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"parma/internal/circuit"
+	"parma/internal/grid"
+	"parma/internal/mat"
+)
+
+// RecoverOptions configures resistance-field recovery.
+type RecoverOptions struct {
+	// Tol is the target relative residual ‖Z(R)−Z‖/‖Z‖; zero selects 1e-8.
+	Tol float64
+	// MaxIter bounds Levenberg-Marquardt iterations; zero selects 60.
+	MaxIter int
+	// Initial optionally seeds the iteration; nil derives a uniform guess
+	// from the mean measurement.
+	Initial *grid.Field
+}
+
+// RecoverResult reports a recovery run.
+type RecoverResult struct {
+	R          *grid.Field // the recovered resistance field
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// Recover estimates the resistance field from a measured Z matrix by
+// Levenberg-Marquardt in log-resistance space. Log parametrization keeps
+// every iterate strictly positive (resistances cannot be non-positive —
+// the paper's §IV-A sensibility constraint) and equalizes scale across the
+// 2,000–11,000 kΩ dynamic range.
+//
+// Each iteration costs one grounded-Laplacian factorization plus one
+// adjoint solve per wire pair, and a dense (mn)² normal-equation solve, so
+// the method is intended for arrays up to a few tens of wires per side —
+// enough to close the loop on anomaly detection end to end.
+func Recover(a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, error) {
+	if z.Rows() != a.Rows() || z.Cols() != a.Cols() {
+		return RecoverResult{}, fmt.Errorf("solver: Z is %dx%d but array is %dx%d",
+			z.Rows(), z.Cols(), a.Rows(), a.Cols())
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-8
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 60
+	}
+	m, n := a.Rows(), a.Cols()
+	nUnknown := m * n
+
+	r := opts.Initial
+	if r == nil {
+		// Uniform network closed form: Z = R·(m+n−1)/(m·n) (for m=n this
+		// is the (2n−1)/n² factor), inverted at the mean measurement.
+		guess := z.Mean() * float64(m*n) / float64(m+n-1)
+		r = grid.UniformField(m, n, guess)
+	} else {
+		r = r.Clone()
+		if r.Min() <= 0 {
+			return RecoverResult{}, fmt.Errorf("solver: initial field has non-positive resistance %g", r.Min())
+		}
+	}
+
+	zNorm := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			zNorm += z.At(i, j) * z.At(i, j)
+		}
+	}
+	zNorm = math.Sqrt(zNorm)
+	if zNorm == 0 {
+		return RecoverResult{}, fmt.Errorf("solver: zero measurement matrix")
+	}
+
+	residualAt := func(field *grid.Field) (mat.Vector, *circuit.Solver, error) {
+		s, err := circuit.NewSolver(a, field)
+		if err != nil {
+			return nil, nil, err
+		}
+		res := mat.NewVector(m * n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				res[i*n+j] = s.EffectiveResistance(i, j) - z.At(i, j)
+			}
+		}
+		return res, s, nil
+	}
+
+	res, fwd, err := residualAt(r)
+	if err != nil {
+		return RecoverResult{}, fmt.Errorf("solver: initial forward solve: %w", err)
+	}
+	cost := res.Norm2()
+	lambda := 1e-3
+
+	result := RecoverResult{R: r}
+	for iter := 0; iter < maxIter; iter++ {
+		result.Iterations = iter
+		result.Residual = cost / zNorm
+		if result.Residual <= tol {
+			return result, nil
+		}
+		// Jacobian in log space: J[pq, kl] = ∂Z_pq/∂R_kl · R_kl.
+		jac := mat.NewMatrix(m*n, nUnknown)
+		for p := 0; p < m; p++ {
+			for q := 0; q < n; q++ {
+				sens := fwd.Sensitivity(p, q, r)
+				row := jac.Row(p*n + q)
+				for k := 0; k < m; k++ {
+					for l := 0; l < n; l++ {
+						row[k*n+l] = sens.At(k, l) * r.At(k, l)
+					}
+				}
+			}
+		}
+		jt := jac.Transpose()
+		jtj := jt.Mul(jac)
+		jtr := jt.MulVec(res)
+
+		accepted := false
+		for tries := 0; tries < 12; tries++ {
+			aug := jtj.Clone()
+			for d := 0; d < nUnknown; d++ {
+				aug.Add(d, d, lambda*(jtj.At(d, d)+1e-12))
+			}
+			step, err := mat.Solve(aug, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := r.Clone()
+			for k := 0; k < m; k++ {
+				for l := 0; l < n; l++ {
+					trial.Set(k, l, r.At(k, l)*math.Exp(-clamp(step[k*n+l], 2)))
+				}
+			}
+			trialRes, trialFwd, err := residualAt(trial)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			if tn := trialRes.Norm2(); tn < cost {
+				r, res, fwd, cost = trial, trialRes, trialFwd, tn
+				result.R = r
+				lambda = math.Max(lambda/3, 1e-12)
+				accepted = true
+				break
+			}
+			lambda *= 10
+		}
+		if !accepted {
+			result.Residual = cost / zNorm
+			if result.Residual <= tol*10 {
+				return result, nil // converged to numerical floor
+			}
+			return result, ErrDiverged
+		}
+	}
+	result.Residual = cost / zNorm
+	if result.Residual <= tol {
+		return result, nil
+	}
+	return result, ErrDiverged
+}
+
+// clamp limits |x| to bound, preserving sign — a trust region on log steps.
+func clamp(x, bound float64) float64 {
+	if x > bound {
+		return bound
+	}
+	if x < -bound {
+		return -bound
+	}
+	return x
+}

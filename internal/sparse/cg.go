@@ -1,0 +1,111 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"parma/internal/mat"
+)
+
+// ErrNoConvergence is returned when an iterative solve exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("sparse: conjugate gradient did not converge")
+
+// CGOptions configures the conjugate gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual target ‖r‖/‖b‖. Zero means 1e-10.
+	Tol float64
+	// MaxIter bounds the iteration count. Zero means 10·n (the Laplacians
+	// we solve are well conditioned after grounding, but leave slack).
+	MaxIter int
+	// Precondition enables Jacobi (diagonal) preconditioning.
+	Precondition bool
+}
+
+// CG solves A·x = b for a symmetric positive (semi)definite CSR matrix using
+// the conjugate gradient method, optionally Jacobi-preconditioned.
+// The returned vector is a fresh allocation; b is not modified.
+func CG(a *CSR, b mat.Vector, opts CGOptions) (mat.Vector, error) {
+	if a.Rows() != a.Cols() {
+		panic(fmt.Sprintf("sparse: CG requires a square matrix, got %dx%d", a.Rows(), a.Cols()))
+	}
+	n := a.Rows()
+	if len(b) != n {
+		panic(fmt.Sprintf("sparse: CG right-hand side length %d, want %d", len(b), n))
+	}
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = 10 * n
+		if maxIter < 100 {
+			maxIter = 100
+		}
+	}
+
+	var invDiag mat.Vector
+	if opts.Precondition {
+		invDiag = a.Diagonal()
+		for i, d := range invDiag {
+			if d > 0 {
+				invDiag[i] = 1 / d
+			} else {
+				invDiag[i] = 1 // neutral for zero/negative diagonal entries
+			}
+		}
+	}
+
+	x := mat.NewVector(n)
+	r := b.Clone() // r = b - A·0
+	bnorm := b.Norm2()
+	if bnorm == 0 {
+		return x, nil
+	}
+
+	z := r.Clone()
+	if invDiag != nil {
+		applyDiag(z, invDiag, r)
+	}
+	p := z.Clone()
+	rz := r.Dot(z)
+	ap := mat.NewVector(n)
+
+	for iter := 0; iter < maxIter; iter++ {
+		if r.Norm2() <= tol*bnorm {
+			return x, nil
+		}
+		a.MulVecTo(ap, p)
+		pap := p.Dot(ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			// Indefinite direction: the matrix is not SPD on this subspace.
+			return x, fmt.Errorf("sparse: CG breakdown at iteration %d (pᵀAp = %g)", iter, pap)
+		}
+		alpha := rz / pap
+		x.AddScaled(alpha, p)
+		r.AddScaled(-alpha, ap)
+		if invDiag != nil {
+			applyDiag(z, invDiag, r)
+		} else {
+			copy(z, r)
+		}
+		rzNext := r.Dot(z)
+		beta := rzNext / rz
+		rz = rzNext
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	if r.Norm2() <= tol*bnorm {
+		return x, nil
+	}
+	return x, ErrNoConvergence
+}
+
+func applyDiag(dst, diag, src mat.Vector) {
+	for i := range dst {
+		dst[i] = diag[i] * src[i]
+	}
+}

@@ -1,0 +1,159 @@
+package tda
+
+import (
+	"testing"
+
+	"parma/internal/grid"
+)
+
+// blobField: one solid 3x3 anomaly on a quiet background.
+func blobField() *grid.Field {
+	f := grid.UniformField(8, 8, 1000)
+	for i := 2; i <= 4; i++ {
+		for j := 2; j <= 4; j++ {
+			f.Set(i, j, 9000)
+		}
+	}
+	return f
+}
+
+// ringField: a ring-shaped anomaly (elevated border of a 4x4 block, calm
+// center) — the morphology plain thresholding cannot distinguish from a
+// blob by cell count alone.
+func ringField() *grid.Field {
+	f := grid.UniformField(9, 9, 1000)
+	for i := 2; i <= 6; i++ {
+		for j := 2; j <= 6; j++ {
+			if i == 2 || i == 6 || j == 2 || j == 6 {
+				f.Set(i, j, 9000)
+			}
+		}
+	}
+	return f
+}
+
+func TestBlobMorphology(t *testing.T) {
+	m := Classify(blobField(), 5000)
+	if m.Regions != 1 || m.Rings != 0 {
+		t.Fatalf("blob = %+v, want 1 region, 0 rings", m)
+	}
+}
+
+func TestRingMorphology(t *testing.T) {
+	m := Classify(ringField(), 5000)
+	if m.Regions != 1 || m.Rings != 1 {
+		t.Fatalf("ring = %+v, want 1 region, 1 ring", m)
+	}
+}
+
+func TestTwoBlobs(t *testing.T) {
+	f := grid.UniformField(10, 10, 1000)
+	f.Set(1, 1, 9000)
+	f.Set(1, 2, 9000)
+	f.Set(7, 7, 9000)
+	m := Classify(f, 5000)
+	if m.Regions != 2 || m.Rings != 0 {
+		t.Fatalf("two blobs = %+v", m)
+	}
+}
+
+func TestSuperlevelComplexFillsSquares(t *testing.T) {
+	f := grid.UniformField(2, 2, 9000) // all four cells flagged
+	c := SuperlevelComplex(f, 5000)
+	// Filled square: contractible, β = (1, 0).
+	if c.Betti(0) != 1 {
+		t.Fatalf("β₀ = %d", c.Betti(0))
+	}
+	if c.Dim() >= 1 && c.Betti(1) != 0 {
+		t.Fatalf("filled square has β₁ = %d", c.Betti(1))
+	}
+	if c.Count(2) != 2 {
+		t.Fatalf("square filled with %d triangles, want 2", c.Count(2))
+	}
+}
+
+func TestEmptySuperlevel(t *testing.T) {
+	f := grid.UniformField(4, 4, 100)
+	c := SuperlevelComplex(f, 5000)
+	if c.TotalSimplices() != 0 {
+		t.Fatal("empty superlevel set has simplices")
+	}
+	m := Classify(f, 5000)
+	if m.Regions != 0 || m.Rings != 0 {
+		t.Fatalf("empty = %+v", m)
+	}
+}
+
+// TestBettiCurveMonotoneCells: lowering the threshold can only grow the
+// superlevel set.
+func TestBettiCurveMonotoneCells(t *testing.T) {
+	f := ringField()
+	// Auto thresholds span (min, max); add one below the background so the
+	// filtration ends with everything flagged.
+	ths := append(AutoThresholds(f, 6), 500)
+	curve := BettiCurve(f, ths)
+	if len(curve) != 7 {
+		t.Fatalf("%d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Threshold >= curve[i-1].Threshold {
+			t.Fatal("thresholds not descending")
+		}
+		if curve[i].Cells < curve[i-1].Cells {
+			t.Fatal("cells shrank as the threshold dropped")
+		}
+	}
+	// The ring must be visible at some threshold and absorbed at the
+	// lowest (everything flagged ⇒ solid block, no hole).
+	sawRing := false
+	for _, p := range curve {
+		if p.Holes > 0 {
+			sawRing = true
+		}
+	}
+	if !sawRing {
+		t.Fatal("ring never detected along the filtration")
+	}
+	last := curve[len(curve)-1]
+	if last.Holes != 0 || last.Components != 1 {
+		t.Fatalf("lowest threshold: %+v, want solid block", last)
+	}
+}
+
+// TestRingVsBlobSameCellCount: construct a ring and a blob with identical
+// flagged-cell counts — only β₁ tells them apart.
+func TestRingVsBlobSameCellCount(t *testing.T) {
+	ring := ringField() // 16 border cells
+	blob := grid.UniformField(9, 9, 1000)
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 4; j++ {
+			blob.Set(i, j, 9000) // 16 solid cells
+		}
+	}
+	mr := Classify(ring, 5000)
+	mb := Classify(blob, 5000)
+	cr := SuperlevelComplex(ring, 5000).Count(0)
+	cb := SuperlevelComplex(blob, 5000).Count(0)
+	if cr != cb {
+		t.Fatalf("cell counts differ: %d vs %d", cr, cb)
+	}
+	if mr.Rings != 1 || mb.Rings != 0 {
+		t.Fatalf("ring = %+v, blob = %+v", mr, mb)
+	}
+}
+
+func TestAutoThresholdsRange(t *testing.T) {
+	f := blobField()
+	ths := AutoThresholds(f, 5)
+	for _, th := range ths {
+		if th <= f.Min() || th >= f.Max() {
+			t.Fatalf("threshold %g outside (min, max)", th)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("count 0 accepted")
+		}
+	}()
+	AutoThresholds(f, 0)
+}

@@ -1,0 +1,195 @@
+package topo
+
+import (
+	"fmt"
+
+	"parma/internal/grid"
+)
+
+// Complex is an abstract simplicial complex: a family of simplices closed
+// under taking faces. Simplices are indexed densely per dimension, so chain
+// groups are GF(2) vectors over those indices.
+type Complex struct {
+	byDim [][]Simplex    // byDim[k] lists the k-simplices in insertion order
+	index map[string]int // simplex key -> index within its dimension
+}
+
+// NewComplex returns an empty complex.
+func NewComplex() *Complex {
+	return &Complex{index: make(map[string]int)}
+}
+
+// Add inserts a simplex and, to preserve closure, all of its faces
+// recursively. Re-adding an existing simplex is a no-op.
+func (c *Complex) Add(s Simplex) {
+	if len(s) == 0 {
+		return // the empty simplex is implicit
+	}
+	if _, ok := c.index[s.Key()]; ok {
+		return
+	}
+	for _, f := range s.Faces() {
+		c.Add(f)
+	}
+	k := s.Dim()
+	for len(c.byDim) <= k {
+		c.byDim = append(c.byDim, nil)
+	}
+	c.index[s.Key()] = len(c.byDim[k])
+	c.byDim[k] = append(c.byDim[k], s)
+}
+
+// Contains reports whether the simplex is present.
+func (c *Complex) Contains(s Simplex) bool {
+	_, ok := c.index[s.Key()]
+	return ok
+}
+
+// IndexOf returns the dense index of s within its dimension, or -1.
+func (c *Complex) IndexOf(s Simplex) int {
+	if i, ok := c.index[s.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// Dim returns the dimension of the complex: the maximum simplex dimension,
+// or −1 for the empty complex.
+func (c *Complex) Dim() int { return len(c.byDim) - 1 }
+
+// Simplices returns the k-simplices (shared slice; callers must not modify).
+func (c *Complex) Simplices(k int) []Simplex {
+	if k < 0 || k >= len(c.byDim) {
+		return nil
+	}
+	return c.byDim[k]
+}
+
+// Count returns the number of k-simplices.
+func (c *Complex) Count(k int) int { return len(c.Simplices(k)) }
+
+// TotalSimplices returns the number of simplices across all dimensions.
+func (c *Complex) TotalSimplices() int {
+	t := 0
+	for _, s := range c.byDim {
+		t += len(s)
+	}
+	return t
+}
+
+// EulerCharacteristic returns χ = Σ_k (−1)^k · #(k-simplices).
+func (c *Complex) EulerCharacteristic() int {
+	chi := 0
+	for k, simplices := range c.byDim {
+		if k%2 == 0 {
+			chi += len(simplices)
+		} else {
+			chi -= len(simplices)
+		}
+	}
+	return chi
+}
+
+// Validate checks the simplicial-complex axioms: every face of every simplex
+// is present (closure). Complexes built through Add always pass; Validate
+// exists for complexes deserialized or constructed externally.
+func (c *Complex) Validate() error {
+	for k := 1; k < len(c.byDim); k++ {
+		for _, s := range c.byDim[k] {
+			for _, f := range s.Faces() {
+				if !c.Contains(f) {
+					return fmt.Errorf("topo: simplex %v is present but its face %v is missing", s, f)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PolyhedronIsComplex decides whether a raw family of simplices (not
+// necessarily face-closed) satisfies both simplicial-complex conditions:
+// closure under faces and, pairwise, that every intersection of two members
+// is a face of both. This mirrors the paper's Figure 3 counterexample, where
+// two triangles overlap along a segment that is not an edge of either.
+func PolyhedronIsComplex(simplices []Simplex) error {
+	present := make(map[string]bool, len(simplices))
+	for _, s := range simplices {
+		present[s.Key()] = true
+	}
+	for _, s := range simplices {
+		for _, f := range s.Faces() {
+			if !present[f.Key()] {
+				return fmt.Errorf("topo: face %v of %v is absent", f, s)
+			}
+		}
+	}
+	for i, s := range simplices {
+		for _, t := range simplices[i+1:] {
+			inter := s.Intersect(t)
+			if len(inter) == 0 {
+				continue // the empty simplex is a face of everything
+			}
+			if !present[inter.Key()] {
+				return fmt.Errorf("topo: intersection %v of %v and %v is not a simplex of the family", inter, s, t)
+			}
+		}
+	}
+	return nil
+}
+
+// Overlap records that two members of a geometric polyhedron (identified by
+// index into the simplex family) share a region spanned by the vertices of
+// Shared. In a genuine simplicial complex every such shared region is a
+// common face of both simplices and a member of the family.
+type Overlap struct {
+	A, B   int
+	Shared Simplex
+}
+
+// GluedPolyhedronIsComplex decides whether a polyhedron assembled from
+// simplices with declared geometric overlaps is a simplicial complex. It
+// reproduces the paper's Figure 3 failure mode: two triangles {a,b,c} and
+// {d,e,f} glued along a segment {b,f} that is not a face of either triangle,
+// hence not a simplicial complex.
+func GluedPolyhedronIsComplex(simplices []Simplex, overlaps []Overlap) error {
+	present := make(map[string]bool, len(simplices))
+	for _, s := range simplices {
+		present[s.Key()] = true
+	}
+	for _, ov := range overlaps {
+		if ov.A < 0 || ov.A >= len(simplices) || ov.B < 0 || ov.B >= len(simplices) {
+			return fmt.Errorf("topo: overlap references simplex %d/%d outside family of %d", ov.A, ov.B, len(simplices))
+		}
+		a, b := simplices[ov.A], simplices[ov.B]
+		if !a.HasFace(ov.Shared) {
+			return fmt.Errorf("topo: shared region %v is not a face of %v", ov.Shared, a)
+		}
+		if !b.HasFace(ov.Shared) {
+			return fmt.Errorf("topo: shared region %v is not a face of %v", ov.Shared, b)
+		}
+		if len(ov.Shared) > 0 && !present[ov.Shared.Key()] {
+			return fmt.Errorf("topo: shared region %v is not a simplex of the family", ov.Shared)
+		}
+	}
+	return nil
+}
+
+// FromGraph builds the 1-dimensional complex of a graph: a 0-simplex per
+// vertex and a 1-simplex per edge. Per the paper's Proposition 1, the
+// joint-level graph of any MEA yields a valid simplicial complex of
+// dimension 1.
+func FromGraph(g *grid.Graph) *Complex {
+	c := NewComplex()
+	for v := 0; v < g.Vertices(); v++ {
+		c.Add(NewSimplex(v))
+	}
+	for _, e := range g.Edges() {
+		c.Add(NewSimplex(e.U, e.V))
+	}
+	return c
+}
+
+// FromMEA builds the complex of an MEA's joint-level graph (Figure 1).
+func FromMEA(a grid.Array) *Complex {
+	return FromGraph(a.JointGraph())
+}

@@ -1,0 +1,166 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parma/internal/grid"
+)
+
+func TestAddClosesUnderFaces(t *testing.T) {
+	c := NewComplex()
+	c.Add(NewSimplex(0, 1, 2))
+	if c.Dim() != 2 {
+		t.Fatalf("Dim = %d, want 2", c.Dim())
+	}
+	if c.Count(0) != 3 || c.Count(1) != 3 || c.Count(2) != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 3/3/1", c.Count(0), c.Count(1), c.Count(2))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding is a no-op.
+	c.Add(NewSimplex(0, 1, 2))
+	if c.TotalSimplices() != 7 {
+		t.Fatalf("TotalSimplices = %d, want 7", c.TotalSimplices())
+	}
+}
+
+func TestContainsAndIndexOf(t *testing.T) {
+	c := NewComplex()
+	c.Add(NewSimplex(3, 7))
+	if !c.Contains(NewSimplex(3)) || !c.Contains(NewSimplex(7)) || !c.Contains(NewSimplex(3, 7)) {
+		t.Fatal("closure members missing")
+	}
+	if c.Contains(NewSimplex(3, 8)) {
+		t.Fatal("absent simplex reported present")
+	}
+	if c.IndexOf(NewSimplex(9)) != -1 {
+		t.Fatal("IndexOf absent simplex != -1")
+	}
+	// Indices are dense per dimension.
+	if a, b := c.IndexOf(NewSimplex(3)), c.IndexOf(NewSimplex(7)); a == b || a > 1 || b > 1 {
+		t.Fatalf("vertex indices %d, %d not dense", a, b)
+	}
+}
+
+// TestProposition1 verifies the paper's Proposition 1: every MEA joint graph
+// forms a valid abstract simplicial complex of dimension exactly 1.
+func TestProposition1(t *testing.T) {
+	f := func(mRaw, nRaw uint8) bool {
+		m, n := int(mRaw%5)+1, int(nRaw%5)+1
+		a := grid.New(m, n)
+		c := FromMEA(a)
+		if c.Validate() != nil {
+			return false
+		}
+		// Dimension 1 requires at least one edge; a 1x1 array still has
+		// its single resistor edge.
+		return c.Dim() == 1 &&
+			c.Count(0) == a.Joints() &&
+			c.Count(1) == len(a.JointGraph().Edges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure3Counterexample reproduces the paper's Figure 3: two triangles
+// {a,b,c} and {d,e,f} whose polyhedron overlaps along segment {b,f}, which
+// is not an element of the family's 1-simplices — hence NOT a simplicial
+// complex. Vertices: a=0 b=1 c=2 d=3 e=4 f=5.
+func TestFigure3Counterexample(t *testing.T) {
+	family := []Simplex{
+		NewSimplex(0), NewSimplex(1), NewSimplex(2),
+		NewSimplex(3), NewSimplex(4), NewSimplex(5),
+		NewSimplex(0, 1), NewSimplex(1, 2), NewSimplex(0, 2),
+		NewSimplex(3, 4), NewSimplex(3, 5), NewSimplex(4, 5),
+		NewSimplex(0, 1, 2), NewSimplex(3, 4, 5),
+	}
+	// The geometric overlap of the two triangles is the segment {b, f}.
+	overlaps := []Overlap{{A: 12, B: 13, Shared: NewSimplex(1, 5)}}
+	if err := GluedPolyhedronIsComplex(family, overlaps); err == nil {
+		t.Fatal("Figure 3 polyhedron accepted as a simplicial complex")
+	}
+	// Gluing the same triangles at a genuinely shared vertex is fine.
+	shared := []Simplex{
+		NewSimplex(0), NewSimplex(1), NewSimplex(2), NewSimplex(3), NewSimplex(4),
+		NewSimplex(0, 1), NewSimplex(1, 2), NewSimplex(0, 2),
+		NewSimplex(2, 3), NewSimplex(3, 4), NewSimplex(2, 4),
+		NewSimplex(0, 1, 2), NewSimplex(2, 3, 4),
+	}
+	ok := []Overlap{{A: 11, B: 12, Shared: NewSimplex(2)}}
+	if err := GluedPolyhedronIsComplex(shared, ok); err != nil {
+		t.Fatalf("vertex-glued triangles rejected: %v", err)
+	}
+}
+
+func TestGluedPolyhedronBadIndex(t *testing.T) {
+	family := []Simplex{NewSimplex(0)}
+	if err := GluedPolyhedronIsComplex(family, []Overlap{{A: 0, B: 5, Shared: NewSimplex(0)}}); err == nil {
+		t.Fatal("out-of-range overlap index accepted")
+	}
+}
+
+func TestPolyhedronIsComplexAccepts(t *testing.T) {
+	// A valid complex: two triangles glued along a shared edge {1,2}.
+	family := []Simplex{
+		NewSimplex(0), NewSimplex(1), NewSimplex(2), NewSimplex(3),
+		NewSimplex(0, 1), NewSimplex(1, 2), NewSimplex(0, 2),
+		NewSimplex(1, 3), NewSimplex(2, 3),
+		NewSimplex(0, 1, 2), NewSimplex(1, 2, 3),
+	}
+	if err := PolyhedronIsComplex(family); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyhedronMissingFace(t *testing.T) {
+	family := []Simplex{NewSimplex(0, 1)} // edge without its vertices
+	if err := PolyhedronIsComplex(family); err == nil {
+		t.Fatal("edge without vertices accepted")
+	}
+}
+
+func TestEulerCharacteristic(t *testing.T) {
+	// A single triangle (disk): χ = 3 − 3 + 1 = 1.
+	disk := NewComplex()
+	disk.Add(NewSimplex(0, 1, 2))
+	if chi := disk.EulerCharacteristic(); chi != 1 {
+		t.Fatalf("χ(disk) = %d, want 1", chi)
+	}
+	// Hollow triangle (circle): χ = 3 − 3 = 0.
+	circle := NewComplex()
+	circle.Add(NewSimplex(0, 1))
+	circle.Add(NewSimplex(1, 2))
+	circle.Add(NewSimplex(0, 2))
+	if chi := circle.EulerCharacteristic(); chi != 0 {
+		t.Fatalf("χ(circle) = %d, want 0", chi)
+	}
+}
+
+func TestFromGraphMatchesCounts(t *testing.T) {
+	a := grid.New(3, 4)
+	g := a.WireGraph()
+	c := FromGraph(g)
+	if c.Count(0) != g.Vertices() || c.Count(1) != len(g.Edges()) {
+		t.Fatalf("complex counts %d/%d, graph %d/%d", c.Count(0), c.Count(1), g.Vertices(), len(g.Edges()))
+	}
+}
+
+func TestEmptyComplex(t *testing.T) {
+	c := NewComplex()
+	if c.Dim() != -1 {
+		t.Fatalf("Dim(empty) = %d, want -1", c.Dim())
+	}
+	if c.BettiNumbers() != nil {
+		t.Fatal("BettiNumbers(empty) != nil")
+	}
+	if c.EulerCharacteristic() != 0 {
+		t.Fatal("χ(empty) != 0")
+	}
+	c.Add(Simplex{}) // adding the empty simplex is a no-op
+	if c.TotalSimplices() != 0 {
+		t.Fatal("empty simplex was stored")
+	}
+}

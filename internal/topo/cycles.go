@@ -1,0 +1,117 @@
+package topo
+
+import (
+	"parma/internal/gf2"
+	"parma/internal/grid"
+)
+
+// CycleBasis computes a fundamental cycle basis of a graph: one independent
+// cycle per non-tree edge of a spanning forest. The basis spans the cycle
+// group D_1 and its size equals the first Betti number β₁ — Maxwell's
+// cyclomatic number, the count of independent Kirchhoff voltage loops.
+//
+// Each basis element is returned as a set of edge indices into g.Edges().
+// These are the paper's "basic holes": the independent work units for
+// applying Kirchhoff's second law concurrently.
+func CycleBasis(g *grid.Graph) [][]int {
+	forest := g.SpanningForest()
+	inForest := make([]bool, len(g.Edges()))
+	for _, ei := range forest {
+		inForest[ei] = true
+	}
+
+	// Orient the forest: parent pointers and depth by BFS from each root.
+	parentEdge := make([]int, g.Vertices()) // edge index to parent, -1 at roots
+	parentVert := make([]int, g.Vertices())
+	depth := make([]int, g.Vertices())
+	visited := make([]bool, g.Vertices())
+	for i := range parentEdge {
+		parentEdge[i] = -1
+		parentVert[i] = -1
+	}
+	queue := make([]int, 0, g.Vertices())
+	for root := 0; root < g.Vertices(); root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		queue = append(queue[:0], root)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.IncidentEdges(v) {
+				if !inForest[ei] {
+					continue
+				}
+				w := g.Other(ei, v)
+				if !visited[w] {
+					visited[w] = true
+					parentEdge[w] = ei
+					parentVert[w] = v
+					depth[w] = depth[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+
+	var basis [][]int
+	for ei, e := range g.Edges() {
+		if inForest[ei] {
+			continue
+		}
+		// The fundamental cycle of edge ei is ei plus the tree path
+		// between its endpoints, found by walking both ends upward.
+		cycle := []int{ei}
+		u, v := e.U, e.V
+		for depth[u] > depth[v] {
+			cycle = append(cycle, parentEdge[u])
+			u = parentVert[u]
+		}
+		for depth[v] > depth[u] {
+			cycle = append(cycle, parentEdge[v])
+			v = parentVert[v]
+		}
+		for u != v {
+			cycle = append(cycle, parentEdge[u], parentEdge[v])
+			u, v = parentVert[u], parentVert[v]
+		}
+		basis = append(basis, cycle)
+	}
+	return basis
+}
+
+// CycleChains converts a cycle basis of g into 1-chains of the graph's
+// complex, so homological statements (each basis element is a cycle, the
+// basis is independent, its span has dimension β₁) can be verified directly.
+func CycleChains(g *grid.Graph, c *Complex, basis [][]int) []Chain {
+	chains := make([]Chain, len(basis))
+	for i, cycle := range basis {
+		ch := c.NewChain(1)
+		for _, ei := range cycle {
+			e := g.Edge(ei)
+			ch.bits.Flip(c.IndexOf(NewSimplex(e.U, e.V)))
+		}
+		chains[i] = ch
+	}
+	return chains
+}
+
+// IndependentCycleCount returns β₁ of the graph computed homologically via
+// its complex, cross-checkable against Graph.CyclomaticNumber.
+func IndependentCycleCount(g *grid.Graph) int {
+	return FromGraph(g).Betti(1)
+}
+
+// ChainsIndependent reports whether the chains (all of one dimension) are
+// linearly independent over GF(2).
+func ChainsIndependent(chains []Chain) bool {
+	if len(chains) == 0 {
+		return true
+	}
+	vecs := make([]*gf2.Vector, len(chains))
+	for i, ch := range chains {
+		vecs[i] = ch.bits
+	}
+	return gf2.RankOfVectors(vecs) == len(chains)
+}

@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parma/internal/grid"
+)
+
+func TestCycleBasisSizeIsBetti1(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 5}, {6, 2}} {
+		a := grid.New(dims[0], dims[1])
+		g := a.JointGraph()
+		basis := CycleBasis(g)
+		want := (dims[0] - 1) * (dims[1] - 1)
+		if len(basis) != want {
+			t.Errorf("%dx%d: basis size %d, want β₁ = %d", dims[0], dims[1], len(basis), want)
+		}
+	}
+}
+
+// TestCycleBasisElementsAreHomologicalCycles converts each fundamental cycle
+// to a 1-chain and checks it lies in ker ∂₁ — the paper's cycle group D¹.
+func TestCycleBasisElementsAreHomologicalCycles(t *testing.T) {
+	a := grid.New(4, 4)
+	g := a.JointGraph()
+	c := FromGraph(g)
+	chains := CycleChains(g, c, CycleBasis(g))
+	for i, ch := range chains {
+		if ch.IsZero() {
+			t.Fatalf("cycle %d is the zero chain", i)
+		}
+		if !ch.IsCycle() {
+			t.Fatalf("cycle %d has nonzero boundary", i)
+		}
+	}
+}
+
+func TestCycleBasisIndependent(t *testing.T) {
+	f := func(mRaw, nRaw uint8) bool {
+		m, n := int(mRaw%4)+1, int(nRaw%4)+1
+		g := grid.New(m, n).JointGraph()
+		c := FromGraph(g)
+		chains := CycleChains(g, c, CycleBasis(g))
+		return ChainsIndependent(chains) && len(chains) == c.Betti(1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentCycleCountMatchesCyclomatic(t *testing.T) {
+	for _, dims := range [][2]int{{2, 3}, {3, 3}, {4, 2}} {
+		g := grid.New(dims[0], dims[1]).WireGraph()
+		if got, want := IndependentCycleCount(g), g.CyclomaticNumber(); got != want {
+			t.Errorf("%v: homological count %d != cyclomatic %d", dims, got, want)
+		}
+	}
+}
+
+func TestCycleBasisOnDisconnectedGraph(t *testing.T) {
+	// Two disjoint triangles: β₁ = 2, β₀ = 2.
+	g := grid.NewGraph(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		g.AddEdge(grid.Edge{U: e[0], V: e[1], Kind: grid.SegmentEdge, I: -1, J: -1})
+	}
+	basis := CycleBasis(g)
+	if len(basis) != 2 {
+		t.Fatalf("basis size %d, want 2", len(basis))
+	}
+	c := FromGraph(g)
+	for _, ch := range CycleChains(g, c, basis) {
+		if !ch.IsCycle() {
+			t.Fatal("fundamental cycle is not a cycle on disconnected graph")
+		}
+	}
+	if c.Betti(0) != 2 {
+		t.Fatalf("β₀ = %d, want 2", c.Betti(0))
+	}
+}
+
+func TestCycleBasisEachCycleClosedWalk(t *testing.T) {
+	// Every basis element must have even degree at every vertex.
+	g := grid.New(3, 4).JointGraph()
+	for _, cycle := range CycleBasis(g) {
+		deg := make(map[int]int)
+		for _, ei := range cycle {
+			e := g.Edge(ei)
+			deg[e.U]++
+			deg[e.V]++
+		}
+		for v, d := range deg {
+			if d%2 != 0 {
+				t.Fatalf("vertex %d has odd degree %d in a fundamental cycle", v, d)
+			}
+		}
+	}
+}
+
+func TestChainsIndependentEmpty(t *testing.T) {
+	if !ChainsIndependent(nil) {
+		t.Fatal("empty chain set reported dependent")
+	}
+}

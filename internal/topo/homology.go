@@ -1,0 +1,149 @@
+package topo
+
+import (
+	"fmt"
+
+	"parma/internal/gf2"
+)
+
+// Chain is an element of the k-th chain group C_k with Z/2 coefficients: a
+// formal mod-2 sum of k-simplices, stored as a bit vector over the complex's
+// dense k-simplex indices. Addition is symmetric difference, so duplicate
+// simplices cancel — exactly the paper's modulo-2 inclusion operation.
+type Chain struct {
+	complex *Complex
+	dim     int
+	bits    *gf2.Vector
+}
+
+// NewChain returns the zero chain of dimension k over c.
+func (c *Complex) NewChain(k int) Chain {
+	if k < 0 {
+		panic(fmt.Sprintf("topo: invalid chain dimension %d", k))
+	}
+	return Chain{complex: c, dim: k, bits: gf2.NewVector(c.Count(k))}
+}
+
+// ChainOf builds a chain from explicit simplices, which must all be
+// k-dimensional members of the complex.
+func (c *Complex) ChainOf(k int, simplices ...Simplex) Chain {
+	ch := c.NewChain(k)
+	for _, s := range simplices {
+		if s.Dim() != k {
+			panic(fmt.Sprintf("topo: simplex %v has dimension %d, want %d", s, s.Dim(), k))
+		}
+		idx := c.IndexOf(s)
+		if idx < 0 {
+			panic(fmt.Sprintf("topo: simplex %v is not in the complex", s))
+		}
+		ch.bits.Flip(idx)
+	}
+	return ch
+}
+
+// Dim returns the chain's dimension.
+func (ch Chain) Dim() int { return ch.dim }
+
+// IsZero reports whether the chain is the group identity.
+func (ch Chain) IsZero() bool { return ch.bits.IsZero() }
+
+// Add returns ch + other (mod 2). Chains must share a complex and dimension.
+func (ch Chain) Add(other Chain) Chain {
+	if ch.complex != other.complex || ch.dim != other.dim {
+		panic("topo: adding chains from different groups")
+	}
+	return Chain{complex: ch.complex, dim: ch.dim, bits: ch.bits.Clone().Add(other.bits)}
+}
+
+// Simplices returns the simplices with coefficient 1.
+func (ch Chain) Simplices() []Simplex {
+	all := ch.complex.Simplices(ch.dim)
+	var out []Simplex
+	for _, i := range ch.bits.Support() {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// Vector exposes the underlying GF(2) coordinates (shared; do not modify).
+func (ch Chain) Vector() *gf2.Vector { return ch.bits }
+
+// Boundary applies the boundary operator ∂_k, mapping the chain to the
+// mod-2 sum of the faces of each of its simplices. The boundary of a
+// 0-chain is zero (we use reduced-free homology with ∂_0 = 0).
+func (ch Chain) Boundary() Chain {
+	if ch.dim == 0 {
+		return Chain{complex: ch.complex, dim: 0, bits: gf2.NewVector(0)}
+	}
+	out := ch.complex.NewChain(ch.dim - 1)
+	for _, s := range ch.Simplices() {
+		for _, f := range s.Faces() {
+			out.bits.Flip(ch.complex.IndexOf(f))
+		}
+	}
+	return out
+}
+
+// IsCycle reports whether the chain lies in the cycle group D_k = ker ∂_k.
+func (ch Chain) IsCycle() bool {
+	if ch.dim == 0 {
+		return true
+	}
+	return ch.Boundary().IsZero()
+}
+
+// BoundaryMatrix returns the matrix of ∂_k : C_k → C_{k−1} over GF(2), with
+// one column per k-simplex and one row per (k−1)-simplex. For k = 0 or
+// k > dim it returns an appropriately shaped zero/empty matrix.
+func (c *Complex) BoundaryMatrix(k int) *gf2.Matrix {
+	if k <= 0 {
+		return gf2.NewMatrix(0, c.Count(0))
+	}
+	m := gf2.NewMatrix(c.Count(k-1), c.Count(k))
+	for col, s := range c.Simplices(k) {
+		for _, f := range s.Faces() {
+			m.Set(c.IndexOf(f), col, true)
+		}
+	}
+	return m
+}
+
+// HomologyRanks holds the dimensions of the spaces at one homology degree.
+type HomologyRanks struct {
+	K          int // degree
+	CycleRank  int // rank of D_k = ker ∂_k
+	BoundRank  int // rank of B_k = im ∂_{k+1}
+	BettiValue int // β_k = CycleRank − BoundRank
+}
+
+// Homology computes cycle, boundary, and Betti ranks at degree k:
+//
+//	β_k = dim ker ∂_k − rank ∂_{k+1}
+//
+// using GF(2) Gaussian elimination on the boundary matrices.
+func (c *Complex) Homology(k int) HomologyRanks {
+	if k < 0 {
+		panic(fmt.Sprintf("topo: invalid homology degree %d", k))
+	}
+	cycles := c.Count(k) - gf2.Rank(c.BoundaryMatrix(k)) // nullity of ∂_k
+	bounds := 0
+	if k+1 <= c.Dim() {
+		bounds = gf2.Rank(c.BoundaryMatrix(k + 1))
+	}
+	return HomologyRanks{K: k, CycleRank: cycles, BoundRank: bounds, BettiValue: cycles - bounds}
+}
+
+// Betti returns β_k.
+func (c *Complex) Betti(k int) int { return c.Homology(k).BettiValue }
+
+// BettiNumbers returns β_0 … β_dim for the whole complex.
+func (c *Complex) BettiNumbers() []int {
+	if c.Dim() < 0 {
+		return nil
+	}
+	out := make([]int, c.Dim()+1)
+	for k := range out {
+		out[k] = c.Betti(k)
+	}
+	return out
+}

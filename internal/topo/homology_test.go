@@ -1,0 +1,245 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parma/internal/grid"
+)
+
+// torus returns the 7-vertex Császár triangulation of the torus: triangles
+// {i, i+1, i+3} and {i, i+2, i+3} mod 7, giving 7 vertices, all 21 edges of
+// K₇, and 14 triangles (χ = 0, β = (1, 2, 1)).
+func torus() *Complex {
+	c := NewComplex()
+	for i := 0; i < 7; i++ {
+		c.Add(NewSimplex(i, (i+1)%7, (i+3)%7))
+		c.Add(NewSimplex(i, (i+2)%7, (i+3)%7))
+	}
+	return c
+}
+
+func TestBoundaryOfBoundaryIsZero(t *testing.T) {
+	complexes := map[string]*Complex{
+		"triangle": func() *Complex {
+			c := NewComplex()
+			c.Add(NewSimplex(0, 1, 2))
+			return c
+		}(),
+		"tetrahedron": func() *Complex {
+			c := NewComplex()
+			c.Add(NewSimplex(0, 1, 2, 3))
+			return c
+		}(),
+		"mea4x4": FromMEA(grid.New(4, 4)),
+		"torus":  torus(),
+	}
+	for name, c := range complexes {
+		for k := 1; k <= c.Dim(); k++ {
+			dk := c.BoundaryMatrix(k)
+			if k >= 2 {
+				dk1 := c.BoundaryMatrix(k - 1)
+				prod := dk1.Mul(dk)
+				if !prod.IsZero() {
+					t.Errorf("%s: ∂_%d ∘ ∂_%d != 0", name, k-1, k)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundaryOfBoundaryProperty checks ∂∂ = 0 on random complexes.
+func TestBoundaryOfBoundaryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewComplex()
+		nV := 4 + rng.Intn(6)
+		for s := 0; s < 8; s++ {
+			k := 1 + rng.Intn(3)
+			verts := rng.Perm(nV)[:k+1]
+			c.Add(NewSimplex(verts...))
+		}
+		for k := 2; k <= c.Dim(); k++ {
+			if !c.BoundaryMatrix(k - 1).Mul(c.BoundaryMatrix(k)).IsZero() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBettiKnownSpaces(t *testing.T) {
+	point := NewComplex()
+	point.Add(NewSimplex(0))
+
+	twoPoints := NewComplex()
+	twoPoints.Add(NewSimplex(0))
+	twoPoints.Add(NewSimplex(1))
+
+	interval := NewComplex()
+	interval.Add(NewSimplex(0, 1))
+
+	circle := NewComplex()
+	circle.Add(NewSimplex(0, 1))
+	circle.Add(NewSimplex(1, 2))
+	circle.Add(NewSimplex(0, 2))
+
+	disk := NewComplex()
+	disk.Add(NewSimplex(0, 1, 2))
+
+	sphere := NewComplex() // boundary of a tetrahedron
+	full := NewSimplex(0, 1, 2, 3)
+	for _, f := range full.Faces() {
+		sphere.Add(f)
+	}
+
+	wedge := NewComplex() // two circles sharing vertex 0: β1 = 2
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {3, 4}, {0, 4}} {
+		wedge.Add(NewSimplex(e[0], e[1]))
+	}
+
+	cases := []struct {
+		name string
+		c    *Complex
+		want []int
+	}{
+		{"point", point, []int{1}},
+		{"two points", twoPoints, []int{2}},
+		{"interval", interval, []int{1, 0}},
+		{"circle", circle, []int{1, 1}},
+		{"disk", disk, []int{1, 0, 0}},
+		{"sphere", sphere, []int{1, 0, 1}},
+		{"wedge of two circles", wedge, []int{1, 2}},
+		{"torus", torus(), []int{1, 2, 1}},
+	}
+	for _, tc := range cases {
+		got := tc.c.BettiNumbers()
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: Betti = %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for k := range got {
+			if got[k] != tc.want[k] {
+				t.Errorf("%s: β_%d = %d, want %d (all: %v)", tc.name, k, got[k], tc.want[k], got)
+			}
+		}
+	}
+}
+
+// TestEulerPoincare verifies χ = Σ(−1)^k β_k on random complexes — the
+// Euler–Poincaré theorem ties the combinatorial count to homology.
+func TestEulerPoincare(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewComplex()
+		nV := 4 + rng.Intn(8)
+		for s := 0; s < 10; s++ {
+			k := 1 + rng.Intn(3)
+			verts := rng.Perm(nV)[:k+1]
+			c.Add(NewSimplex(verts...))
+		}
+		chi := 0
+		for k, b := range c.BettiNumbers() {
+			if k%2 == 0 {
+				chi += b
+			} else {
+				chi -= b
+			}
+		}
+		return chi == c.EulerCharacteristic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMEABettiNumbers checks the paper's central invariant: an m x n MEA has
+// β₀ = 1 (connected) and β₁ = (m−1)(n−1) independent loops.
+func TestMEABettiNumbers(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {2, 2}, {3, 3}, {2, 5}, {4, 3}, {5, 5}} {
+		m, n := dims[0], dims[1]
+		c := FromMEA(grid.New(m, n))
+		betti := c.BettiNumbers()
+		if betti[0] != 1 {
+			t.Errorf("%dx%d: β₀ = %d, want 1", m, n, betti[0])
+		}
+		want := (m - 1) * (n - 1)
+		got := 0
+		if len(betti) > 1 {
+			got = betti[1]
+		}
+		if got != want {
+			t.Errorf("%dx%d: β₁ = %d, want %d", m, n, got, want)
+		}
+	}
+}
+
+func TestBettiZeroCountsComponents(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := grid.NewGraph(n)
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(grid.Edge{U: u, V: v, Kind: grid.SegmentEdge, I: -1, J: -1})
+			}
+		}
+		_, comps := g.Components()
+		return FromGraph(g).Betti(0) == comps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainGroupOperations(t *testing.T) {
+	c := FromMEA(grid.New(2, 2))
+	g := grid.New(2, 2).JointGraph()
+	e0 := g.Edge(0)
+	s := NewSimplex(e0.U, e0.V)
+	ch := c.ChainOf(1, s)
+	if ch.IsZero() {
+		t.Fatal("singleton chain is zero")
+	}
+	// σ + σ = 0: the group is 2-torsion (the paper's modulo-2 inclusion).
+	if !ch.Add(ch).IsZero() {
+		t.Fatal("σ + σ != 0")
+	}
+	// An edge is not a cycle; its boundary is its two endpoints.
+	if ch.IsCycle() {
+		t.Fatal("single edge reported as a cycle")
+	}
+	b := ch.Boundary()
+	if len(b.Simplices()) != 2 {
+		t.Fatalf("boundary of an edge has %d simplices, want 2", len(b.Simplices()))
+	}
+	// 0-chains are always cycles under ∂₀ = 0.
+	v := c.ChainOf(0, NewSimplex(0))
+	if !v.IsCycle() {
+		t.Fatal("0-chain is not a cycle")
+	}
+}
+
+func TestChainPanics(t *testing.T) {
+	c := FromMEA(grid.New(2, 2))
+	for _, fn := range []func(){
+		func() { c.ChainOf(1, NewSimplex(0)) },        // wrong dimension
+		func() { c.ChainOf(1, NewSimplex(998, 999)) }, // not in complex
+		func() { c.NewChain(-1) },                     // bad dimension
+		func() { c.NewChain(0).Add(c.NewChain(1)) },   // mixed dims
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

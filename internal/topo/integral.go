@@ -1,0 +1,269 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Integral (ℤ-coefficient) homology via Smith normal form. The paper works
+// over Z/2, where homology groups are vector spaces; over the integers the
+// same chain complex can carry torsion (e.g. the Klein bottle's
+// H₁ = ℤ ⊕ ℤ/2), which mod-2 coefficients cannot distinguish from the
+// torus. This file provides the oriented boundary matrices and an SNF
+// reduction so both views are available and cross-checkable:
+// by the universal coefficient theorem,
+//
+//	β_k(Z/2) = β_k(ℤ) + t_k + t_{k−1},
+//
+// where t_k counts the ℤ/2^a…-torsion summands (even torsion) of H_k.
+
+// IntMatrix is a dense integer matrix for exact SNF arithmetic.
+type IntMatrix struct {
+	rows, cols int
+	data       []int64
+}
+
+// NewIntMatrix returns a zero integer matrix.
+func NewIntMatrix(rows, cols int) *IntMatrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("topo: invalid matrix %dx%d", rows, cols))
+	}
+	return &IntMatrix{rows: rows, cols: cols, data: make([]int64, rows*cols)}
+}
+
+// Rows returns the row count.
+func (m *IntMatrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *IntMatrix) Cols() int { return m.cols }
+
+// At returns entry (i, j).
+func (m *IntMatrix) At(i, j int) int64 { return m.data[i*m.cols+j] }
+
+// Set assigns entry (i, j).
+func (m *IntMatrix) Set(i, j int, v int64) { m.data[i*m.cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *IntMatrix) Clone() *IntMatrix {
+	c := NewIntMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// IntBoundaryMatrix returns the oriented boundary matrix of ∂_k over ℤ:
+// for a k-simplex [v₀ < v₁ < … < v_k], the face omitting vᵢ carries the
+// coefficient (−1)ⁱ.
+func (c *Complex) IntBoundaryMatrix(k int) *IntMatrix {
+	if k <= 0 {
+		return NewIntMatrix(0, c.Count(0))
+	}
+	m := NewIntMatrix(c.Count(k-1), c.Count(k))
+	for col, s := range c.Simplices(k) {
+		sign := int64(1)
+		for _, f := range s.Faces() {
+			// Faces() drops vertex i in ascending order of i.
+			m.Set(c.IndexOf(f), col, sign)
+			sign = -sign
+		}
+		_ = col
+	}
+	return m
+}
+
+// SmithDiagonal reduces the matrix to Smith normal form and returns the
+// nonzero diagonal invariant factors d₁ | d₂ | … (all positive) and the
+// rank. The input is not modified. It panics on int64 overflow, which the
+// small, sparse boundary matrices of simplicial complexes do not reach.
+func SmithDiagonal(a *IntMatrix) (factors []int64, rank int) {
+	m := a.Clone()
+	t := 0 // current pivot position
+	for t < m.rows && t < m.cols {
+		// Find the nonzero entry of smallest magnitude at or beyond (t, t).
+		pi, pj := -1, -1
+		var best int64 = math.MaxInt64
+		for i := t; i < m.rows; i++ {
+			for j := t; j < m.cols; j++ {
+				if v := abs64(m.At(i, j)); v != 0 && v < best {
+					best, pi, pj = v, i, j
+				}
+			}
+		}
+		if pi < 0 {
+			break // all remaining entries are zero
+		}
+		m.swapRows(t, pi)
+		m.swapCols(t, pj)
+		if m.At(t, t) < 0 {
+			m.negateRow(t)
+		}
+		// Reduce the pivot row and column; repeat until clean.
+		clean := true
+		for i := t + 1; i < m.rows; i++ {
+			if v := m.At(i, t); v != 0 {
+				m.addRowMultiple(i, t, -div64(v, m.At(t, t)))
+				if m.At(i, t) != 0 {
+					clean = false
+				}
+			}
+		}
+		for j := t + 1; j < m.cols; j++ {
+			if v := m.At(t, j); v != 0 {
+				m.addColMultiple(j, t, -div64(v, m.At(t, t)))
+				if m.At(t, j) != 0 {
+					clean = false
+				}
+			}
+		}
+		if !clean {
+			continue // remainders became new, smaller candidates
+		}
+		// Enforce divisibility: d_t must divide every later entry.
+		divides := true
+	divisibility:
+		for i := t + 1; i < m.rows; i++ {
+			for j := t + 1; j < m.cols; j++ {
+				if m.At(i, j)%m.At(t, t) != 0 {
+					// Fold row i into row t and restart the pivot step.
+					m.addRowMultiple(t, i, 1)
+					divides = false
+					break divisibility
+				}
+			}
+		}
+		if !divides {
+			continue
+		}
+		t++
+	}
+	for i := 0; i < t; i++ {
+		factors = append(factors, m.At(i, i))
+	}
+	return factors, t
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// div64 is truncated division (Go's default), used for Euclidean steps.
+func div64(a, b int64) int64 { return a / b }
+
+func (m *IntMatrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.data[i*m.cols:(i+1)*m.cols], m.data[j*m.cols:(j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func (m *IntMatrix) swapCols(i, j int) {
+	if i == j {
+		return
+	}
+	for r := 0; r < m.rows; r++ {
+		m.data[r*m.cols+i], m.data[r*m.cols+j] = m.data[r*m.cols+j], m.data[r*m.cols+i]
+	}
+}
+
+func (m *IntMatrix) negateRow(i int) {
+	row := m.data[i*m.cols : (i+1)*m.cols]
+	for k := range row {
+		row[k] = -row[k]
+	}
+}
+
+// addRowMultiple does row[dst] += c·row[src] with overflow checks.
+func (m *IntMatrix) addRowMultiple(dst, src int, c int64) {
+	if c == 0 {
+		return
+	}
+	d := m.data[dst*m.cols : (dst+1)*m.cols]
+	s := m.data[src*m.cols : (src+1)*m.cols]
+	for k := range d {
+		d[k] = checkedAdd(d[k], checkedMul(c, s[k]))
+	}
+}
+
+// addColMultiple does col[dst] += c·col[src].
+func (m *IntMatrix) addColMultiple(dst, src int, c int64) {
+	if c == 0 {
+		return
+	}
+	for r := 0; r < m.rows; r++ {
+		m.data[r*m.cols+dst] = checkedAdd(m.data[r*m.cols+dst], checkedMul(c, m.data[r*m.cols+src]))
+	}
+}
+
+func checkedMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic("topo: int64 overflow in Smith normal form")
+	}
+	return p
+}
+
+func checkedAdd(a, b int64) int64 {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		panic("topo: int64 overflow in Smith normal form")
+	}
+	return s
+}
+
+// IntegralHomology describes H_k over the integers: the free rank (the
+// integral Betti number) and the torsion coefficients d > 1, each meaning
+// a ℤ/d summand.
+type IntegralHomology struct {
+	K       int
+	Betti   int
+	Torsion []int64
+}
+
+// Homology computes H_k(ℤ) = ℤ^betti ⊕ ⊕ᵢ ℤ/dᵢ from Smith normal forms of
+// the oriented boundary matrices:
+//
+//	betti_k = (C_k − rank ∂_k) − rank ∂_{k+1},
+//
+// with torsion given by the invariant factors of ∂_{k+1} exceeding 1.
+func (c *Complex) IntegralHomologyAt(k int) IntegralHomology {
+	if k < 0 {
+		panic(fmt.Sprintf("topo: invalid homology degree %d", k))
+	}
+	_, rankK := SmithDiagonal(c.IntBoundaryMatrix(k))
+	var rankK1 int
+	var torsion []int64
+	if k+1 <= c.Dim() {
+		factors, r := SmithDiagonal(c.IntBoundaryMatrix(k + 1))
+		rankK1 = r
+		for _, d := range factors {
+			if d > 1 {
+				torsion = append(torsion, d)
+			}
+		}
+	}
+	return IntegralHomology{
+		K:       k,
+		Betti:   c.Count(k) - rankK - rankK1,
+		Torsion: torsion,
+	}
+}
+
+// IntegralHomologyAll computes H_k(ℤ) for every degree of the complex.
+func (c *Complex) IntegralHomologyAll() []IntegralHomology {
+	if c.Dim() < 0 {
+		return nil
+	}
+	out := make([]IntegralHomology, c.Dim()+1)
+	for k := range out {
+		out[k] = c.IntegralHomologyAt(k)
+	}
+	return out
+}

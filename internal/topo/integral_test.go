@@ -1,0 +1,218 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parma/internal/grid"
+)
+
+func TestSmithDiagonalKnown(t *testing.T) {
+	// Classic example: [[2,4,4],[-6,6,12],[10,4,16]] has SNF diag(2,6,12)...
+	// use a simpler verified case: [[2,0],[0,3]] -> invariant factors 1,6?
+	// SNF of diag(2,3) is diag(1,6) because gcd=1 and lcm=6.
+	m := NewIntMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 3)
+	factors, rank := SmithDiagonal(m)
+	if rank != 2 || len(factors) != 2 || factors[0] != 1 || factors[1] != 6 {
+		t.Fatalf("SNF(diag(2,3)) = %v rank %d, want [1 6] rank 2", factors, rank)
+	}
+}
+
+func TestSmithDiagonalZeroAndIdentity(t *testing.T) {
+	z := NewIntMatrix(3, 4)
+	factors, rank := SmithDiagonal(z)
+	if rank != 0 || len(factors) != 0 {
+		t.Fatalf("SNF(0) = %v rank %d", factors, rank)
+	}
+	id := NewIntMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		id.Set(i, i, 1)
+	}
+	factors, rank = SmithDiagonal(id)
+	if rank != 3 {
+		t.Fatalf("rank(I) = %d", rank)
+	}
+	for _, d := range factors {
+		if d != 1 {
+			t.Fatalf("factors(I) = %v", factors)
+		}
+	}
+}
+
+// TestSmithDivisibilityChain: invariant factors must divide successively,
+// on random small matrices, and the rank must match GF(2)-style rank over
+// the rationals (checked against float Gaussian elimination).
+func TestSmithDivisibilityChain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewIntMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, int64(rng.Intn(11)-5))
+			}
+		}
+		factors, rank := SmithDiagonal(m)
+		if len(factors) != rank {
+			return false
+		}
+		for i := 1; i < len(factors); i++ {
+			if factors[i-1] <= 0 || factors[i]%factors[i-1] != 0 {
+				return false
+			}
+		}
+		return rank == rationalRank(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rationalRank computes rank over ℚ by float Gaussian elimination — an
+// independent reference for SNF's rank.
+func rationalRank(m *IntMatrix) int {
+	rows, cols := m.Rows(), m.Cols()
+	a := make([][]float64, rows)
+	for i := range a {
+		a[i] = make([]float64, cols)
+		for j := range a[i] {
+			a[i][j] = float64(m.At(i, j))
+		}
+	}
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		best := 1e-9
+		for r := rank; r < rows; r++ {
+			if v := a[r][col]; v > best || -v > best {
+				if pivot == -1 || v*v > a[pivot][col]*a[pivot][col] {
+					pivot = r
+				}
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a[rank], a[pivot] = a[pivot], a[rank]
+		for r := rank + 1; r < rows; r++ {
+			f := a[r][col] / a[rank][col]
+			for k := col; k < cols; k++ {
+				a[r][k] -= f * a[rank][k]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// TestIntBoundarySquaresToZero: the oriented boundary satisfies ∂∂ = 0
+// over ℤ (with signs, not just mod 2).
+func TestIntBoundarySquaresToZero(t *testing.T) {
+	complexes := []*Complex{
+		torus(),
+		quotientSurface(4, 4, true), // Klein bottle
+		FromMEA(grid.New(3, 3)),
+	}
+	tet := NewComplex()
+	tet.Add(NewSimplex(0, 1, 2, 3))
+	complexes = append(complexes, tet)
+
+	for ci, c := range complexes {
+		for k := 2; k <= c.Dim(); k++ {
+			dk := c.IntBoundaryMatrix(k)
+			dk1 := c.IntBoundaryMatrix(k - 1)
+			// (dk1 · dk) must vanish entrywise.
+			for i := 0; i < dk1.Rows(); i++ {
+				for j := 0; j < dk.Cols(); j++ {
+					var s int64
+					for l := 0; l < dk.Rows(); l++ {
+						s += dk1.At(i, l) * dk.At(l, j)
+					}
+					if s != 0 {
+						t.Fatalf("complex %d: (∂∂)[%d,%d] = %d at degree %d", ci, i, j, s, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIntegralHomologyTorusVsKlein is the showcase: over ℤ the torus has
+// H₁ = ℤ² while the Klein bottle has H₁ = ℤ ⊕ ℤ/2 — torsion that the
+// paper's Z/2 coefficients cannot see (both read β₁ = 2 mod 2).
+func TestIntegralHomologyTorusVsKlein(t *testing.T) {
+	torusH := torus().IntegralHomologyAll()
+	if torusH[0].Betti != 1 || torusH[1].Betti != 2 || torusH[2].Betti != 1 {
+		t.Fatalf("torus integral Betti = %d/%d/%d", torusH[0].Betti, torusH[1].Betti, torusH[2].Betti)
+	}
+	for k, h := range torusH {
+		if len(h.Torsion) != 0 {
+			t.Fatalf("torus has torsion %v at degree %d", h.Torsion, k)
+		}
+	}
+
+	klein := quotientSurface(4, 4, true)
+	kleinH := klein.IntegralHomologyAll()
+	if kleinH[0].Betti != 1 {
+		t.Fatalf("Klein β₀ = %d", kleinH[0].Betti)
+	}
+	if kleinH[1].Betti != 1 || len(kleinH[1].Torsion) != 1 || kleinH[1].Torsion[0] != 2 {
+		t.Fatalf("Klein H₁ = ℤ^%d ⊕ torsion %v, want ℤ ⊕ ℤ/2", kleinH[1].Betti, kleinH[1].Torsion)
+	}
+	// Non-orientable: no integral fundamental class.
+	if kleinH[2].Betti != 0 {
+		t.Fatalf("Klein β₂ = %d, want 0", kleinH[2].Betti)
+	}
+
+	// Universal coefficients cross-check: β_k(Z/2) = β_k(ℤ) + t_k + t_{k−1}
+	// with t the count of even-torsion summands.
+	mod2 := klein.BettiNumbers()
+	tCount := []int{0, len(kleinH[1].Torsion), 0}
+	for k := 0; k <= 2; k++ {
+		prev := 0
+		if k > 0 {
+			prev = tCount[k-1]
+		}
+		if mod2[k] != kleinH[k].Betti+tCount[k]+prev {
+			t.Fatalf("universal coefficients fail at k=%d: %d != %d+%d+%d",
+				k, mod2[k], kleinH[k].Betti, tCount[k], prev)
+		}
+	}
+}
+
+// TestIntegralMatchesMod2OnTorsionFree: for graphs (1-complexes) there is
+// never torsion, so integral and Z/2 Betti numbers agree.
+func TestIntegralMatchesMod2OnTorsionFree(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {3, 4}, {4, 4}} {
+		c := FromMEA(grid.New(dims[0], dims[1]))
+		intH := c.IntegralHomologyAll()
+		mod2 := c.BettiNumbers()
+		for k := range mod2 {
+			if intH[k].Betti != mod2[k] {
+				t.Fatalf("%v: degree %d: integral %d vs mod-2 %d", dims, k, intH[k].Betti, mod2[k])
+			}
+			if len(intH[k].Torsion) != 0 {
+				t.Fatalf("%v: graph homology has torsion %v", dims, intH[k].Torsion)
+			}
+		}
+	}
+}
+
+func TestIntegralSphere(t *testing.T) {
+	sphere := NewComplex()
+	for _, f := range NewSimplex(0, 1, 2, 3).Faces() {
+		sphere.Add(f)
+	}
+	h := sphere.IntegralHomologyAll()
+	if h[0].Betti != 1 || h[1].Betti != 0 || h[2].Betti != 1 {
+		t.Fatalf("sphere H = %+v", h)
+	}
+	for _, hk := range h {
+		if len(hk.Torsion) != 0 {
+			t.Fatalf("sphere has torsion: %+v", h)
+		}
+	}
+}

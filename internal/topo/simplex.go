@@ -1,0 +1,120 @@
+// Package topo implements the algebraic-topological machinery of the paper's
+// §III: abstract simplices and simplicial complexes, chain groups over GF(2),
+// the boundary operator, cycle and boundary groups, homology ranks, and Betti
+// numbers. The first Betti number of an MEA's graph counts its independent
+// Kirchhoff voltage loops — the intrinsic parallelism Parma exploits.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Simplex is an abstract simplex: a finite, canonically sorted set of vertex
+// identifiers. Its dimension is one less than its cardinality: vertices have
+// dimension 0, edges 1, triangles 2, and so on.
+type Simplex []int
+
+// NewSimplex builds a simplex from vertices, sorting and rejecting
+// duplicates and negatives.
+func NewSimplex(vertices ...int) Simplex {
+	s := make(Simplex, len(vertices))
+	copy(s, vertices)
+	sort.Ints(s)
+	for i, v := range s {
+		if v < 0 {
+			panic(fmt.Sprintf("topo: negative vertex %d", v))
+		}
+		if i > 0 && s[i-1] == v {
+			panic(fmt.Sprintf("topo: duplicate vertex %d in simplex", v))
+		}
+	}
+	return s
+}
+
+// Dim returns the dimension |σ| − 1. The empty simplex has dimension −1.
+func (s Simplex) Dim() int { return len(s) - 1 }
+
+// Faces returns the (dim−1)-dimensional faces of s: every subset obtained by
+// deleting a single vertex. A vertex has no faces (its sole face is the
+// empty simplex, which chain complexes omit).
+func (s Simplex) Faces() []Simplex {
+	if len(s) <= 1 {
+		return nil
+	}
+	faces := make([]Simplex, 0, len(s))
+	for drop := range s {
+		f := make(Simplex, 0, len(s)-1)
+		f = append(f, s[:drop]...)
+		f = append(f, s[drop+1:]...)
+		faces = append(faces, f)
+	}
+	return faces
+}
+
+// HasFace reports whether f is a face of s (a subset, proper or not).
+func (s Simplex) HasFace(f Simplex) bool {
+	// Both are sorted: a linear merge suffices.
+	i := 0
+	for _, v := range f {
+		for i < len(s) && s[i] < v {
+			i++
+		}
+		if i >= len(s) || s[i] != v {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Intersect returns the common vertices of s and t (both sorted).
+func (s Simplex) Intersect(t Simplex) Simplex {
+	var out Simplex
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Equal reports whether two simplices have identical vertex sets.
+func (s Simplex) Equal(t Simplex) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for map indexing.
+func (s Simplex) Key() string {
+	var sb strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
+}
+
+// String renders the simplex as {v0, v1, …}.
+func (s Simplex) String() string {
+	return "{" + strings.ReplaceAll(s.Key(), ",", ", ") + "}"
+}

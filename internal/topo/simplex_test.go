@@ -1,0 +1,97 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestNewSimplexSortsVertices(t *testing.T) {
+	s := NewSimplex(5, 1, 3)
+	if !s.Equal(Simplex{1, 3, 5}) {
+		t.Fatalf("NewSimplex = %v", s)
+	}
+	if s.Dim() != 2 {
+		t.Fatalf("Dim = %d, want 2", s.Dim())
+	}
+}
+
+func TestNewSimplexRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate vertex did not panic")
+		}
+	}()
+	NewSimplex(1, 1)
+}
+
+func TestNewSimplexRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative vertex did not panic")
+		}
+	}()
+	NewSimplex(-1, 2)
+}
+
+func TestFaces(t *testing.T) {
+	tri := NewSimplex(0, 1, 2)
+	faces := tri.Faces()
+	if len(faces) != 3 {
+		t.Fatalf("triangle has %d faces, want 3", len(faces))
+	}
+	want := []Simplex{{1, 2}, {0, 2}, {0, 1}}
+	for i, f := range faces {
+		if !f.Equal(want[i]) {
+			t.Fatalf("face %d = %v, want %v", i, f, want[i])
+		}
+	}
+	if got := NewSimplex(7).Faces(); got != nil {
+		t.Fatalf("vertex faces = %v, want nil", got)
+	}
+	edge := NewSimplex(4, 9)
+	ef := edge.Faces()
+	if len(ef) != 2 || !ef[0].Equal(Simplex{9}) || !ef[1].Equal(Simplex{4}) {
+		t.Fatalf("edge faces = %v", ef)
+	}
+}
+
+func TestHasFace(t *testing.T) {
+	s := NewSimplex(0, 2, 4, 6)
+	cases := []struct {
+		f    Simplex
+		want bool
+	}{
+		{NewSimplex(0), true},
+		{NewSimplex(2, 6), true},
+		{NewSimplex(0, 2, 4, 6), true},
+		{NewSimplex(1), false},
+		{NewSimplex(0, 3), false},
+		{Simplex{}, true},
+	}
+	for _, c := range cases {
+		if got := s.HasFace(c.f); got != c.want {
+			t.Errorf("HasFace(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewSimplex(0, 1, 2, 5)
+	b := NewSimplex(1, 3, 5)
+	got := a.Intersect(b)
+	if !got.Equal(Simplex{1, 5}) {
+		t.Fatalf("Intersect = %v, want {1, 5}", got)
+	}
+	if len(NewSimplex(0).Intersect(NewSimplex(1))) != 0 {
+		t.Fatal("disjoint intersection is not empty")
+	}
+}
+
+func TestKeyAndString(t *testing.T) {
+	s := NewSimplex(10, 2)
+	if s.Key() != "2,10" {
+		t.Fatalf("Key = %q", s.Key())
+	}
+	if s.String() != "{2, 10}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,38 @@
+package parma
+
+import "parma/internal/manifold"
+
+// The §IV-B surface: voltage fields as sampled scalar fields on the MEA
+// manifold, discrete 1-forms with an exact Stokes theorem, Jacobian frames
+// for non-orthogonal devices, and patch-parallel integration.
+
+// ScalarField is a voltage field sampled on an equidistant grid.
+type ScalarField = manifold.ScalarField
+
+// OneForm is a discrete differential 1-form on grid edges (voltage drops).
+type OneForm = manifold.OneForm
+
+// Patch is a rectangle of grid cells — a frame-local work unit.
+type Patch = manifold.Patch
+
+// Frame is a local chart with a Jacobian, converting parameter-space
+// derivatives on skewed or non-equidistant arrays to physical gradients.
+type Frame = manifold.Frame
+
+// NewScalarField returns a zero voltage field with unit node spacing.
+func NewScalarField(rows, cols int) *ScalarField { return manifold.NewScalarField(rows, cols) }
+
+// SampleField samples f(x, y) on a rows x cols grid with the given spacing.
+func SampleField(rows, cols int, hx, hy float64, f func(x, y float64) float64) *ScalarField {
+	return manifold.FromFunc(rows, cols, hx, hy, f)
+}
+
+// ExteriorDerivative returns dU: the exact discrete-gradient 1-form of a
+// scalar field, whose curl vanishes identically on every cell.
+func ExteriorDerivative(s *ScalarField) *OneForm { return manifold.D(s) }
+
+// OrthogonalFrame returns the chart of an axis-aligned equidistant array.
+func OrthogonalFrame(hu, hv float64) Frame { return manifold.Orthogonal(hu, hv) }
+
+// SkewedFrame returns the chart of a sheared lattice (angle in radians).
+func SkewedFrame(hu, hv, angle float64) Frame { return manifold.Skewed(hu, hv, angle) }

@@ -1,0 +1,132 @@
+package parma
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd walks the full pipeline through the public surface
+// only: synthesize → analyze → form → serialize → recover → detect → score.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const n = 6
+	cfg := MediumConfig{
+		Rows: n, Cols: n, Seed: 7,
+		Anomalies: []Anomaly{{CenterI: 3, CenterJ: 3, RadiusI: 1.1, RadiusJ: 1.1, Factor: 6}},
+	}
+	truthR, z, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewSquareArray(n)
+
+	// Topology.
+	report := Analyze(a)
+	if report.Betti1 != (n-1)*(n-1) {
+		t.Fatalf("β₁ = %d, want %d", report.Betti1, (n-1)*(n-1))
+	}
+	if err := VerifyTopology(a); err != nil {
+		t.Fatal(err)
+	}
+
+	// Formation: all strategies agree.
+	prob, err := NewProblem(a, z, SourceVoltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := SystemCensus(a)
+	if census.Equations != 2*n*n*n {
+		t.Fatalf("census = %d equations", census.Equations)
+	}
+	ref := Form(prob, Serial{}, FormationOptions{Collect: true})
+	for _, s := range Strategies() {
+		got := Form(prob, s, FormationOptions{Workers: 3, Collect: false})
+		if got.Hash != ref.Hash || got.Count != census.Equations {
+			t.Fatalf("strategy %s deviates from serial", s.Name())
+		}
+	}
+
+	// Lossless conversion at ground truth.
+	st, err := GroundTruthState(a, truthR, SourceVoltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ref.Equations {
+		if r := math.Abs(e.Residual(st)); r > 1e-8 {
+			t.Fatalf("residual %g at ground truth", r)
+		}
+	}
+
+	// Serialization round trip.
+	var buf bytes.Buffer
+	if _, err := WriteSystem(&buf, ref.Equations); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSystem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(ref.Equations) {
+		t.Fatal("round trip lost equations")
+	}
+
+	// Recovery and detection.
+	rec, err := Recover(a, z, RecoverOptions{})
+	if err != nil {
+		t.Fatalf("%v (residual %g)", err, rec.Residual)
+	}
+	det := Detect(rec.R, DetectOptions{AbsoluteThreshold: 11000 * 1.05})
+	score, err := EvaluateDetection(det.Mask, TruthMask(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Recall() < 0.99 || score.Precision() < 0.99 {
+		t.Fatalf("detection P/R = %g/%g", score.Precision(), score.Recall())
+	}
+}
+
+func TestWriteEquationsSharded(t *testing.T) {
+	_, z, err := Synthesize(MediumConfig{Rows: 4, Cols: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewProblem(NewSquareArray(4), z, SourceVoltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	bytesWritten, err := WriteEquations(prob, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytesWritten == 0 {
+		t.Fatal("nothing written")
+	}
+}
+
+func TestTimeSeriesPublic(t *testing.T) {
+	cfg := MediumConfig{Rows: 5, Cols: 5, Seed: 3,
+		Anomalies: []Anomaly{{CenterI: 2, CenterJ: 2, RadiusI: 1, RadiusJ: 1, Factor: 2}}}
+	series := TimeSeries(cfg, 0.1)
+	if len(series) != 4 {
+		t.Fatalf("%d samples, want 4", len(series))
+	}
+	if series[24].At(2, 2) <= series[0].At(2, 2) {
+		t.Fatal("anomaly did not grow")
+	}
+}
+
+func TestMeasurePublic(t *testing.T) {
+	a := NewArray(2, 3)
+	r := UniformField(2, 3, 1000)
+	z, err := Measure(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Rows() != 2 || z.Cols() != 3 {
+		t.Fatal("Z shape")
+	}
+	if z.Min() <= 0 || z.Max() > 1000 {
+		t.Fatalf("Z out of physical range: %v", z)
+	}
+}

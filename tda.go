@@ -1,0 +1,48 @@
+package parma
+
+import (
+	"io"
+
+	"parma/internal/grid"
+	"parma/internal/tda"
+)
+
+// Topological data analysis of resistance fields: superlevel-set
+// filtrations whose Betti numbers describe anomaly morphology — how many
+// separate lesions, and whether any are ring-shaped.
+
+// MorphologyReport classifies the anomaly structure at one threshold.
+type MorphologyReport = tda.Morphology
+
+// BettiPoint is one sample of a filtration's Betti curve.
+type BettiPoint = tda.Point
+
+// ClassifyMorphology reports the topology of the field's superlevel set at
+// the threshold: β₀ separate regions, β₁ ring-shaped ones.
+func ClassifyMorphology(f *Field, threshold float64) MorphologyReport {
+	return tda.Classify(f, threshold)
+}
+
+// BettiCurve samples the superlevel filtration of a field across
+// thresholds (descending), returning components, holes, and cell counts.
+func BettiCurve(f *Field, thresholds []float64) []BettiPoint {
+	return tda.BettiCurve(f, thresholds)
+}
+
+// AutoThresholds picks count thresholds evenly spanning the field's range.
+func AutoThresholds(f *Field, count int) []float64 { return tda.AutoThresholds(f, count) }
+
+// WriteHeatmap renders a field as an ASCII PGM image (min → black,
+// max → white); +Inf renders white.
+func WriteHeatmap(w io.Writer, f *Field) error { return grid.WritePGM(w, f) }
+
+// WriteJointGraphDOT renders the array's joint-level graph (Figure 1) in
+// Graphviz DOT format.
+func WriteJointGraphDOT(w io.Writer, a Array, name string) error {
+	return a.JointGraph().WriteDOT(w, name)
+}
+
+// WriteWireGraphDOT renders the wire-level abstraction (Figure 2) in DOT.
+func WriteWireGraphDOT(w io.Writer, a Array, name string) error {
+	return a.WireGraph().WriteDOT(w, name)
+}
