@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt figures examples clean
+.PHONY: all build test race lint bench vet fmt figures examples obs-smoke clean
 
-all: vet test build
+all: lint test race build obs-smoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# lint fails on vet findings or files gofmt would rewrite.
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -23,6 +28,20 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# obs-smoke runs a traced end-to-end solve and validates the Chrome trace
+# and metrics artifacts it produces.
+obs-smoke:
+	@rm -rf obs-smoke.tmp && mkdir obs-smoke.tmp
+	$(GO) run ./cmd/parma gen -rows 8 -cols 8 -seed 3 \
+		-r obs-smoke.tmp/r.txt -z obs-smoke.tmp/z.txt
+	$(GO) run ./cmd/parma solve -z obs-smoke.tmp/z.txt -o obs-smoke.tmp/rec.txt \
+		-trace obs-smoke.tmp/trace.json -metrics obs-smoke.tmp/metrics.txt
+	$(GO) run ./cmd/parma tracecheck obs-smoke.tmp/trace.json
+	@grep -q "parma_mpi_rank0_bytes_sent" obs-smoke.tmp/metrics.txt || \
+		{ echo "metrics dump is missing per-rank byte counters"; exit 1; }
+	@rm -rf obs-smoke.tmp
+	@echo "obs-smoke: trace and metrics artifacts check out"
 
 # Regenerate every paper figure plus the extension studies.
 figures:

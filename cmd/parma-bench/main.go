@@ -8,9 +8,15 @@
 //	parma-bench -figure all -csv               # everything, CSV output
 //	parma-bench -figure 7 -sizes 10,20,50 -workers 2,4,8
 //	parma-bench -figure 6 -profile native      # Go-native cost profile
+//	parma-bench -figure 6 -json report.json    # machine-readable results
+//
+// The observability flags -trace, -metrics, -cpuprofile, -memprofile apply
+// here too; with -json the report additionally embeds span rollups and
+// metric snapshots from the traced run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +25,7 @@ import (
 
 	"parma/internal/experiments"
 	"parma/internal/metrics"
+	"parma/internal/obs"
 )
 
 func main() {
@@ -29,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 2022, "workload seed")
 	profile := flag.String("profile", "python", "execution profile: python (paper-calibrated) or native")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonPath := flag.String("json", "", "write a machine-readable JSON report to this file")
+	ob := obs.AddCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed}
@@ -115,23 +124,83 @@ func main() {
 		}
 		selected = []string{*figure}
 	}
-	for _, key := range selected {
-		d := drivers[key]
-		fmt.Printf("== %s: %s ==\n", d.name, d.desc)
-		tbl, err := d.run(cfg)
-		if err != nil {
-			fatal(err)
+	err = ob.Run(func() error {
+		var figures []figureReport
+		for _, key := range selected {
+			d := drivers[key]
+			fmt.Printf("== %s: %s ==\n", d.name, d.desc)
+			tbl, err := d.run(cfg)
+			if err != nil {
+				return err
+			}
+			if *csv {
+				err = tbl.WriteCSV(os.Stdout)
+			} else {
+				err = tbl.Write(os.Stdout)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			figures = append(figures, figureReport{
+				Key: key, Name: d.name, Description: d.desc,
+				Header: tbl.Header(), Rows: tbl.Rows(),
+			})
 		}
-		if *csv {
-			err = tbl.WriteCSV(os.Stdout)
-		} else {
-			err = tbl.Write(os.Stdout)
+		if *jsonPath != "" {
+			return writeJSONReport(*jsonPath, cfg, *figure, *profile, figures)
 		}
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println()
+		return nil
+	})
+	if err != nil {
+		fatal(err)
 	}
+}
+
+// figureReport is one figure's table in the -json report.
+type figureReport struct {
+	Key         string     `json:"key"`
+	Name        string     `json:"name"`
+	Description string     `json:"description"`
+	Header      []string   `json:"header"`
+	Rows        [][]string `json:"rows"`
+}
+
+// jsonReport is the -json output schema: run configuration, every figure's
+// series, and (when the run was traced) span rollups and metric snapshots.
+type jsonReport struct {
+	Schema  string               `json:"schema"`
+	Figure  string               `json:"figure"`
+	Seed    int64                `json:"seed"`
+	Profile string               `json:"profile"`
+	Sizes   []int                `json:"sizes,omitempty"`
+	Workers []int                `json:"workers,omitempty"`
+	Ranks   []int                `json:"ranks,omitempty"`
+	Figures []figureReport       `json:"figures"`
+	Spans   []obs.Rollup         `json:"spans,omitempty"`
+	Metrics []obs.MetricSnapshot `json:"metrics,omitempty"`
+}
+
+func writeJSONReport(path string, cfg experiments.Config, figure, profile string, figures []figureReport) error {
+	rep := jsonReport{
+		Schema:  "parma-bench/v1",
+		Figure:  figure,
+		Seed:    cfg.Seed,
+		Profile: profile,
+		Sizes:   cfg.Sizes,
+		Workers: cfg.Workers,
+		Ranks:   cfg.Ranks,
+		Figures: figures,
+	}
+	if rec := obs.Active(); rec != nil {
+		rep.Spans = rec.Rollups()
+		rep.Metrics = rec.Registry().Snapshot()
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func parseInts(s string) ([]int, error) {

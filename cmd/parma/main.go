@@ -9,8 +9,12 @@
 //	parma census    -rows 16 -cols 16
 //	parma paths     -n 4
 //	parma equations -z z.txt [-strategy pymp] [-workers 8] [-out dir | -stdout]
-//	parma solve     -z z.txt -o recovered.txt
+//	parma solve     -z z.txt -o recovered.txt [-trace t.json] [-metrics m.txt]
 //	parma detect    -r recovered.txt [-factor 2.5 | -threshold 11550]
+//	parma tracecheck t.json
+//
+// Every command accepts the observability flags -trace, -metrics,
+// -cpuprofile, and -memprofile (see docs/observability.md).
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"parma/internal/grid"
 	"parma/internal/hyper"
 	"parma/internal/kirchhoff"
+	"parma/internal/mpi"
+	"parma/internal/obs"
 	"parma/internal/parallel"
 	"parma/internal/paths"
 	"parma/internal/sched"
@@ -61,6 +67,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "hyper":
 		err = cmdHyper(os.Args[2:])
+	case "tracecheck":
+		err = cmdTraceCheck(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -89,7 +97,9 @@ commands:
   diagnose   topological fault diagnosis of a defective array
   export     render a field as a PGM heatmap or an array as Graphviz DOT
   hyper      censuses of k-dimensional MEA lattices
+  tracecheck validate a Chrome trace produced by -trace and summarize it
 
+every command takes -trace, -metrics, -cpuprofile, -memprofile
 run 'parma <command> -h' for per-command flags`)
 }
 
@@ -121,22 +131,25 @@ func cmdGen(args []string) error {
 	zOut := fs.String("z", "z.txt", "output path for the measured Z matrix")
 	var anomalies anomalyFlags
 	fs.Var(&anomalies, "anomaly", "anomaly as i,j,ri,rj,factor (repeatable)")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	cfg := gen.Config{Rows: *rows, Cols: *cols, Seed: *seed, NoiseStdDev: *noise, Anomalies: anomalies}
-	r, z, err := gen.Measurements(cfg)
-	if err != nil {
-		return err
-	}
-	if err := writeFieldFile(*rOut, r); err != nil {
-		return err
-	}
-	if err := writeFieldFile(*zOut, z); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (ground truth, [%.4g, %.4g] kΩ) and %s (measured Z)\n",
-		*rOut, r.Min(), r.Max(), *zOut)
-	return nil
+	return ob.Run(func() error {
+		cfg := gen.Config{Rows: *rows, Cols: *cols, Seed: *seed, NoiseStdDev: *noise, Anomalies: anomalies}
+		r, z, err := gen.Measurements(cfg)
+		if err != nil {
+			return err
+		}
+		if err := writeFieldFile(*rOut, r); err != nil {
+			return err
+		}
+		if err := writeFieldFile(*zOut, z); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (ground truth, [%.4g, %.4g] kΩ) and %s (measured Z)\n",
+			*rOut, r.Min(), r.Max(), *zOut)
+		return nil
+	})
 }
 
 // anomalyFlags parses repeated -anomaly i,j,ri,rj,factor flags.
@@ -168,31 +181,38 @@ func cmdBetti(args []string) error {
 	fs := flag.NewFlagSet("betti", flag.ExitOnError)
 	rows := fs.Int("rows", 16, "horizontal wires")
 	cols := fs.Int("cols", 16, "vertical wires")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	a := grid.New(*rows, *cols)
-	rep := core.Analyze(a)
-	fmt.Printf("array:        %v\n", a)
-	fmt.Printf("simplices:    %d vertices, %d edges (dimension-1 complex)\n", rep.Simplices0, rep.Simplices1)
-	fmt.Printf("β₀:           %d (connected components)\n", rep.Betti0)
-	fmt.Printf("β₁:           %d (independent Kirchhoff loops)\n", rep.Betti1)
-	fmt.Printf("cyclomatic:   %d (Maxwell cross-check)\n", rep.Cyclomatic)
-	fmt.Printf("euler χ:      %d\n", rep.Euler)
-	fmt.Printf("cycle basis:  %d fundamental cycles\n", rep.CycleBasisSize)
-	if err := core.VerifyInvariants(a); err != nil {
-		return err
-	}
-	fmt.Println("invariants:   all §III checks hold")
-	return nil
+	return ob.Run(func() error {
+		a := grid.New(*rows, *cols)
+		rep := core.Analyze(a)
+		fmt.Printf("array:        %v\n", a)
+		fmt.Printf("simplices:    %d vertices, %d edges (dimension-1 complex)\n", rep.Simplices0, rep.Simplices1)
+		fmt.Printf("β₀:           %d (connected components)\n", rep.Betti0)
+		fmt.Printf("β₁:           %d (independent Kirchhoff loops)\n", rep.Betti1)
+		fmt.Printf("cyclomatic:   %d (Maxwell cross-check)\n", rep.Cyclomatic)
+		fmt.Printf("euler χ:      %d\n", rep.Euler)
+		fmt.Printf("cycle basis:  %d fundamental cycles\n", rep.CycleBasisSize)
+		if err := core.VerifyInvariants(a); err != nil {
+			return err
+		}
+		fmt.Println("invariants:   all §III checks hold")
+		return nil
+	})
 }
 
 func cmdCensus(args []string) error {
 	fs := flag.NewFlagSet("census", flag.ExitOnError)
 	rows := fs.Int("rows", 16, "horizontal wires")
 	cols := fs.Int("cols", 16, "vertical wires")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
+	return ob.Run(func() error { return runCensus(*rows, *cols) })
+}
 
-	c := kirchhoff.SystemCensus(grid.New(*rows, *cols))
+func runCensus(rows, cols int) error {
+	c := kirchhoff.SystemCensus(grid.New(rows, cols))
 	fmt.Printf("pairs:              %d\n", c.Pairs)
 	fmt.Printf("equations per pair: %d\n", c.EquationsPerPair)
 	fmt.Printf("equations total:    %d\n", c.Equations)
@@ -206,15 +226,18 @@ func cmdCensus(args []string) error {
 func cmdPaths(args []string) error {
 	fs := flag.NewFlagSet("paths", flag.ExitOnError)
 	n := fs.Int("n", 4, "array size")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	perPair := paths.CountPairPaths(*n, *n)
-	fmt.Printf("simple paths per wire pair:   %d\n", perPair)
-	fmt.Printf("paper's n^(n-1) estimate:     %d\n", paths.PaperEstimate(*n)/uint64(*n)/uint64(*n))
-	fmt.Printf("storage for all paths:        ~%d bytes\n", paths.StorageBytes(*n))
-	census := kirchhoff.SystemCensus(grid.NewSquare(*n))
-	fmt.Printf("joint-constraint equations:   %d (polynomial alternative)\n", census.Equations)
-	return nil
+	return ob.Run(func() error {
+		perPair := paths.CountPairPaths(*n, *n)
+		fmt.Printf("simple paths per wire pair:   %d\n", perPair)
+		fmt.Printf("paper's n^(n-1) estimate:     %d\n", paths.PaperEstimate(*n)/uint64(*n)/uint64(*n))
+		fmt.Printf("storage for all paths:        ~%d bytes\n", paths.StorageBytes(*n))
+		census := kirchhoff.SystemCensus(grid.NewSquare(*n))
+		fmt.Printf("joint-constraint equations:   %d (polynomial alternative)\n", census.Equations)
+		return nil
+	})
 }
 
 func cmdEquations(args []string) error {
@@ -225,68 +248,145 @@ func cmdEquations(args []string) error {
 	outDir := fs.String("out", "", "shard directory (default: print summary only)")
 	toStdout := fs.Bool("stdout", false, "write equations to stdout instead")
 	voltage := fs.Float64("voltage", gen.SourceVoltage, "source voltage")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	z, err := readFieldFile(*zPath)
-	if err != nil {
-		return err
-	}
-	a := grid.New(z.Rows(), z.Cols())
-	p, err := kirchhoff.NewProblem(a, z, *voltage)
-	if err != nil {
-		return err
-	}
-	if *toStdout {
-		res := parallel.Serial{}.Run(p, parallel.Options{Collect: true})
-		_, err := kirchhoff.WriteSystem(os.Stdout, res.Equations)
-		return err
-	}
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			return err
-		}
-		bytes, err := parallel.WriteSharded(p, *outDir, *workers, sched.Dynamic, 0)
+	return ob.Run(func() error {
+		z, err := readFieldFile(*zPath)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d bytes of equations to %s\n", bytes, *outDir)
-		return nil
-	}
-	var s parallel.Strategy
-	for _, cand := range parallel.All() {
-		if cand.Name() == *strategy {
-			s = cand
+		a := grid.New(z.Rows(), z.Cols())
+		p, err := kirchhoff.NewProblem(a, z, *voltage)
+		if err != nil {
+			return err
 		}
-	}
-	if s == nil {
-		return fmt.Errorf("unknown strategy %q", *strategy)
-	}
-	res := s.Run(p, parallel.Options{Workers: *workers})
-	fmt.Printf("strategy %s formed %d equations (hash %016x)\n", res.Strategy, res.Count, res.Hash)
-	return nil
+		if *toStdout {
+			res := parallel.Serial{}.Run(p, parallel.Options{Collect: true})
+			_, err := kirchhoff.WriteSystem(os.Stdout, res.Equations)
+			return err
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			bytes, err := parallel.WriteSharded(p, *outDir, *workers, sched.Dynamic, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d bytes of equations to %s\n", bytes, *outDir)
+			return nil
+		}
+		s, err := strategyByName(*strategy)
+		if err != nil {
+			return err
+		}
+		res := s.Run(p, parallel.Options{Workers: *workers})
+		fmt.Printf("strategy %s formed %d equations (hash %016x)\n", res.Strategy, res.Count, res.Hash)
+		return nil
+	})
 }
 
+func strategyByName(name string) (parallel.Strategy, error) {
+	for _, cand := range parallel.All() {
+		if cand.Name() == name {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
+// cmdSolve runs the full pipeline: joint-constraint formation with a
+// parallel strategy (sanity check plus the formation/parallel spans on a
+// traced run), a distributed-formation cross-check on a simulated MPI
+// world, then Levenberg-Marquardt recovery.
 func cmdSolve(args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ExitOnError)
 	zPath := fs.String("z", "z.txt", "measured Z matrix file")
 	out := fs.String("o", "recovered.txt", "output path for the recovered field")
 	tol := fs.Float64("tol", 1e-8, "relative residual target")
+	strategy := fs.String("strategy", "pymp", "formation strategy for the pre-solve validation pass")
+	workers := fs.Int("workers", 0, "formation worker count (0 = GOMAXPROCS)")
+	ranks := fs.Int("ranks", 4, "simulated MPI ranks for the formation cross-check (<2 disables)")
+	voltage := fs.Float64("voltage", gen.SourceVoltage, "source voltage")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	z, err := readFieldFile(*zPath)
+	return ob.Run(func() error {
+		z, err := readFieldFile(*zPath)
+		if err != nil {
+			return err
+		}
+		a := grid.New(z.Rows(), z.Cols())
+
+		p, err := kirchhoff.NewProblem(a, z, *voltage)
+		if err != nil {
+			return err
+		}
+		s, err := strategyByName(*strategy)
+		if err != nil {
+			return err
+		}
+		formed := s.Run(p, parallel.Options{Workers: *workers})
+		fmt.Printf("formed %d equations via %s (hash %016x)\n", formed.Count, formed.Strategy, formed.Hash)
+
+		if *ranks > 1 {
+			world := mpi.NewWorld(*ranks, mpi.FDRInfiniBand)
+			distTotal := 0
+			errs := world.Run(func(c *mpi.Comm) error {
+				fr, err := mpi.DistributedFormation(c, p)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					distTotal = fr.TotalEquations
+				}
+				return nil
+			})
+			if err := mpi.FirstError(errs); err != nil {
+				return err
+			}
+			if distTotal != formed.Count {
+				return fmt.Errorf("distributed formation over %d ranks produced %d equations, strategy produced %d",
+					*ranks, distTotal, formed.Count)
+			}
+			fmt.Printf("distributed formation over %d simulated ranks agrees (%d equations)\n", *ranks, distTotal)
+		}
+
+		res, err := solver.Recover(a, z, solver.RecoverOptions{Tol: *tol})
+		if err != nil {
+			return fmt.Errorf("%w (residual %.3g after %d iterations)", err, res.Residual, res.Iterations)
+		}
+		if err := writeFieldFile(*out, res.R); err != nil {
+			return err
+		}
+		fmt.Printf("recovered %dx%d field in %d iterations (residual %.3g) -> %s\n",
+			res.R.Rows(), res.R.Cols(), res.Iterations, res.Residual, *out)
+		return nil
+	})
+}
+
+// cmdTraceCheck validates a Chrome trace written by -trace and prints what
+// it contains — the obs-smoke make target's verifier.
+func cmdTraceCheck(args []string) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: parma tracecheck <trace.json>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	a := grid.New(z.Rows(), z.Cols())
-	res, err := solver.Recover(a, z, solver.RecoverOptions{Tol: *tol})
+	sum, err := obs.ValidateTrace(data)
 	if err != nil {
-		return fmt.Errorf("%w (residual %.3g after %d iterations)", err, res.Residual, res.Iterations)
-	}
-	if err := writeFieldFile(*out, res.R); err != nil {
 		return err
 	}
-	fmt.Printf("recovered %dx%d field in %d iterations (residual %.3g) -> %s\n",
-		res.R.Rows(), res.R.Cols(), res.Iterations, res.Residual, *out)
+	fmt.Printf("valid Chrome trace: %d events on %d tracks, %d span names\n",
+		sum.Events, sum.Tracks, len(sum.Names))
+	for _, n := range sum.Names {
+		fmt.Printf("  %s\n", n)
+	}
 	return nil
 }
 
@@ -298,18 +398,25 @@ func cmdDiagnose(args []string) error {
 	fs.Var(&dead, "dead", "dead resistor as i,j (repeatable)")
 	deadRow := fs.Int("dead-row", -1, "kill every resistor on this horizontal wire")
 	deadCol := fs.Int("dead-col", -1, "kill every resistor on this vertical wire")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	a := grid.New(*rows, *cols)
+	return ob.Run(func() error {
+		return runDiagnose(*rows, *cols, dead, *deadRow, *deadCol)
+	})
+}
+
+func runDiagnose(rows, cols int, dead resistorListFlag, deadRow, deadCol int) error {
+	a := grid.New(rows, cols)
 	mask := grid.FullMaskFor(a)
 	for _, d := range dead {
 		mask.Disable(d[0], d[1])
 	}
-	if *deadRow >= 0 {
-		mask.DisableWire(true, *deadRow)
+	if deadRow >= 0 {
+		mask.DisableWire(true, deadRow)
 	}
-	if *deadCol >= 0 {
-		mask.DisableWire(false, *deadCol)
+	if deadCol >= 0 {
+		mask.DisableWire(false, deadCol)
 	}
 	rep := core.Diagnose(a, mask)
 	fmt.Printf("missing resistors: %d of %d\n", rep.MissingResistors, a.Resistors())
@@ -353,10 +460,15 @@ func (r *resistorListFlag) Set(s string) error {
 func cmdHyper(args []string) error {
 	fs := flag.NewFlagSet("hyper", flag.ExitOnError)
 	dims := fs.String("dims", "10,10,10", "comma-separated lattice extents")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
+	return ob.Run(func() error { return runHyper(*dims) })
+}
+
+func runHyper(dims string) error {
 	var extents []int
-	for _, part := range strings.Split(*dims, ",") {
+	for _, part := range strings.Split(dims, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return fmt.Errorf("bad -dims: %v", err)
@@ -387,39 +499,42 @@ func cmdExport(args []string) error {
 	cols := fs.Int("cols", 0, "with -graph: vertical wires")
 	graph := fs.String("graph", "", "render an array graph instead: joint or wire")
 	out := fs.String("o", "", "output path (default stdout)")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	var dst *os.File = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	return ob.Run(func() error {
+		var dst *os.File = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			dst = f
+		}
+		if *graph != "" {
+			if *rows < 1 || *cols < 1 {
+				return fmt.Errorf("export -graph needs -rows and -cols")
+			}
+			a := grid.New(*rows, *cols)
+			switch *graph {
+			case "joint":
+				return a.JointGraph().WriteDOT(dst, fmt.Sprintf("mea_%dx%d_joints", *rows, *cols))
+			case "wire":
+				return a.WireGraph().WriteDOT(dst, fmt.Sprintf("mea_%dx%d_wires", *rows, *cols))
+			default:
+				return fmt.Errorf("unknown graph kind %q (want joint or wire)", *graph)
+			}
+		}
+		if *rPath == "" {
+			return fmt.Errorf("export needs -r <field> or -graph joint|wire")
+		}
+		f, err := readFieldFile(*rPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		dst = f
-	}
-	if *graph != "" {
-		if *rows < 1 || *cols < 1 {
-			return fmt.Errorf("export -graph needs -rows and -cols")
-		}
-		a := grid.New(*rows, *cols)
-		switch *graph {
-		case "joint":
-			return a.JointGraph().WriteDOT(dst, fmt.Sprintf("mea_%dx%d_joints", *rows, *cols))
-		case "wire":
-			return a.WireGraph().WriteDOT(dst, fmt.Sprintf("mea_%dx%d_wires", *rows, *cols))
-		default:
-			return fmt.Errorf("unknown graph kind %q (want joint or wire)", *graph)
-		}
-	}
-	if *rPath == "" {
-		return fmt.Errorf("export needs -r <field> or -graph joint|wire")
-	}
-	f, err := readFieldFile(*rPath)
-	if err != nil {
-		return err
-	}
-	return grid.WritePGM(dst, f)
+		return grid.WritePGM(dst, f)
+	})
 }
 
 func cmdCheck(args []string) error {
@@ -428,42 +543,45 @@ func cmdCheck(args []string) error {
 	rPath := fs.String("r", "recovered.txt", "candidate resistance field file")
 	voltage := fs.Float64("voltage", gen.SourceVoltage, "source voltage")
 	tol := fs.Float64("tol", 1e-6, "acceptable max relative residual")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	z, err := readFieldFile(*zPath)
-	if err != nil {
-		return err
-	}
-	r, err := readFieldFile(*rPath)
-	if err != nil {
-		return err
-	}
-	a := grid.New(z.Rows(), z.Cols())
-	p, err := kirchhoff.NewProblem(a, z, *voltage)
-	if err != nil {
-		return err
-	}
-	st, err := kirchhoff.GroundTruthState(a, r, *voltage)
-	if err != nil {
-		return err
-	}
-	eqs := p.FormAll()
-	worst := 0.0
-	for _, e := range eqs {
-		scale := *voltage / z.At(e.PairI, e.PairJ)
-		if rel := e.Residual(st) / scale; rel > worst || -rel > worst {
-			if rel < 0 {
-				rel = -rel
-			}
-			worst = rel
+	return ob.Run(func() error {
+		z, err := readFieldFile(*zPath)
+		if err != nil {
+			return err
 		}
-	}
-	fmt.Printf("checked %d equations: max relative residual %.3e\n", len(eqs), worst)
-	if worst > *tol {
-		return fmt.Errorf("field does not satisfy the measurements (residual %.3e > %.3e)", worst, *tol)
-	}
-	fmt.Println("field is consistent with the measurements")
-	return nil
+		r, err := readFieldFile(*rPath)
+		if err != nil {
+			return err
+		}
+		a := grid.New(z.Rows(), z.Cols())
+		p, err := kirchhoff.NewProblem(a, z, *voltage)
+		if err != nil {
+			return err
+		}
+		st, err := kirchhoff.GroundTruthState(a, r, *voltage)
+		if err != nil {
+			return err
+		}
+		eqs := p.FormAll()
+		worst := 0.0
+		for _, e := range eqs {
+			scale := *voltage / z.At(e.PairI, e.PairJ)
+			if rel := e.Residual(st) / scale; rel > worst || -rel > worst {
+				if rel < 0 {
+					rel = -rel
+				}
+				worst = rel
+			}
+		}
+		fmt.Printf("checked %d equations: max relative residual %.3e\n", len(eqs), worst)
+		if worst > *tol {
+			return fmt.Errorf("field does not satisfy the measurements (residual %.3e > %.3e)", worst, *tol)
+		}
+		fmt.Println("field is consistent with the measurements")
+		return nil
+	})
 }
 
 func cmdDetect(args []string) error {
@@ -472,19 +590,22 @@ func cmdDetect(args []string) error {
 	factor := fs.Float64("factor", 2.5, "relative threshold over the median")
 	threshold := fs.Float64("threshold", 0, "absolute threshold (overrides -factor)")
 	minSize := fs.Int("min-size", 1, "minimum region size")
+	ob := obs.AddCLIFlags(fs)
 	fs.Parse(args)
 
-	f, err := readFieldFile(*rPath)
-	if err != nil {
-		return err
-	}
-	det := anomaly.Detect(f, anomaly.Options{
-		Factor: *factor, AbsoluteThreshold: *threshold, MinRegionSize: *minSize,
+	return ob.Run(func() error {
+		f, err := readFieldFile(*rPath)
+		if err != nil {
+			return err
+		}
+		det := anomaly.Detect(f, anomaly.Options{
+			Factor: *factor, AbsoluteThreshold: *threshold, MinRegionSize: *minSize,
+		})
+		fmt.Printf("threshold %.4g kΩ, %d region(s)\n", det.Threshold, len(det.Regions))
+		for i, reg := range det.Regions {
+			fmt.Printf("  region %d: %d cells, peak %.4g kΩ, seed (%d,%d)\n",
+				i, reg.Size(), reg.PeakValue, reg.Cells[0][0], reg.Cells[0][1])
+		}
+		return nil
 	})
-	fmt.Printf("threshold %.4g kΩ, %d region(s)\n", det.Threshold, len(det.Regions))
-	for i, reg := range det.Regions {
-		fmt.Printf("  region %d: %d cells, peak %.4g kΩ, seed (%d,%d)\n",
-			i, reg.Size(), reg.PeakValue, reg.Cells[0][0], reg.Cells[0][1])
-	}
-	return nil
 }

@@ -83,7 +83,9 @@ func Heterogeneous(cfg HeterogeneousConfig) (*metrics.Table, error) {
 // partition on a speed-annotated world and returns the modeled makespan.
 func heteroMakespan(pairCost []time.Duration, speeds []float64, model mpi.CostModel, ranges []sched.Range) (float64, error) {
 	world := mpi.NewWorld(len(speeds), model)
-	world.SetSpeeds(speeds)
+	if err := world.SetSpeeds(speeds); err != nil {
+		return 0, err
+	}
 	times, errs := world.RunCollect(func(c *mpi.Comm) error {
 		if err := c.Barrier(); err != nil {
 			return err

@@ -4,6 +4,16 @@ import (
 	"fmt"
 
 	"parma/internal/grid"
+	"parma/internal/obs"
+)
+
+// Span and counter names emitted during formation. Counters accumulate per
+// pair (not per equation) so the enabled-path overhead stays amortized.
+const (
+	spanFormPair     = "formation/pair"
+	spanFormCategory = "formation/category"
+	ctrEquations     = "kirchhoff/equations_formed"
+	ctrPairs         = "kirchhoff/pairs_formed"
 )
 
 // Problem bundles everything equation formation needs: the array geometry,
@@ -159,6 +169,7 @@ func (p *Problem) FormUb(i, j, m int) Equation {
 // in canonical order: source, dest, Ua layers ascending, Ub layers
 // ascending.
 func (p *Problem) FormPair(i, j int, emit func(Equation)) {
+	sp := obs.StartSpan(spanFormPair)
 	emit(p.FormSource(i, j))
 	emit(p.FormDest(i, j))
 	for k := 0; k < p.Array.Cols(); k++ {
@@ -171,11 +182,31 @@ func (p *Problem) FormPair(i, j int, emit func(Equation)) {
 			emit(p.FormUb(i, j, m))
 		}
 	}
+	if sp.Active() {
+		obs.Add(ctrPairs, 1)
+		obs.Add(ctrEquations, int64(p.Array.Rows()+p.Array.Cols()))
+		sp.End(obs.I("i", i), obs.I("j", j))
+	}
 }
 
 // FormCategory emits every equation of one category for one pair — the
 // task granularity of the paper's four-way Parallel strategy.
 func (p *Problem) FormCategory(i, j int, cat Category, emit func(Equation)) {
+	sp := obs.StartSpan(spanFormCategory)
+	if sp.Active() {
+		defer func() {
+			eqs := 1
+			switch cat {
+			case CatUa:
+				eqs = p.Array.Cols() - 1
+			case CatUb:
+				eqs = p.Array.Rows() - 1
+			}
+			obs.Add(ctrEquations, int64(eqs))
+			obs.Add("kirchhoff/category_"+cat.String()+"_tasks", 1)
+			sp.End(obs.I("i", i), obs.I("j", j), obs.S("category", cat.String()))
+		}()
+	}
 	switch cat {
 	case CatSource:
 		emit(p.FormSource(i, j))

@@ -12,14 +12,24 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"parma/internal/obs"
 )
 
-// Timer measures wall-clock durations of repeated phases.
+// Timer measures wall-clock durations of repeated phases. A named timer
+// (see NamedTimer) additionally feeds each lap into the observability
+// registry as a histogram observation, so timers show up alongside spans
+// and counters in -metrics dumps.
 type Timer struct {
 	start time.Time
 	total time.Duration
 	laps  int
+	name  string
 }
+
+// NamedTimer returns a timer whose laps are also recorded under
+// "timer/<name>" in the obs registry when observability is enabled.
+func NamedTimer(name string) *Timer { return &Timer{name: name} }
 
 // Start begins (or restarts) a lap.
 func (t *Timer) Start() { t.start = time.Now() }
@@ -29,6 +39,9 @@ func (t *Timer) Stop() time.Duration {
 	d := time.Since(t.start)
 	t.total += d
 	t.laps++
+	if t.name != "" {
+		obs.Observe("timer/"+t.name, float64(d.Nanoseconds()))
+	}
 	return d
 }
 
@@ -90,6 +103,7 @@ func (m *MemSampler) record() {
 	m.mu.Lock()
 	m.samples = append(m.samples, float64(ms.HeapInuse))
 	m.mu.Unlock()
+	obs.SetGauge("metrics/heap_inuse_bytes", float64(ms.HeapInuse))
 }
 
 // Stop halts sampling and returns the collected samples (bytes). At least
@@ -159,6 +173,12 @@ type Table struct {
 
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the formatted cell rows.
+func (t *Table) Rows() [][]string { return t.rows }
 
 // AddRow appends one row, formatting each cell with %v.
 func (t *Table) AddRow(cells ...any) {

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"parma/internal/obs"
+)
 
 // Additional collectives layered on the point-to-point core: Allgather,
 // Alltoall, and the combined SendRecv exchange. All follow the same cost
@@ -16,6 +20,8 @@ const (
 // indexed by rank. Implemented as Gather to root plus a broadcast of the
 // framed result.
 func (c *Comm) Allgather(mine []byte) ([][]byte, error) {
+	sp := c.span("mpi/allgather")
+	defer sp.End(obs.I("bytes", len(mine)))
 	parts, err := c.Gather(mine)
 	if err != nil {
 		return nil, err
@@ -38,6 +44,8 @@ func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
 	if len(parts) != c.size {
 		return nil, fmt.Errorf("mpi: Alltoall got %d parts for %d ranks", len(parts), c.size)
 	}
+	sp := c.span("mpi/alltoall")
+	defer sp.End()
 	out := make([][]byte, c.size)
 	cp := make([]byte, len(parts[c.rank]))
 	copy(cp, parts[c.rank])
@@ -46,7 +54,7 @@ func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
 		if dst == c.rank {
 			continue
 		}
-		c.simComm += c.model.cost(len(parts[dst]))
+		c.chargeSend(len(parts[dst]))
 		if err := c.tr.Send(dst, tagAlltoall, parts[dst]); err != nil {
 			return nil, err
 		}
@@ -56,7 +64,7 @@ func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.simComm += c.model.cost(len(data))
+		c.chargeRecv(len(data))
 		if out[src] != nil {
 			return nil, fmt.Errorf("mpi: Alltoall duplicate from rank %d", src)
 		}
@@ -72,7 +80,9 @@ func (c *Comm) SendRecv(partner int, send []byte) ([]byte, error) {
 	if partner == c.rank {
 		return nil, fmt.Errorf("mpi: SendRecv with self")
 	}
-	c.simComm += c.model.cost(len(send))
+	sp := c.span("mpi/sendrecv")
+	defer sp.End(obs.I("partner", partner))
+	c.chargeSend(len(send))
 	if err := c.tr.Send(partner, tagSendRecv, send); err != nil {
 		return nil, err
 	}
@@ -80,7 +90,7 @@ func (c *Comm) SendRecv(partner int, send []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.simComm += c.model.cost(len(data))
+	c.chargeRecv(len(data))
 	return data, nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/bits"
 	"time"
+
+	"parma/internal/obs"
 )
 
 // CostModel charges simulated time for communication, LogP-style: each
@@ -42,6 +44,29 @@ func (cm CostModel) cost(size int) time.Duration {
 	return d
 }
 
+// Traffic returns the modeled cost of msgs messages totalling bytes, the
+// aggregate counterpart of per-message cost charging. It matches the sum
+// of per-message charges whenever each message's bandwidth term converts
+// to a whole nanosecond count (the observability tests pick models where
+// it does).
+func (cm CostModel) Traffic(msgs, bytes int64) time.Duration {
+	d := time.Duration(msgs) * cm.Latency
+	if cm.BandwidthBytesPerSec > 0 {
+		d += time.Duration(float64(bytes) / cm.BandwidthBytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// CommStats counts the point-to-point traffic one rank moved, as charged
+// by the cost model: every charge of Latency+size/Bandwidth corresponds to
+// exactly one counted message on the side that paid it.
+type CommStats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
 // Comm is one rank's endpoint: point-to-point operations, collectives, and
 // the rank's simulated-time accumulators. A Comm is owned by one goroutine.
 type Comm struct {
@@ -49,9 +74,36 @@ type Comm struct {
 	tr         Transport
 	model      CostModel
 	speed      float64 // relative compute speed; 0 is treated as 1
+	track      int32   // obs timeline track; obs.AnonTrack outside World.Run
 
 	simComm    time.Duration // accumulated simulated communication time
 	simCompute time.Duration // accumulated charged compute time
+	stats      CommStats
+}
+
+// Stats returns the traffic this rank has been charged for so far.
+func (c *Comm) Stats() CommStats { return c.stats }
+
+// chargeSend accounts one outbound message of size bytes.
+func (c *Comm) chargeSend(size int) {
+	c.simComm += c.model.cost(size)
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(size)
+}
+
+// chargeRecv accounts one inbound message of size bytes.
+func (c *Comm) chargeRecv(size int) {
+	c.simComm += c.model.cost(size)
+	c.stats.MsgsRecv++
+	c.stats.BytesRecv += int64(size)
+}
+
+// span opens a collective-timing span on this rank's timeline track.
+func (c *Comm) span(name string) obs.Span {
+	if !obs.Enabled() {
+		return obs.Span{}
+	}
+	return obs.StartOn(c.track, name)
 }
 
 // Rank returns this endpoint's rank in [0, Size).
@@ -84,18 +136,24 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	if dst == c.rank {
 		return fmt.Errorf("mpi: rank %d sending to itself", c.rank)
 	}
-	c.simComm += c.model.cost(len(data))
+	if dst < 0 || dst >= c.size {
+		return fmt.Errorf("mpi: rank %d sending to rank %d outside world of %d", c.rank, dst, c.size)
+	}
+	c.chargeSend(len(data))
 	return c.tr.Send(dst, tag, data)
 }
 
 // Recv blocks for a message from src (or AnySource) with the tag and
 // returns the payload and actual source.
 func (c *Comm) Recv(src, tag int) ([]byte, int, error) {
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return nil, 0, fmt.Errorf("mpi: rank %d receiving from rank %d outside world of %d", c.rank, src, c.size)
+	}
 	data, actual, err := c.tr.Recv(src, tag)
 	if err != nil {
 		return nil, 0, err
 	}
-	c.simComm += c.model.cost(len(data))
+	c.chargeRecv(len(data))
 	return data, actual, nil
 }
 
@@ -111,10 +169,12 @@ const (
 // Barrier blocks until every rank has entered. It uses a binomial tree
 // reduce-then-broadcast, costing O(log P) rounds.
 func (c *Comm) Barrier() error {
+	sp := c.span("mpi/barrier")
 	if _, err := c.reduceBytes(nil, tagBarrier, func(a, b []byte) []byte { return nil }); err != nil {
 		return err
 	}
 	_, err := c.bcastBytes(nil, tagBarrier)
+	sp.End()
 	return err
 }
 
@@ -124,7 +184,10 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	if root != 0 {
 		return nil, fmt.Errorf("mpi: only root 0 broadcasts in this implementation")
 	}
-	return c.bcastBytes(data, tagBcast)
+	sp := c.span("mpi/bcast")
+	out, err := c.bcastBytes(data, tagBcast)
+	sp.End(obs.I("bytes", len(out)))
+	return out, err
 }
 
 func (c *Comm) bcastBytes(data []byte, tag int) ([]byte, error) {
@@ -136,7 +199,7 @@ func (c *Comm) bcastBytes(data []byte, tag int) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.simComm += c.model.cost(len(got))
+		c.chargeRecv(len(got))
 		data = got
 	}
 	startBit := 0
@@ -148,7 +211,7 @@ func (c *Comm) bcastBytes(data []byte, tag int) ([]byte, error) {
 		if child >= c.size {
 			break
 		}
-		c.simComm += c.model.cost(len(data))
+		c.chargeSend(len(data))
 		if err := c.tr.Send(child, tag, data); err != nil {
 			return nil, err
 		}
@@ -162,7 +225,7 @@ func (c *Comm) reduceBytes(mine []byte, tag int, combine func(a, b []byte) []byt
 	acc := mine
 	for stride := 1; stride < c.size; stride *= 2 {
 		if c.rank%(2*stride) == stride {
-			c.simComm += c.model.cost(len(acc))
+			c.chargeSend(len(acc))
 			return nil, c.tr.Send(c.rank-stride, tag, acc)
 		}
 		if c.rank%(2*stride) == 0 && c.rank+stride < c.size {
@@ -170,7 +233,7 @@ func (c *Comm) reduceBytes(mine []byte, tag int, combine func(a, b []byte) []byt
 			if err != nil {
 				return nil, err
 			}
-			c.simComm += c.model.cost(len(got))
+			c.chargeRecv(len(got))
 			acc = combine(acc, got)
 		}
 	}
@@ -180,6 +243,8 @@ func (c *Comm) reduceBytes(mine []byte, tag int, combine func(a, b []byte) []byt
 // ReduceSum folds float64 vectors elementwise at root 0. Every rank must
 // pass equal-length slices; root receives the sum, others nil.
 func (c *Comm) ReduceSum(vals []float64) ([]float64, error) {
+	sp := c.span("mpi/reduce")
+	defer sp.End(obs.I("values", len(vals)))
 	out, err := c.reduceBytes(encodeFloats(vals), tagReduce, func(a, b []byte) []byte {
 		av, bv := decodeFloats(a), decodeFloats(b)
 		if len(av) != len(bv) {
@@ -198,6 +263,8 @@ func (c *Comm) ReduceSum(vals []float64) ([]float64, error) {
 
 // AllreduceSum gives every rank the elementwise sum.
 func (c *Comm) AllreduceSum(vals []float64) ([]float64, error) {
+	sp := c.span("mpi/allreduce")
+	defer sp.End(obs.I("values", len(vals)))
 	summed, err := c.ReduceSum(vals)
 	if err != nil {
 		return nil, err
@@ -212,8 +279,10 @@ func (c *Comm) AllreduceSum(vals []float64) ([]float64, error) {
 // Gather collects every rank's buffer at root 0, ordered by rank. Non-root
 // ranks receive nil.
 func (c *Comm) Gather(mine []byte) ([][]byte, error) {
+	sp := c.span("mpi/gather")
+	defer sp.End(obs.I("bytes", len(mine)))
 	if c.rank != 0 {
-		c.simComm += c.model.cost(len(mine))
+		c.chargeSend(len(mine))
 		return nil, c.tr.Send(0, tagGather, mine)
 	}
 	out := make([][]byte, c.size)
@@ -225,7 +294,7 @@ func (c *Comm) Gather(mine []byte) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.simComm += c.model.cost(len(data))
+		c.chargeRecv(len(data))
 		out[src] = data
 	}
 	return out, nil
@@ -234,12 +303,14 @@ func (c *Comm) Gather(mine []byte) ([][]byte, error) {
 // Scatter sends parts[i] from root 0 to rank i and returns each rank's
 // share. Non-root ranks pass nil.
 func (c *Comm) Scatter(parts [][]byte) ([]byte, error) {
+	sp := c.span("mpi/scatter")
+	defer sp.End()
 	if c.rank == 0 {
 		if len(parts) != c.size {
 			return nil, fmt.Errorf("mpi: Scatter got %d parts for %d ranks", len(parts), c.size)
 		}
 		for i := 1; i < c.size; i++ {
-			c.simComm += c.model.cost(len(parts[i]))
+			c.chargeSend(len(parts[i]))
 			if err := c.tr.Send(i, tagScatter, parts[i]); err != nil {
 				return nil, err
 			}
@@ -252,7 +323,7 @@ func (c *Comm) Scatter(parts [][]byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.simComm += c.model.cost(len(data))
+	c.chargeRecv(len(data))
 	return data, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"parma/internal/kirchhoff"
+	"parma/internal/obs"
 	"parma/internal/sched"
 )
 
@@ -33,6 +34,7 @@ func DistributedFormation(c *Comm, p *kirchhoff.Problem) (FormationResult, error
 	r := sched.StaticRanges(pairs, c.Size())[c.Rank()]
 	cols := p.Array.Cols()
 
+	sp := c.span("mpi/formation")
 	start := time.Now()
 	hash := uint64(0)
 	count := 0
@@ -43,6 +45,7 @@ func DistributedFormation(c *Comm, p *kirchhoff.Problem) (FormationResult, error
 		})
 	}
 	c.ChargeCompute(time.Since(start))
+	sp.End(obs.I("rank", c.Rank()), obs.I("pairs", r.Hi-r.Lo), obs.I("equations", count))
 	res.LocalEquations = count
 	res.LocalHash = hash
 

@@ -8,7 +8,9 @@ import (
 
 func TestSetSpeedsScalesChargeCompute(t *testing.T) {
 	w := NewWorld(2, CostModel{})
-	w.SetSpeeds([]float64{1, 4})
+	if err := w.SetSpeeds([]float64{1, 4}); err != nil {
+		t.Fatal(err)
+	}
 	times, errs := w.RunCollect(func(c *Comm) error {
 		c.ChargeCompute(8 * time.Millisecond)
 		return nil
@@ -26,22 +28,25 @@ func TestSetSpeedsScalesChargeCompute(t *testing.T) {
 
 func TestSetSpeedsValidation(t *testing.T) {
 	w := NewWorld(2, CostModel{})
-	for _, speeds := range [][]float64{{1}, {1, 0}, {1, -2}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("SetSpeeds(%v) did not panic", speeds)
-				}
-			}()
-			w.SetSpeeds(speeds)
-		}()
+	for _, speeds := range [][]float64{{1}, {1, 2, 3}, {1, 0}, {1, -2}, {math.NaN(), 1}} {
+		if err := w.SetSpeeds(speeds); err == nil {
+			t.Errorf("SetSpeeds(%v) accepted", speeds)
+		}
 	}
-	w.SetSpeeds([]float64{2, 3})
+	if w.Speeds() != nil {
+		t.Fatalf("rejected input mutated the table: %v", w.Speeds())
+	}
+	if err := w.SetSpeeds([]float64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// A later invalid call must leave the previous valid table in place.
+	if err := w.SetSpeeds([]float64{0, 1}); err == nil {
+		t.Fatal("zero speed accepted")
+	}
 	if got := w.Speeds(); len(got) != 2 || got[0] != 2 {
 		t.Fatalf("Speeds = %v", got)
 	}
-	w.SetSpeeds(nil)
-	if w.Speeds() != nil {
+	if err := w.SetSpeeds(nil); err != nil || w.Speeds() != nil {
 		t.Fatal("nil reset failed")
 	}
 }

@@ -37,16 +37,19 @@ func newInbox() *inbox {
 	return ib
 }
 
-// put delivers a message and wakes matching receivers.
-func (ib *inbox) put(m message) {
+// put delivers a message and wakes matching receivers. Delivery to a
+// closed inbox is rejected with an error (the world has already shut the
+// destination rank down).
+func (ib *inbox) put(m message) error {
 	ib.mu.Lock()
 	if ib.closed {
 		ib.mu.Unlock()
-		panic("mpi: send to a closed inbox")
+		return fmt.Errorf("mpi: send from rank %d to a closed inbox (tag %d)", m.src, m.tag)
 	}
 	ib.stash = append(ib.stash, m)
 	ib.mu.Unlock()
 	ib.cond.Broadcast()
+	return nil
 }
 
 // get blocks until a message matching (src, tag) is available and removes
@@ -98,8 +101,7 @@ func (t *chanTransport) Send(dst, tag int, data []byte) error {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	t.inboxes[dst].put(message{src: t.rank, tag: tag, data: cp})
-	return nil
+	return t.inboxes[dst].put(message{src: t.rank, tag: tag, data: cp})
 }
 
 func (t *chanTransport) Recv(src, tag int) ([]byte, int, error) {

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"parma/internal/obs"
 )
 
 // The TCP transport routes messages through a coordinator process in a star
@@ -160,11 +162,13 @@ func DialTCP(addr string, rank, size int, model CostModel) (*Comm, func() error,
 				tr.in.close()
 				return
 			}
-			tr.in.put(message{src: src, tag: tag, data: payload})
+			if err := tr.in.put(message{src: src, tag: tag, data: payload}); err != nil {
+				return // inbox closed under us; drop the pump
+			}
 		}
 	}()
 	closeFn := func() error { return conn.Close() }
-	return &Comm{rank: rank, size: size, model: model, tr: tr}, closeFn, nil
+	return &Comm{rank: rank, size: size, model: model, track: obs.AnonTrack, tr: tr}, closeFn, nil
 }
 
 func (t *tcpTransport) Send(dst, tag int, data []byte) error {

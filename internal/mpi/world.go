@@ -3,6 +3,9 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"parma/internal/obs"
 )
 
 // World is an in-process communicator group: size ranks sharing a mailbox
@@ -30,24 +33,26 @@ func NewWorld(size int, model CostModel) *World {
 // SetSpeeds declares per-rank relative compute speeds for a heterogeneous
 // cluster (the paper's first future-work item): ChargeCompute on rank r is
 // scaled by 1/speeds[r], so a speed-2 rank finishes the same work in half
-// the simulated time. All speeds must be positive; nil restores
-// homogeneity.
-func (w *World) SetSpeeds(speeds []float64) {
+// the simulated time. All speeds must be positive and the table must have
+// one entry per rank; nil restores homogeneity. Invalid input is rejected
+// with an error and leaves the previous table untouched.
+func (w *World) SetSpeeds(speeds []float64) error {
 	if speeds == nil {
 		w.speeds = nil
-		return
+		return nil
 	}
 	if len(speeds) != w.size {
-		panic(fmt.Sprintf("mpi: %d speeds for a world of %d", len(speeds), w.size))
+		return fmt.Errorf("mpi: %d speeds for a world of %d ranks", len(speeds), w.size)
 	}
 	for r, s := range speeds {
-		if s <= 0 {
-			panic(fmt.Sprintf("mpi: non-positive speed %g at rank %d", s, r))
+		if s <= 0 || s != s { // non-positive or NaN
+			return fmt.Errorf("mpi: invalid speed %g at rank %d (must be positive)", s, r)
 		}
 	}
 	cp := make([]float64, len(speeds))
 	copy(cp, speeds)
 	w.speeds = cp
+	return nil
 }
 
 // Speeds returns the per-rank speed table, or nil for homogeneous worlds.
@@ -62,14 +67,19 @@ func (w *World) Size() int { return w.size }
 func (w *World) Run(fn func(c *Comm) error) []error {
 	errs := make([]error, w.size)
 	comms := make([]*Comm, w.size)
+	observed := obs.Enabled()
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
 		comms[r] = &Comm{
 			rank: r, size: w.size, model: w.model, speed: 1,
-			tr: &chanTransport{rank: r, inboxes: w.inboxes},
+			track: obs.AnonTrack,
+			tr:    &chanTransport{rank: r, inboxes: w.inboxes},
 		}
 		if w.speeds != nil {
 			comms[r].speed = w.speeds[r]
+		}
+		if observed {
+			comms[r].track = obs.NewTrack(fmt.Sprintf("rank %d", r))
 		}
 		comms[r].simComm += w.model.RankStartup
 		wg.Add(1)
@@ -80,7 +90,15 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
 				}
 			}()
-			errs[r] = fn(comms[r])
+			c := comms[r]
+			sp := c.span("mpi/rank")
+			start := time.Now()
+			errs[r] = fn(c)
+			if observed {
+				wall := time.Since(start)
+				sp.End(obs.I("rank", r))
+				flushRankMetrics(c, wall)
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -88,6 +106,23 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 		ib.close()
 	}
 	return errs
+}
+
+// flushRankMetrics publishes one rank's traffic counters and its
+// modeled-vs-wall time gauges into the global registry.
+func flushRankMetrics(c *Comm, wall time.Duration) {
+	prefix := fmt.Sprintf("mpi/rank%d/", c.rank)
+	st := c.Stats()
+	obs.Add(prefix+"msgs_sent", st.MsgsSent)
+	obs.Add(prefix+"bytes_sent", st.BytesSent)
+	obs.Add(prefix+"msgs_recv", st.MsgsRecv)
+	obs.Add(prefix+"bytes_recv", st.BytesRecv)
+	obs.Add("mpi/msgs_sent", st.MsgsSent)
+	obs.Add("mpi/bytes_sent", st.BytesSent)
+	obs.SetGauge(prefix+"sim_comm_s", c.SimCommTime().Seconds())
+	obs.SetGauge(prefix+"sim_compute_s", c.SimComputeTime().Seconds())
+	obs.SetGauge(prefix+"sim_total_s", c.SimTotal().Seconds())
+	obs.SetGauge(prefix+"wall_s", wall.Seconds())
 }
 
 // RunCollect is Run plus per-rank simulated-time collection: it returns the

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// CLI wires the observability layer into a command's flag set: -trace,
+// -metrics, -cpuprofile, and -memprofile. When none of the flags is set the
+// wrapped command runs with recording disabled and pays nothing.
+type CLI struct {
+	tracePath   string
+	metricsPath string
+	cpuProfile  string
+	memProfile  string
+}
+
+// AddCLIFlags registers the shared observability flags on fs.
+func AddCLIFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.tracePath, "trace", "", "write a Chrome trace_event JSON timeline to this file")
+	fs.StringVar(&c.metricsPath, "metrics", "", "write a metrics dump (summary + Prometheus text) to this file")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile to this file")
+	return c
+}
+
+// active reports whether any observability output was requested.
+func (c *CLI) active() bool {
+	return c.tracePath != "" || c.metricsPath != "" || c.cpuProfile != "" || c.memProfile != ""
+}
+
+// Run executes f under the requested instrumentation: it installs a global
+// recorder, starts profiles and the runtime sampler, runs f, then writes
+// every requested artifact. The command's own error takes precedence over
+// export errors.
+func (c *CLI) Run(f func() error) error {
+	if !c.active() {
+		return f()
+	}
+	rec := NewRecorder()
+	Enable(rec)
+	defer Disable()
+
+	sampler := NewRuntimeSampler(rec, 5*time.Millisecond)
+	sampler.Start()
+
+	var stopCPU func() error
+	if c.cpuProfile != "" {
+		var err error
+		if stopCPU, err = StartCPUProfile(c.cpuProfile); err != nil {
+			sampler.Stop()
+			return err
+		}
+	}
+
+	runErr := f()
+
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	sampler.Stop()
+
+	if c.memProfile != "" {
+		if err := WriteHeapProfile(c.memProfile); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if c.tracePath != "" {
+		if err := writeTo(c.tracePath, rec.WriteChromeTrace); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if c.metricsPath != "" {
+		if err := writeTo(c.metricsPath, func(w io.Writer) error {
+			if err := rec.WriteSummary(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+			return rec.WritePrometheus(w)
+		}); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// pprof and runtime hooks: file-backed CPU/heap profiles for the CLI flags,
+// and a background sampler that feeds GC and allocation gauges so memory
+// behavior shows up next to spans in the metrics dump.
+
+// StartCPUProfile begins a CPU profile written to path. The returned stop
+// function ends the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile snapshots the heap profile to path (after a GC, so the
+// profile reflects live objects).
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+// RuntimeSampler periodically reads runtime.MemStats into gauges of the
+// recorder's registry: runtime/heap_inuse_bytes, runtime/heap_alloc_bytes,
+// runtime/total_alloc_bytes, runtime/num_gc, runtime/gc_pause_total_ns,
+// and runtime/goroutines.
+type RuntimeSampler struct {
+	r        *Recorder
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRuntimeSampler creates a sampler feeding r on the given interval
+// (clamped up to 1 ms to bound ReadMemStats overhead).
+func NewRuntimeSampler(r *Recorder, interval time.Duration) *RuntimeSampler {
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	return &RuntimeSampler{r: r, interval: interval}
+}
+
+func (s *RuntimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg := s.r.Registry()
+	reg.Gauge("runtime/heap_inuse_bytes").Set(float64(ms.HeapInuse))
+	reg.Gauge("runtime/heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	reg.Gauge("runtime/total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	reg.Gauge("runtime/num_gc").Set(float64(ms.NumGC))
+	reg.Gauge("runtime/gc_pause_total_ns").Set(float64(ms.PauseTotalNs))
+	reg.Gauge("runtime/goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Histogram("runtime/heap_inuse_samples").Observe(float64(ms.HeapInuse))
+}
+
+// Start launches background sampling; call Stop to end it.
+func (s *RuntimeSampler) Start() {
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.sample()
+			}
+		}
+	}()
+}
+
+// Stop halts sampling after recording one final snapshot.
+func (s *RuntimeSampler) Stop() {
+	close(s.stop)
+	<-s.done
+	s.sample()
+}

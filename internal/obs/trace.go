@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace_event export: each completed span becomes a "X" (complete)
+// event with microsecond timestamps, loadable in chrome://tracing and
+// Perfetto. Named tracks (workers, ranks) map to one tid each; spans on
+// AnonTrack are packed into free lanes by time overlap so concurrent
+// regions never collide on a row.
+
+// traceEvent is the trace_event JSON wire format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the "JSON object format" wrapper, the variant that tolerates
+// trailing metadata fields.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit"`
+}
+
+// laneFor assigns ev to the first anonymous lane free at its start time.
+func laneFor(lanes *[]time.Duration, start, end time.Duration) int {
+	for i, busyUntil := range *lanes {
+		if busyUntil <= start {
+			(*lanes)[i] = end
+			return i
+		}
+	}
+	*lanes = append(*lanes, end)
+	return len(*lanes) - 1
+}
+
+// WriteChromeTrace renders every recorded span as Chrome trace JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	tf := traceFile{DisplayUnit: "ns", TraceEvents: make([]traceEvent, 0, len(events)+8)}
+
+	// Named tracks occupy tids [0, n); anonymous lanes follow above them.
+	r.trackMu.Lock()
+	named := make([]int32, 0, len(r.trackNames))
+	for id := range r.trackNames {
+		named = append(named, id)
+	}
+	r.trackMu.Unlock()
+	sort.Slice(named, func(i, j int) bool { return named[i] < named[j] })
+	tidOf := make(map[int32]int, len(named))
+	for i, id := range named {
+		tidOf[id] = i
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i,
+			Args: map[string]any{"name": r.TrackName(id)},
+		})
+	}
+	anonBase := len(named)
+	var lanes []time.Duration
+
+	for _, ev := range events {
+		tid := 0
+		if ev.Track == AnonTrack {
+			tid = anonBase + laneFor(&lanes, ev.Start, ev.Start+ev.Dur)
+		} else if t, ok := tidOf[ev.Track]; ok {
+			tid = t
+		}
+		te := traceEvent{
+			Name: ev.Name, Ph: "X", Pid: 0, Tid: tid,
+			Ts:  float64(ev.Start) / float64(time.Microsecond),
+			Dur: float64(ev.Dur) / float64(time.Microsecond),
+		}
+		if len(ev.Attrs) > 0 {
+			te.Args = make(map[string]any, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				if a.num {
+					te.Args[a.Key] = a.Num
+				} else {
+					te.Args[a.Key] = a.Str
+				}
+			}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, te)
+	}
+	for i := 0; i < len(lanes); i++ {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: anonBase + i,
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", i)},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// TraceSummary reports the shape of a validated trace file.
+type TraceSummary struct {
+	Events int
+	Tracks int
+	Names  []string // distinct span names, sorted
+}
+
+// ValidateTrace parses Chrome trace JSON produced by WriteChromeTrace and
+// checks its structural invariants: non-empty, every event has a name and
+// a known phase, and complete events carry non-negative timestamps. It
+// returns a summary for reporting.
+func ValidateTrace(data []byte) (TraceSummary, error) {
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return TraceSummary{}, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return TraceSummary{}, fmt.Errorf("obs: trace has no events")
+	}
+	tracks := map[int]bool{}
+	names := map[string]bool{}
+	spans := 0
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			return TraceSummary{}, fmt.Errorf("obs: event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Ts < 0 || ev.Dur < 0 {
+				return TraceSummary{}, fmt.Errorf("obs: event %d (%s) has negative time", i, ev.Name)
+			}
+			spans++
+			names[ev.Name] = true
+			tracks[ev.Tid] = true
+		case "M": // metadata
+		default:
+			return TraceSummary{}, fmt.Errorf("obs: event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if spans == 0 {
+		return TraceSummary{}, fmt.Errorf("obs: trace has metadata but no spans")
+	}
+	sum := TraceSummary{Events: spans, Tracks: len(tracks)}
+	for n := range names {
+		sum.Names = append(sum.Names, n)
+	}
+	sort.Strings(sum.Names)
+	return sum, nil
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	rank := r.NewTrack("rank 0")
+	sp := r.StartOn(rank, "mpi/bcast")
+	sp.End(I("bytes", 64))
+	anon := r.StartSpan("formation/pair")
+	anon.End(I("i", 1), I("j", 2))
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 2 {
+		t.Fatalf("validated %d spans, want 2", sum.Events)
+	}
+	if len(sum.Names) != 2 || sum.Names[0] != "formation/pair" || sum.Names[1] != "mpi/bcast" {
+		t.Fatalf("span names %v", sum.Names)
+	}
+
+	// The named track must carry its thread_name metadata.
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	foundRank := false
+	for _, ev := range tf.TraceEvents {
+		if ev["ph"] == "M" {
+			if args, ok := ev["args"].(map[string]any); ok && args["name"] == "rank 0" {
+				foundRank = true
+			}
+		}
+	}
+	if !foundRank {
+		t.Fatal("trace lacks the rank 0 thread_name metadata")
+	}
+}
+
+func TestAnonymousLanePacking(t *testing.T) {
+	// Two overlapping anonymous spans must land on distinct lanes; a third
+	// starting after both ended reuses lane 0.
+	var lanes []time.Duration
+	a := laneFor(&lanes, 0, 100)
+	b := laneFor(&lanes, 50, 150)
+	c := laneFor(&lanes, 200, 300)
+	if a != 0 || b != 1 || c != 0 {
+		t.Fatalf("lanes a=%d b=%d c=%d, want 0 1 0", a, b, c)
+	}
+}
+
+func TestValidateTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":  "{",
+		"no events": `{"traceEvents":[]}`,
+		"unnamed":   `{"traceEvents":[{"ph":"X","ts":1,"dur":1}]}`,
+		"bad phase": `{"traceEvents":[{"name":"x","ph":"Q"}]}`,
+		"negative":  `{"traceEvents":[{"name":"x","ph":"X","ts":-5}]}`,
+		"meta only": `{"traceEvents":[{"name":"thread_name","ph":"M"}]}`,
+	}
+	for label, in := range cases {
+		if _, err := ValidateTrace([]byte(in)); err == nil {
+			t.Errorf("%s: accepted %q", label, in)
+		}
+	}
+}
+
+func TestCLIRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cli := AddCLIFlags(fs)
+	trace := filepath.Join(dir, "t.json")
+	metricsOut := filepath.Join(dir, "m.txt")
+	heap := filepath.Join(dir, "h.pprof")
+	if err := fs.Parse([]string{"-trace", trace, "-metrics", metricsOut, "-memprofile", heap}); err != nil {
+		t.Fatal(err)
+	}
+	err := cli.Run(func() error {
+		sp := StartSpan("unit/work")
+		Add("unit/ops", 2)
+		sp.End()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("recorder still enabled after CLI.Run")
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events == 0 {
+		t.Fatal("trace empty")
+	}
+	m, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(m, []byte("unit/ops")) || !bytes.Contains(m, []byte("parma_unit_ops 2")) {
+		t.Fatalf("metrics dump missing counter:\n%s", m)
+	}
+	if st, err := os.Stat(heap); err != nil || st.Size() == 0 {
+		t.Fatalf("heap profile missing: %v", err)
+	}
+}
+
+func TestCLIRunDisabledPassThrough(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cli := AddCLIFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := cli.Run(func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || Enabled() {
+		t.Fatal("pass-through run misbehaved")
+	}
+}

@@ -1,11 +1,28 @@
 package parallel
 
 import (
+	"fmt"
 	"sync"
 
 	"parma/internal/kirchhoff"
+	"parma/internal/obs"
 	"parma/internal/sched"
 )
+
+// strategySpan opens the span covering one whole strategy run.
+func strategySpan(name string) obs.Span {
+	return obs.StartSpan("parallel/" + name)
+}
+
+// workerSpan opens a per-worker span on its own named timeline track, so
+// Chrome traces show one row per worker. Inert when recording is disabled.
+func workerSpan(strategy string, worker int) obs.Span {
+	if !obs.Enabled() {
+		return obs.Span{}
+	}
+	track := obs.NewTrack(fmt.Sprintf("%s worker %d", strategy, worker))
+	return obs.StartOn(track, "parallel/worker")
+}
 
 // Serial is the Single-thread baseline: canonical-order formation on one
 // goroutine.
@@ -17,13 +34,16 @@ func (Serial) Name() string { return "single-thread" }
 // Run implements Strategy.
 func (s Serial) Run(p *kirchhoff.Problem, opts Options) Result {
 	checkProblem(p)
+	sp := strategySpan(s.Name())
 	sinks, eqs := newSinks(p, 1, opts.Collect)
 	for i := 0; i < p.Array.Rows(); i++ {
 		for j := 0; j < p.Array.Cols(); j++ {
 			p.FormPair(i, j, sinks[0].emit)
 		}
 	}
-	return merge(s.Name(), sinks, eqs)
+	res := merge(s.Name(), sinks, eqs)
+	sp.End(obs.I("equations", res.Count))
+	return res
 }
 
 // FourWay is the paper's Parallel strategy: one goroutine per constraint
@@ -38,6 +58,7 @@ func (FourWay) Name() string { return "parallel" }
 // Run implements Strategy. Options.Workers is ignored by design.
 func (f FourWay) Run(p *kirchhoff.Problem, opts Options) Result {
 	checkProblem(p)
+	sp := strategySpan(f.Name())
 	cats := kirchhoff.Categories
 	sinks, eqs := newSinks(p, len(cats), opts.Collect)
 	var wg sync.WaitGroup
@@ -45,15 +66,19 @@ func (f FourWay) Run(p *kirchhoff.Problem, opts Options) Result {
 		wg.Add(1)
 		go func(w int, cat kirchhoff.Category) {
 			defer wg.Done()
+			wsp := workerSpan(f.Name(), w)
 			for i := 0; i < p.Array.Rows(); i++ {
 				for j := 0; j < p.Array.Cols(); j++ {
 					p.FormCategory(i, j, cat, sinks[w].emit)
 				}
 			}
+			wsp.End(obs.S("category", cat.String()), obs.I("equations", sinks[w].count))
 		}(w, cat)
 	}
 	wg.Wait()
-	return merge(f.Name(), sinks, eqs)
+	res := merge(f.Name(), sinks, eqs)
+	sp.End(obs.I("equations", res.Count))
+	return res
 }
 
 // Balanced is the paper's Balanced Parallel: a deterministic cost-weighted
@@ -69,6 +94,7 @@ func (Balanced) Name() string { return "balanced-parallel" }
 // Run implements Strategy.
 func (b Balanced) Run(p *kirchhoff.Problem, opts Options) Result {
 	checkProblem(p)
+	sp := strategySpan(b.Name())
 	w := opts.workers()
 	sinks, eqs := newSinks(p, w, opts.Collect)
 	bins := sched.BalanceLPT(taskCount(p), w, func(task int) float64 {
@@ -79,13 +105,17 @@ func (b Balanced) Run(p *kirchhoff.Problem, opts Options) Result {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			wsp := workerSpan(b.Name(), id)
 			for _, task := range bins[id] {
 				runTask(p, &sinks[id], task)
 			}
+			wsp.End(obs.I("tasks", len(bins[id])))
 		}(id)
 	}
 	wg.Wait()
-	return merge(b.Name(), sinks, eqs)
+	res := merge(b.Name(), sinks, eqs)
+	sp.End(obs.I("equations", res.Count))
+	return res
 }
 
 // Stealing runs the same (pair, category) tasks under runtime work-stealing
@@ -99,13 +129,16 @@ func (Stealing) Name() string { return "work-stealing" }
 // Run implements Strategy.
 func (s Stealing) Run(p *kirchhoff.Problem, opts Options) Result {
 	checkProblem(p)
+	sp := strategySpan(s.Name())
 	w := opts.workers()
 	sinks, eqs := newSinks(p, w, opts.Collect)
 	pool := sched.NewStealingPool(taskCount(p), w)
 	pool.Run(func(worker, task int) {
 		runTask(p, &sinks[worker], task)
 	})
-	return merge(s.Name(), sinks, eqs)
+	res := merge(s.Name(), sinks, eqs)
+	sp.End(obs.I("equations", res.Count))
+	return res
 }
 
 // FineGrained is the paper's PyMP-k: parallelism is pushed inside every
@@ -126,6 +159,7 @@ const DefaultChunk = 64
 // Run implements Strategy.
 func (f FineGrained) Run(p *kirchhoff.Problem, opts Options) Result {
 	checkProblem(p)
+	sp := strategySpan(f.Name())
 	w := opts.workers()
 	chunk := opts.Chunk
 	if chunk < 1 {
@@ -136,7 +170,9 @@ func (f FineGrained) Run(p *kirchhoff.Problem, opts Options) Result {
 	sched.ParallelFor(total, w, opts.Policy, chunk, func(worker, idx int) {
 		sinks[worker].emit(p.EquationAt(idx))
 	})
-	return merge(f.Name(), sinks, eqs)
+	res := merge(f.Name(), sinks, eqs)
+	sp.End(obs.I("equations", res.Count), obs.I("chunk", chunk))
+	return res
 }
 
 // All returns one instance of every strategy in presentation order.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"parma/internal/obs"
 )
 
 // Policy selects how loop iterations are handed to workers, mirroring
@@ -106,6 +108,8 @@ type Chunker struct {
 	staticRanges []Range       // precomputed per-worker ranges (Static)
 	staticTaken  []atomic.Bool // one-shot flags per worker (Static)
 	mu           sync.Mutex    // guards guided's variable-size handout
+
+	handouts *obs.Counter // chunks handed out (nil when obs is disabled)
 }
 
 // NewChunker builds a chunker over [0, n) for w workers. chunk is the
@@ -117,7 +121,8 @@ func NewChunker(n, w int, policy Policy, chunk int) *Chunker {
 	if chunk < 1 {
 		chunk = 1
 	}
-	c := &Chunker{n: n, workers: w, policy: policy, chunk: chunk}
+	c := &Chunker{n: n, workers: w, policy: policy, chunk: chunk,
+		handouts: obs.GetCounter("sched/chunks_handed_out")}
 	if policy == Static {
 		c.staticRanges = StaticRanges(n, w)
 		c.staticTaken = make([]atomic.Bool, w)
@@ -141,6 +146,7 @@ func (c *Chunker) Next(worker int) (Range, bool) {
 		if r.Lo >= r.Hi {
 			return Range{}, false
 		}
+		c.handouts.Add(1)
 		return r, true
 	case Dynamic:
 		for {
@@ -153,6 +159,7 @@ func (c *Chunker) Next(worker int) (Range, bool) {
 				hi = int64(c.n)
 			}
 			if c.next.CompareAndSwap(lo, hi) {
+				c.handouts.Add(1)
 				return Range{Lo: int(lo), Hi: int(hi)}, true
 			}
 		}
@@ -172,6 +179,7 @@ func (c *Chunker) Next(worker int) (Range, bool) {
 			size = remaining
 		}
 		c.next.Store(int64(lo + size))
+		c.handouts.Add(1)
 		return Range{Lo: lo, Hi: lo + size}, true
 	default:
 		panic(fmt.Sprintf("sched: unknown policy %v", c.policy))
@@ -190,15 +198,22 @@ func ParallelFor(n, w int, policy Policy, chunk int, body func(worker, i int)) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			var sp obs.Span
+			if obs.Enabled() {
+				sp = obs.StartOn(obs.NewTrack(fmt.Sprintf("for worker %d", id)), "sched/worker")
+			}
+			chunks := 0
 			for {
 				r, ok := c.Next(id)
 				if !ok {
-					return
+					break
 				}
+				chunks++
 				for i := r.Lo; i < r.Hi; i++ {
 					body(id, i)
 				}
 			}
+			sp.End(obs.I("worker", id), obs.I("chunks", chunks), obs.S("policy", policy.String()))
 		}(id)
 	}
 	wg.Wait()

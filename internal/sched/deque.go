@@ -5,7 +5,12 @@
 // trading runtime flexibility for lower switching overhead — §IV-C1).
 package sched
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"parma/internal/obs"
+)
 
 // Deque is a work-stealing double-ended task queue. The owning worker
 // pushes and pops at the bottom (LIFO, cache-friendly); idle workers steal
@@ -82,28 +87,40 @@ func NewStealingPool(n, w int) *StealingPool {
 func (p *StealingPool) Run(run func(worker, task int)) {
 	var wg sync.WaitGroup
 	w := len(p.deques)
+	steals := obs.GetCounter("sched/steals")
+	localPops := obs.GetCounter("sched/local_pops")
 	for id := 0; id < w; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			var sp obs.Span
+			if obs.Enabled() {
+				sp = obs.StartOn(obs.NewTrack(fmt.Sprintf("steal worker %d", id)), "sched/worker")
+			}
 			own := p.deques[id]
+			ownRun, stealRun := 0, 0
 			for {
 				if t, ok := own.Pop(); ok {
+					localPops.Inc()
+					ownRun++
 					run(id, t)
 					continue
 				}
 				stolen := false
 				for off := 1; off < w; off++ {
 					if t, ok := p.deques[(id+off)%w].Steal(); ok {
+						steals.Inc()
+						stealRun++
 						run(id, t)
 						stolen = true
 						break
 					}
 				}
 				if !stolen {
-					return
+					break
 				}
 			}
+			sp.End(obs.I("worker", id), obs.I("own_tasks", ownRun), obs.I("stolen_tasks", stealRun))
 		}(id)
 	}
 	wg.Wait()

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"parma/internal/mat"
+	"parma/internal/obs"
 )
 
 // ErrDiverged is returned when an iteration fails to reduce the residual
@@ -53,9 +54,11 @@ func NewtonSolve(f func(mat.Vector) mat.Vector, jac func(mat.Vector) *mat.Matrix
 		if res.NormInf() <= tol {
 			return x, iter, nil
 		}
+		spIter := obs.StartSpan("solver/newton_iter")
 		j := jac(x)
 		step, err := mat.Solve(j, res)
 		if err != nil {
+			spIter.End(obs.I("iter", iter), obs.F("residual", norm))
 			return x, iter, fmt.Errorf("solver: singular Jacobian at iteration %d: %w", iter, err)
 		}
 		// Damped update: x' = x − α·step with α halved until progress.
@@ -70,6 +73,10 @@ func NewtonSolve(f func(mat.Vector) mat.Vector, jac func(mat.Vector) *mat.Matrix
 				break
 			}
 			alpha /= 2
+		}
+		if spIter.Active() {
+			obs.Add("solver/iterations", 1)
+			spIter.End(obs.I("iter", iter), obs.F("residual", norm), obs.F("alpha", alpha))
 		}
 		if !improved {
 			return x, iter, ErrDiverged

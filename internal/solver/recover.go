@@ -7,6 +7,7 @@ import (
 	"parma/internal/circuit"
 	"parma/internal/grid"
 	"parma/internal/mat"
+	"parma/internal/obs"
 )
 
 // RecoverOptions configures resistance-field recovery.
@@ -99,12 +100,19 @@ func Recover(a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, e
 	lambda := 1e-3
 
 	result := RecoverResult{R: r}
+	spRecover := obs.StartSpan("solver/recover")
+	defer func() {
+		if spRecover.Active() {
+			spRecover.End(obs.I("iterations", result.Iterations), obs.F("residual", result.Residual))
+		}
+	}()
 	for iter := 0; iter < maxIter; iter++ {
 		result.Iterations = iter
 		result.Residual = cost / zNorm
 		if result.Residual <= tol {
 			return result, nil
 		}
+		spIter := obs.StartSpan("solver/newton_iter")
 		// Jacobian in log space: J[pq, kl] = ∂Z_pq/∂R_kl · R_kl.
 		jac := mat.NewMatrix(m*n, nUnknown)
 		for p := 0; p < m; p++ {
@@ -152,6 +160,15 @@ func Recover(a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, e
 				break
 			}
 			lambda *= 10
+		}
+		if spIter.Active() {
+			obs.Add("solver/iterations", 1)
+			acc := 0
+			if accepted {
+				acc = 1
+			}
+			spIter.End(obs.I("iter", iter), obs.F("residual", cost/zNorm),
+				obs.F("lambda", lambda), obs.I("accepted", acc))
 		}
 		if !accepted {
 			result.Residual = cost / zNorm
