@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench vet fmt figures examples obs-smoke clean
+.PHONY: all build test race lint bench vet parmavet fmt figures examples obs-smoke fuzz-smoke clean
 
 all: lint test race build obs-smoke
 
@@ -15,8 +15,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint fails on vet findings or files gofmt would rewrite.
-lint: vet
+# lint fails on vet findings, parmavet findings, or files gofmt would
+# rewrite.
+lint: vet parmavet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
 
@@ -25,6 +26,12 @@ bench:
 
 vet:
 	$(GO) vet ./...
+
+# parmavet runs the project-specific analyzers (span lifetimes, dropped MPI
+# errors, float equality, locks across blocking calls). See
+# docs/static-analysis.md.
+parmavet:
+	$(GO) run ./cmd/parmavet ./...
 
 fmt:
 	gofmt -w .
@@ -42,6 +49,11 @@ obs-smoke:
 		{ echo "metrics dump is missing per-rank byte counters"; exit 1; }
 	@rm -rf obs-smoke.tmp
 	@echo "obs-smoke: trace and metrics artifacts check out"
+
+# fuzz-smoke gives the trace-JSON validator a short randomized beating; the
+# seed corpus covers the obs-smoke artifact shape.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzValidateTrace -fuzztime 10s ./internal/obs
 
 # Regenerate every paper figure plus the extension studies.
 figures:

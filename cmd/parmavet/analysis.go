@@ -1,0 +1,232 @@
+package main
+
+// The analyzer framework: a Finding is one diagnostic, an Analyzer is a
+// named check run over a type-checked package, and `//parmavet:allow
+// <analyzer>` comments suppress findings on their own line or the line
+// directly below (so both trailing and standalone comments work).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic, addressable as file:line:col.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	findings *[]Finding
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one project-specific check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies limits the analyzer to certain packages; nil means all.
+	Applies func(pkgPath string) bool
+	Run     func(*Pass)
+}
+
+// analyzers returns the full suite in output order.
+func analyzers() []*Analyzer {
+	return []*Analyzer{spanendAnalyzer, mpierrAnalyzer, floateqAnalyzer, locksendAnalyzer}
+}
+
+var allowRE = regexp.MustCompile(`parmavet:allow[ \t]+([a-z0-9_,]+)`)
+
+// allowedLines maps analyzer name -> file -> suppressed line set, built
+// from //parmavet:allow comments. A comment suppresses its own line and
+// the next one.
+func allowedLines(pkg *Package) map[string]map[string]map[int]bool {
+	out := map[string]map[string]map[int]bool{}
+	mark := func(name, file string, line int) {
+		if out[name] == nil {
+			out[name] = map[string]map[int]bool{}
+		}
+		if out[name][file] == nil {
+			out[name][file] = map[int]bool{}
+		}
+		out[name][file][line] = true
+		out[name][file][line+1] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					mark(strings.TrimSpace(name), pos.Filename, pos.Line)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runAnalyzers executes every selected analyzer over every package and
+// returns the surviving findings sorted by position.
+func runAnalyzers(pkgs []*Package, selected []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allowed := allowedLines(pkg)
+		for _, a := range selected {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			var raw []Finding
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &raw})
+			for _, f := range raw {
+				if allowed[a.Name][f.File][f.Line] {
+					continue
+				}
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// Shared type-resolution helpers. Types are identified by package path and
+// name rather than object identity because every load re-checks from
+// source.
+
+const (
+	obsPath = "parma/internal/obs"
+	mpiPath = "parma/internal/mpi"
+)
+
+// namedTypeIs reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isSpanType reports whether t is obs.Span.
+func isSpanType(t types.Type) bool {
+	return t != nil && namedTypeIs(t, obsPath, "Span")
+}
+
+// spanSourceCall reports whether call produces an obs.Span (obs.StartSpan,
+// obs.StartOn, the Recorder methods, or any helper returning one).
+func spanSourceCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion, not a call
+	}
+	return isSpanType(info.TypeOf(call))
+}
+
+// methodOn resolves call to (receiver type name, method name) when the
+// callee is a method whose receiver is a named type of pkgPath. It returns
+// ok=false for plain function calls and methods of other packages.
+func methodOn(info *types.Info, call *ast.CallExpr, pkgPath string) (recv, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection, isMethod := info.Selections[sel]
+	if !isMethod || selection.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	t := selection.Recv()
+	if ptr, okP := t.(*types.Pointer); okP {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", "", false
+	}
+	return obj.Name(), selection.Obj().Name(), true
+}
+
+// errorResultIndexes returns the positions of `error` / `[]error` results
+// of call, or nil when it has none.
+func errorResultIndexes(info *types.Info, call *ast.CallExpr) []int {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idx []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if isErrorType(t) {
+			idx = append(idx, i)
+			continue
+		}
+		if sl, okS := t.Underlying().(*types.Slice); okS && isErrorType(sl.Elem()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// inScope builds an Applies predicate matching any of the import paths.
+func inScope(paths ...string) func(string) bool {
+	set := map[string]bool{}
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath string) bool { return set[pkgPath] }
+}

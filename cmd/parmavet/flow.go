@@ -1,0 +1,290 @@
+package main
+
+// A small path-sensitive interpreter over function-body ASTs, shared by
+// the spanend and locksend analyzers. It walks statements in control-flow
+// order, forking at branches and joining with a "may" union, so a fact
+// that holds on any path to a program point survives to that point. Loops
+// are approximated as executing zero or one time, which is exact for the
+// leak-style properties checked here: a fact left open at the loop's back
+// edge also remains open at every later exit. Functions containing goto or
+// fallthrough are skipped rather than analyzed wrongly.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// flowState maps client-defined keys to lattice values joined by max.
+// nil means the program point is unreachable.
+type flowState map[any]int
+
+func (s flowState) clone() flowState {
+	if s == nil {
+		return nil
+	}
+	out := make(flowState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// joinStates unions two may-states; unreachable (nil) joins as identity.
+func joinStates(a, b flowState) flowState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	for k, v := range b {
+		if v > a[k] {
+			a[k] = v
+		}
+	}
+	return a
+}
+
+// flowClient receives the engine's callbacks.
+type flowClient interface {
+	// atom handles a non-control-flow statement's effects.
+	atom(st flowState, s ast.Stmt)
+	// expr handles the effects of evaluating a condition or case expression.
+	expr(st flowState, e ast.Expr)
+	// refine narrows st under the assumption that cond evaluated to val.
+	refine(st flowState, cond ast.Expr, val bool) flowState
+	// exit observes a function exit: an explicit return or falling off the
+	// end of the body.
+	exit(st flowState, pos token.Pos)
+	// terminal reports whether the statement never returns (panic, os.Exit).
+	terminal(s ast.Stmt) bool
+}
+
+// frame is one enclosing breakable construct (loop, switch, or select).
+type frame struct {
+	label     string
+	isLoop    bool
+	breaks    flowState
+	continue_ flowState
+}
+
+type flowRunner struct {
+	client flowClient
+	frames []*frame
+}
+
+// runFlow analyzes one function body. It reports false when the body uses
+// control flow the engine does not model (goto, fallthrough).
+func runFlow(client flowClient, body *ast.BlockStmt, entry flowState) bool {
+	unsupported := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.FuncLit:
+			return false // nested functions are analyzed separately
+		case *ast.BranchStmt:
+			if b.Tok == token.GOTO || b.Tok == token.FALLTHROUGH {
+				unsupported = true
+			}
+		}
+		return !unsupported
+	})
+	if unsupported {
+		return false
+	}
+	r := &flowRunner{client: client}
+	out := r.stmts(entry, body.List, "")
+	if out != nil {
+		client.exit(out, body.End())
+	}
+	return true
+}
+
+// stmts flows st through a statement list; nil out means the end of the
+// list is unreachable.
+func (r *flowRunner) stmts(st flowState, list []ast.Stmt, label string) flowState {
+	for i, s := range list {
+		lbl := ""
+		if i == 0 {
+			lbl = label
+		}
+		st = r.stmt(st, s, lbl)
+		if st == nil {
+			return nil
+		}
+	}
+	return st
+}
+
+func (r *flowRunner) findFrame(label string, needLoop bool) *frame {
+	for i := len(r.frames) - 1; i >= 0; i-- {
+		f := r.frames[i]
+		if needLoop && !f.isLoop {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (r *flowRunner) stmt(st flowState, s ast.Stmt, label string) flowState {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		return r.stmts(st, n.List, "")
+
+	case *ast.LabeledStmt:
+		return r.stmt(st, n.Stmt, n.Label.Name)
+
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			r.client.expr(st, res)
+		}
+		r.client.exit(st, n.Pos())
+		return nil
+
+	case *ast.BranchStmt:
+		switch n.Tok {
+		case token.BREAK:
+			if f := r.findFrame(labelName(n), false); f != nil {
+				f.breaks = joinStates(f.breaks, st.clone())
+			}
+		case token.CONTINUE:
+			if f := r.findFrame(labelName(n), true); f != nil {
+				f.continue_ = joinStates(f.continue_, st.clone())
+			}
+		}
+		return nil
+
+	case *ast.IfStmt:
+		if n.Init != nil {
+			r.client.atom(st, n.Init)
+		}
+		r.client.expr(st, n.Cond)
+		thenSt := r.client.refine(st.clone(), n.Cond, true)
+		elseSt := r.client.refine(st.clone(), n.Cond, false)
+		thenOut := r.stmts(thenSt, n.Body.List, "")
+		if n.Else != nil {
+			elseSt = r.stmt(elseSt, n.Else, "")
+		}
+		return joinStates(thenOut, elseSt)
+
+	case *ast.ForStmt:
+		if n.Init != nil {
+			r.client.atom(st, n.Init)
+		}
+		if n.Cond != nil {
+			r.client.expr(st, n.Cond)
+		}
+		f := &frame{label: label, isLoop: true}
+		r.frames = append(r.frames, f)
+		bodyOut := r.stmts(st.clone(), n.Body.List, "")
+		r.frames = r.frames[:len(r.frames)-1]
+		bodyOut = joinStates(bodyOut, f.continue_)
+		if bodyOut != nil && n.Post != nil {
+			r.client.atom(bodyOut, n.Post)
+		}
+		var out flowState
+		if n.Cond != nil {
+			out = joinStates(st, bodyOut) // the body may run zero times
+		}
+		// A condition-less `for { ... }` exits only via break.
+		return joinStates(out, f.breaks)
+
+	case *ast.RangeStmt:
+		r.client.expr(st, n.X)
+		f := &frame{label: label, isLoop: true}
+		r.frames = append(r.frames, f)
+		bodyOut := r.stmts(st.clone(), n.Body.List, "")
+		r.frames = r.frames[:len(r.frames)-1]
+		bodyOut = joinStates(bodyOut, f.continue_)
+		return joinStates(joinStates(st, bodyOut), f.breaks)
+
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			r.client.atom(st, n.Init)
+		}
+		if n.Tag != nil {
+			r.client.expr(st, n.Tag)
+		}
+		return r.switchBody(st, n.Body, label, func(c *ast.CaseClause) {
+			for _, e := range c.List {
+				r.client.expr(st, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			r.client.atom(st, n.Init)
+		}
+		r.client.atom(st, n.Assign)
+		return r.switchBody(st, n.Body, label, func(*ast.CaseClause) {})
+
+	case *ast.SelectStmt:
+		f := &frame{label: label}
+		r.frames = append(r.frames, f)
+		var out flowState
+		for _, cl := range n.Body.List {
+			comm := cl.(*ast.CommClause)
+			caseSt := st.clone()
+			if comm.Comm != nil {
+				r.client.atom(caseSt, comm.Comm)
+			}
+			out = joinStates(out, r.stmts(caseSt, comm.Body, ""))
+		}
+		r.frames = r.frames[:len(r.frames)-1]
+		return joinStates(out, f.breaks)
+
+	default:
+		if r.client.terminal(s) {
+			return nil
+		}
+		r.client.atom(st, s)
+		return st
+	}
+}
+
+// switchBody flows each case from the switch entry state and joins the
+// results; a missing default contributes the entry state (no case taken).
+func (r *flowRunner) switchBody(st flowState, body *ast.BlockStmt, label string, onCase func(*ast.CaseClause)) flowState {
+	f := &frame{label: label}
+	r.frames = append(r.frames, f)
+	var out flowState
+	hasDefault := false
+	for _, cl := range body.List {
+		c := cl.(*ast.CaseClause)
+		if c.List == nil {
+			hasDefault = true
+		}
+		onCase(c)
+		out = joinStates(out, r.stmts(st.clone(), c.Body, ""))
+	}
+	r.frames = r.frames[:len(r.frames)-1]
+	if !hasDefault {
+		out = joinStates(out, st)
+	}
+	return joinStates(out, f.breaks)
+}
+
+func labelName(b *ast.BranchStmt) string {
+	if b.Label != nil {
+		return b.Label.Name
+	}
+	return ""
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — each to be analyzed as an independent scope.
+func funcBodies(file *ast.File, fn func(body *ast.BlockStmt, name string)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body, d.Name.Name)
+			}
+		case *ast.FuncLit:
+			fn(d.Body, "func literal")
+		}
+		return true
+	})
+}

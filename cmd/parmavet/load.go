@@ -1,0 +1,184 @@
+package main
+
+// Package loading without golang.org/x/tools: the dependency graph comes
+// from `go list -json -deps` (which emits dependencies before dependents),
+// every package is parsed with go/parser, and the whole graph is
+// type-checked bottom-up with go/types. Dependency packages are checked
+// with IgnoreFuncBodies for speed; the packages named on the command line
+// get full bodies plus the types.Info the analyzers need.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output parmavet consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct {
+		Err string
+	}
+}
+
+// Package is one fully type-checked target package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// goList runs `go list -e -json -deps patterns...` and decodes the JSON
+// stream. CGO_ENABLED=0 keeps the file sets pure Go so the source
+// type-checker sees complete packages.
+func goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e",
+		"-json=ImportPath,Dir,GoFiles,Imports,Standard,DepOnly,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks a `go list -deps` graph in order, caching results so
+// each package is checked once.
+type loader struct {
+	fset    *token.FileSet
+	checked map[string]*types.Package
+}
+
+// Import implements types.Importer over the already-checked cache. Stdlib
+// vendored imports ("golang.org/x/...") are listed under a "vendor/"
+// prefix, so retry with it before giving up.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	if p, ok := l.checked["vendor/"+path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q has not been type-checked yet", path)
+}
+
+func (l *loader) parseFiles(p *listedPackage, mode parser.Mode) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(p.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// load lists patterns, type-checks the full dependency graph, and returns
+// the target (non-DepOnly) packages with complete type information.
+func load(patterns []string) ([]*Package, error) {
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{fset: token.NewFileSet(), checked: map[string]*types.Package{}}
+	var targets []*Package
+	for _, p := range listed {
+		if p.ImportPath == "unsafe" {
+			continue
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		mode := parser.SkipObjectResolution
+		if !p.DepOnly {
+			mode |= parser.ParseComments
+		}
+		files, err := l.parseFiles(p, mode)
+		if err != nil {
+			if p.DepOnly {
+				continue // a broken dependency only matters if a target needs it
+			}
+			return nil, err
+		}
+		var depErrs []error
+		cfg := &types.Config{
+			Importer:         l,
+			IgnoreFuncBodies: p.DepOnly,
+			Error:            func(err error) { depErrs = append(depErrs, err) },
+		}
+		var info *types.Info
+		if !p.DepOnly {
+			info = &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+		}
+		tpkg, err := cfg.Check(p.ImportPath, l.fset, files, info)
+		if !p.DepOnly && len(depErrs) > 0 {
+			var msgs []string
+			for _, e := range depErrs {
+				msgs = append(msgs, e.Error())
+			}
+			return nil, fmt.Errorf("type errors in %s:\n  %s", p.ImportPath, strings.Join(msgs, "\n  "))
+		}
+		if tpkg == nil && err != nil {
+			if p.DepOnly {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		l.checked[p.ImportPath] = tpkg
+		if !p.DepOnly {
+			targets = append(targets, &Package{
+				Path:  p.ImportPath,
+				Fset:  l.fset,
+				Files: files,
+				Types: tpkg,
+				Info:  info,
+			})
+		}
+	}
+	return targets, nil
+}

@@ -1,0 +1,106 @@
+// Command parmavet is Parma's project-specific static-analysis suite. It
+// enforces invariants no generic linter knows about:
+//
+//	spanend   obs.StartSpan/StartOn results must reach End on every path
+//	mpierr    errors from mpi.Comm/World calls may not be discarded
+//	floateq   no ==/!= on floats in the numerics packages
+//	locksend  no blocking MPI call while a sync.Mutex/RWMutex is held
+//
+// Usage:
+//
+//	parmavet [-json] [-run spanend,mpierr] [packages...]
+//
+// Packages default to ./... . Findings print as file:line:col diagnostics
+// (or a JSON array with -json); the exit status is 1 when findings exist,
+// 2 on loading or usage errors, 0 on a clean tree. Suppress an intentional
+// finding with a `//parmavet:allow <analyzer>` comment on the same line or
+// the line above, ideally with a trailing justification.
+//
+// The implementation is dependency-free: packages are loaded via `go list
+// -json`, parsed with go/parser, and type-checked with go/types, so the
+// module's go.mod stays empty. See docs/static-analysis.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("parmavet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	only := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected := suite
+	if *only != "" {
+		byName := map[string]*Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "parmavet: unknown analyzer %q\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parmavet: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "parmavet: no packages matched")
+		return 2
+	}
+
+	findings := runAnalyzers(pkgs, selected)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "parmavet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "parmavet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

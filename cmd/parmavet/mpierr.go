@@ -1,0 +1,86 @@
+package main
+
+// mpierr: error results of the MPI layer may not be discarded. Every
+// Comm.Send/Recv, every collective, and World.SetSpeeds/Run feeds the LogP
+// cost accounting; a dropped error means a rank silently skipped traffic
+// it was supposed to be charged for, and the simulated timings drift from
+// the protocol that actually ran. Flagged shapes: a bare call statement,
+// `go`/`defer` of such a call, and an assignment that lands the error (or
+// []error) result in the blank identifier.
+
+import (
+	"go/ast"
+)
+
+var mpierrAnalyzer = &Analyzer{
+	Name: "mpierr",
+	Doc:  "errors from mpi.Comm, mpi.World, and mpi.Transport calls must be checked",
+	Run:  runMpierr,
+}
+
+// mpiErrorCall matches a call to a method on the mpi package's Comm,
+// World, Coordinator, or Transport whose results include error or []error,
+// returning the result positions that must not be discarded.
+func mpiErrorCall(pass *Pass, call *ast.CallExpr) []int {
+	recv, _, ok := methodOn(pass.Pkg.Info, call, mpiPath)
+	if !ok {
+		return nil
+	}
+	switch recv {
+	case "Comm", "World", "Coordinator", "Transport":
+		return errorResultIndexes(pass.Pkg.Info, call)
+	}
+	return nil
+}
+
+func runMpierr(pass *Pass) {
+	describe := func(call *ast.CallExpr) string {
+		recv, method, ok := methodOn(pass.Pkg.Info, call, mpiPath)
+		if !ok {
+			return "MPI call"
+		}
+		return recv + "." + method
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					if idx := mpiErrorCall(pass, call); idx != nil {
+						pass.Reportf(call.Pos(), "result of %s contains an error that is discarded; MPI failures must be checked or the cost accounting silently drifts", describe(call))
+					}
+					return true
+				}
+			case *ast.GoStmt:
+				if idx := mpiErrorCall(pass, s.Call); idx != nil {
+					pass.Reportf(s.Call.Pos(), "error from %s is unreachable in a go statement; run it synchronously or collect the error", describe(s.Call))
+				}
+			case *ast.DeferStmt:
+				if idx := mpiErrorCall(pass, s.Call); idx != nil {
+					pass.Reportf(s.Call.Pos(), "error from %s is discarded by defer; wrap it in a closure that checks the error", describe(s.Call))
+				}
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				idx := mpiErrorCall(pass, call)
+				if idx == nil {
+					return true
+				}
+				for _, i := range idx {
+					if i >= len(s.Lhs) {
+						continue
+					}
+					if id, isIdent := ast.Unparen(s.Lhs[i]).(*ast.Ident); isIdent && id.Name == "_" {
+						pass.Reportf(id.Pos(), "error result of %s is assigned to the blank identifier; MPI failures must be checked", describe(call))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE matches expected-diagnostic annotations in fixture files:
+//
+//	expr // want "substring or regexp matched against the message"
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// expectation is one `// want` annotation: a finding must appear at
+// file:line with a message matching re.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if m := wantRE.FindStringSubmatch(sc.Text()); m != nil {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), line, m[1], err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: line, re: re})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// TestAnalyzersGolden runs the full suite over each fixture package and
+// requires the findings to match the `// want` annotations exactly: every
+// annotation hit, no unexpected findings, and annotated-but-allowed lines
+// (the //parmavet:allow cases) silent. Running all analyzers over every
+// fixture also asserts the analyzers do not fire on each other's fixtures.
+func TestAnalyzersGolden(t *testing.T) {
+	for _, name := range []string{"spanend", "mpierr", "floateq", "locksend"} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			pkgs, err := load([]string{"./" + dir})
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			}
+			findings := runAnalyzers(pkgs, analyzers())
+			wants := parseExpectations(t, dir)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want annotations", dir)
+			}
+			for _, f := range findings {
+				base := filepath.Base(f.File)
+				matched := false
+				for _, w := range wants {
+					if !w.hit && w.file == base && w.line == f.Line && w.re.MatchString(f.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionScope pins the //parmavet:allow contract: the comment
+// silences only the named analyzer, on its own line and the next.
+func TestSuppressionScope(t *testing.T) {
+	pkgs, err := load([]string{"./testdata/src/floateq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := runAnalyzers(pkgs, analyzers())
+	for _, f := range findings {
+		if strings.Contains(f.Message, "sentinel") {
+			t.Errorf("allow-annotated line still reported: %s", f)
+		}
+	}
+	// The same package run with the allow comments ignored (wrong analyzer
+	// name) must keep the finding: simulate by checking the raw analyzer
+	// output before suppression.
+	var raw []Finding
+	pass := &Pass{Analyzer: floateqAnalyzer, Pkg: pkgs[0], findings: &raw}
+	floateqAnalyzer.Run(pass)
+	if len(raw) <= len(findingsByAnalyzer(findings, "floateq")) {
+		t.Errorf("suppression removed nothing: %d raw vs %d surviving", len(raw), len(findings))
+	}
+}
+
+func findingsByAnalyzer(fs []Finding, name string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Analyzer == name {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestRunExitCodes covers the command-line contract: findings exit 1,
+// usage and loader failures exit 2, -list exits 0.
+func TestRunExitCodes(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("-list exited %d, want 0", got)
+	}
+	if got := run([]string{"-run", "nosuch"}); got != 2 {
+		t.Errorf("unknown analyzer exited %d, want 2", got)
+	}
+	if got := run([]string{"./testdata/src/floateq"}); got != 1 {
+		t.Errorf("fixture run exited %d, want 1", got)
+	}
+	if got := run([]string{"-json", "./testdata/src/floateq"}); got != 1 {
+		t.Errorf("fixture -json run exited %d, want 1", got)
+	}
+}
+
+// TestFindingString pins the diagnostic format tools and editors parse.
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "spanend", File: "a/b.go", Line: 3, Col: 7, Message: "m"}
+	if got, want := f.String(), "a/b.go:3:7: spanend: m"; got != want {
+		t.Errorf("Finding.String() = %q, want %q", got, want)
+	}
+}
+
+func ExampleFinding() {
+	fmt.Println(Finding{Analyzer: "floateq", File: "x.go", Line: 1, Col: 2, Message: "== on float operands"})
+	// Output: x.go:1:2: floateq: == on float operands
+}

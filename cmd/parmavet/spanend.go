@@ -1,0 +1,326 @@
+package main
+
+// spanend: the result of obs.StartSpan / obs.StartOn (or of any helper
+// returning an obs.Span) must reach a .End call on every path out of the
+// function that holds it, mirroring the stdlib lostcancel vet check. A
+// span that is never ended is never recorded, so the trace silently loses
+// the region — the §V timing evidence corrupts with no error anywhere.
+//
+// The analyzer understands the codebase's idioms:
+//   - `defer sp.End()` and a deferred closure that calls sp.End();
+//   - the inert-span guard `if sp.Active() { ... sp.End() ... }`: a span
+//     that is not Active can never be recorded, so the else path is clean;
+//   - a span passed to another function, returned, captured by a non-defer
+//     closure, or otherwise aliased is treated as handed off (escaped).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var spanendAnalyzer = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs spans must be ended on every path",
+	Run:  runSpanend,
+}
+
+// Span lattice values; the join takes the maximum, so "may still be open"
+// wins at merge points.
+const (
+	spanClosed = 1
+	spanOpen   = 2
+)
+
+func runSpanend(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(body *ast.BlockStmt, name string) {
+			c := &spanendClient{
+				pass:     pass,
+				info:     pass.Pkg.Info,
+				funcName: name,
+				startPos: map[*types.Var]token.Pos{},
+				reported: map[token.Pos]bool{},
+			}
+			runFlow(c, body, flowState{})
+		})
+	}
+}
+
+type spanendClient struct {
+	pass     *Pass
+	info     *types.Info
+	funcName string
+	startPos map[*types.Var]token.Pos
+	reported map[token.Pos]bool
+}
+
+func (c *spanendClient) report(start token.Pos, exit token.Pos, how string) {
+	if c.reported[start] {
+		return
+	}
+	c.reported[start] = true
+	exitLine := c.pass.Pkg.Fset.Position(exit).Line
+	c.pass.Reportf(start, "span started here is not ended on every path in %s (%s at line %d); call End (or defer it) before the function can exit", c.funcName, how, exitLine)
+}
+
+// spanVar resolves e to the local span variable it names, if any.
+func (c *spanendClient) spanVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.info.Uses[id]
+	if obj == nil {
+		obj = c.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || !isSpanType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// spanMethodCall matches `x.End(...)` / `x.Active()` on a tracked variable.
+func (c *spanendClient) spanMethodCall(call *ast.CallExpr) (v *types.Var, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	recv, method, ok := methodOn(c.info, call, obsPath)
+	if !ok || recv != "Span" {
+		return nil, ""
+	}
+	return c.spanVar(sel.X), method
+}
+
+func (c *spanendClient) atom(st flowState, s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(st, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.declare(st, vs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.expr(st, n.X)
+	case *ast.DeferStmt:
+		c.deferred(st, n.Call)
+	case *ast.GoStmt:
+		// A goroutine may End the span after this function returns; treat
+		// any captured span as handed off.
+		c.scanEffects(st, n.Call, nil)
+	default:
+		c.scanEffects(st, s, nil)
+	}
+}
+
+// declare handles `var sp = start()` / `var sp obs.Span`.
+func (c *spanendClient) declare(st flowState, vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		v, _ := c.info.Defs[name].(*types.Var)
+		if v == nil || !isSpanType(v.Type()) {
+			if i < len(vs.Values) {
+				c.expr(st, vs.Values[i])
+			}
+			continue
+		}
+		if i < len(vs.Values) {
+			c.open(st, v, vs.Values[i], name.Pos())
+		}
+	}
+}
+
+// assign handles `sp := start()`, `sp = start()`, `_ = start()` and every
+// other assignment shape, opening spans and catching leaks by overwrite.
+func (c *spanendClient) assign(st flowState, n *ast.AssignStmt) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i := range n.Lhs {
+			lhs, rhs := n.Lhs[i], n.Rhs[i]
+			call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+			if isCall && spanSourceCall(c.info, call) {
+				c.scanEffects(st, call, nil) // arguments may reference other spans
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if id.Name == "_" {
+						c.pass.Reportf(call.Pos(), "result of span start is discarded; the span can never be ended")
+						continue
+					}
+					if v := c.spanVar(id); v != nil {
+						c.open(st, v, call, call.Pos())
+						continue
+					}
+				}
+				// Span stored into a field, map, or similar: handed off.
+				c.scanEffects(st, lhs, nil)
+				continue
+			}
+			c.scanEffects(st, rhs, nil)
+			if v := c.spanVar(lhs); v != nil {
+				// Overwriting an open span loses it; the new value is not a
+				// start call (handled above), so stop tracking.
+				if st[v] == spanOpen {
+					c.report(c.startPos[v], n.Pos(), "overwritten while still open")
+				}
+				st[v] = spanClosed
+				continue
+			}
+			c.scanEffects(st, lhs, nil)
+		}
+		return
+	}
+	// Multi-value form `a, b := f()`: no single-result span source applies.
+	for _, rhs := range n.Rhs {
+		c.scanEffects(st, rhs, nil)
+	}
+	for _, lhs := range n.Lhs {
+		c.scanEffects(st, lhs, nil)
+	}
+}
+
+func (c *spanendClient) open(st flowState, v *types.Var, rhs ast.Expr, pos token.Pos) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || !spanSourceCall(c.info, call) {
+		c.scanEffects(st, rhs, nil)
+		st[v] = spanClosed // zero value or copy: nothing to end
+		return
+	}
+	if st[v] == spanOpen {
+		c.report(c.startPos[v], pos, "overwritten while still open")
+	}
+	st[v] = spanOpen
+	c.startPos[v] = pos
+}
+
+// expr applies the effects of evaluating e: End closes, Active is neutral,
+// any other reference to a tracked span hands it off.
+func (c *spanendClient) expr(st flowState, e ast.Expr) {
+	c.scanEffects(st, e, nil)
+}
+
+// scanEffects walks a subtree, closing spans at End calls, ignoring Active
+// guards, and treating every other reference to a tracked span as a
+// hand-off. Deferred closures are scanned by deferred(), not here.
+func (c *spanendClient) scanEffects(st flowState, node ast.Node, skip map[ast.Node]bool) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if skip[n] {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if v, method := c.spanMethodCall(x); v != nil {
+				switch method {
+				case "End":
+					st[v] = spanClosed
+					for _, arg := range x.Args {
+						c.scanEffects(st, arg, skip)
+					}
+					return false
+				case "Active":
+					return false
+				}
+			}
+		case *ast.Ident:
+			if v := c.spanVar(x); v != nil {
+				// Referenced somewhere other than End/Active: returned,
+				// passed along, aliased, or captured. Ownership moved.
+				st[v] = spanClosed
+			}
+		}
+		return true
+	})
+}
+
+// deferred handles `defer sp.End()` and `defer func() { ... sp.End() ... }()`:
+// from this statement on, every exit runs the deferred End.
+func (c *spanendClient) deferred(st flowState, call *ast.CallExpr) {
+	if v, method := c.spanMethodCall(call); v != nil && method == "End" {
+		st[v] = spanClosed
+		for _, arg := range call.Args {
+			c.scanEffects(st, arg, nil)
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Ends inside the deferred closure cover every later exit; other
+		// references inside it are reads at exit time, not hand-offs.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if v, method := c.spanMethodCall(inner); v != nil && method == "End" {
+					st[v] = spanClosed
+				}
+			}
+			return true
+		})
+		return
+	}
+	c.scanEffects(st, call, nil)
+}
+
+// refine understands the inert-span guard: on the false branch of
+// sp.Active() the span can never record, so it needs no End.
+func (c *spanendClient) refine(st flowState, cond ast.Expr, val bool) flowState {
+	switch x := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return c.refine(st, x.X, !val)
+		}
+	case *ast.BinaryExpr:
+		if (x.Op == token.LAND && val) || (x.Op == token.LOR && !val) {
+			st = c.refine(st, x.X, val)
+			st = c.refine(st, x.Y, val)
+		}
+	case *ast.CallExpr:
+		if v, method := c.spanMethodCall(x); v != nil && method == "Active" && !val {
+			st[v] = spanClosed
+		}
+	}
+	return st
+}
+
+func (c *spanendClient) exit(st flowState, pos token.Pos) {
+	for k, v := range st {
+		if v != spanOpen {
+			continue
+		}
+		if sv, ok := k.(*types.Var); ok {
+			c.report(c.startPos[sv], pos, "exit")
+		}
+	}
+}
+
+func (c *spanendClient) terminal(s ast.Stmt) bool {
+	return isTerminalStmt(c.info, s)
+}
+
+// isTerminalStmt reports whether s never returns: panic(...) or os.Exit.
+func isTerminalStmt(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			switch obj.Pkg().Path() + "." + obj.Name() {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}

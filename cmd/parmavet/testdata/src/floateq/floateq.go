@@ -1,0 +1,54 @@
+// Package floateq exercises the floateq analyzer: no ==/!= on floats,
+// except the NaN self-compare idiom, compile-time constant folds, and
+// sites annotated //parmavet:allow floateq.
+package floateq
+
+import "math"
+
+// tolerance is the recommended shape and is not flagged.
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// exact equality on computed floats is the core finding.
+func exact(a, b float64) bool {
+	return a == b // want "== on float operands"
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want "!= on float operands"
+}
+
+// float32 comparisons are flagged the same way.
+func narrow(a, b float32) bool {
+	return a == b // want "== on float operands"
+}
+
+// isNaN is the IEEE 754 self-compare idiom, exact by definition.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// constants fold at compile time; nothing to flag.
+func constants() bool {
+	return 1.5 == 3.0/2.0
+}
+
+// intsFine: only float operands are in scope.
+func intsFine(a, b int) bool {
+	return a == b
+}
+
+// sentinelTrailing suppresses with a trailing comment on the same line.
+func sentinelTrailing(tol float64) float64 {
+	if tol == 0 { //parmavet:allow floateq -- zero is the unset-option sentinel, assigned not computed
+		tol = 1e-10
+	}
+	return tol
+}
+
+// sentinelAbove suppresses with a standalone comment on the line above.
+func sentinelAbove(x float64) bool {
+	//parmavet:allow floateq -- comparing against an assigned sentinel
+	return x == 0
+}

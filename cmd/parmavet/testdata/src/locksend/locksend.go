@@ -1,0 +1,79 @@
+// Package locksend exercises the locksend analyzer: a sync.Mutex or
+// RWMutex may not be held across a blocking MPI call, because a rank
+// parked in Recv while holding a lock another rank needs is a distributed
+// deadlock under rendezvous delivery.
+package locksend
+
+import (
+	"sync"
+
+	"parma/internal/mpi"
+)
+
+type shared struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[int]float64
+}
+
+// deadlock holds the lock across a collective.
+func deadlock(c *mpi.Comm, s *shared) error {
+	s.mu.Lock()
+	err := c.Barrier() // want "may block while s.mu is held"
+	s.mu.Unlock()
+	return err
+}
+
+// deferUnlock keeps the lock held until exit, so the blocking call after
+// it is still covered.
+func deferUnlock(c *mpi.Comm, s *shared) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.Barrier() // want "may block while s.mu is held"
+}
+
+// readLock: RLock on an RWMutex blocks writers just the same.
+func readLock(c *mpi.Comm, t *table, dst int) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return c.Send(dst, 1, nil) // want "may block while t.mu is held"
+}
+
+// mayHold is flagged because the lock is held on at least one path.
+func mayHold(c *mpi.Comm, s *shared, flag bool) error {
+	if flag {
+		s.mu.Lock()
+	}
+	err := c.Barrier() // want "may block while s.mu is held"
+	if flag {
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// released is the clean shape: copy under the lock, block after.
+func released(c *mpi.Comm, s *shared) error {
+	s.mu.Lock()
+	v := s.vals
+	s.mu.Unlock()
+	_, err := c.AllreduceSum(v)
+	return err
+}
+
+// nonBlockingUnderLock: local accessors are fine to call while locked.
+func nonBlockingUnderLock(c *mpi.Comm, s *shared) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.Rank() + len(s.vals)
+}
+
+// allowed demonstrates suppression for a justified hold.
+func allowed(c *mpi.Comm, s *shared) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.Barrier() //parmavet:allow locksend -- fixture: suppression path under test
+}

@@ -1,0 +1,55 @@
+// Package mpierr exercises the mpierr analyzer: error results from the MPI
+// layer's Comm/World/Transport methods may not be discarded.
+package mpierr
+
+import "parma/internal/mpi"
+
+// dropped discards the error of a bare call statement.
+func dropped(c *mpi.Comm) {
+	c.Barrier() // want "contains an error that is discarded"
+}
+
+// blank lands the error in the blank identifier.
+func blank(c *mpi.Comm) {
+	_ = c.Barrier() // want "assigned to the blank identifier"
+}
+
+// blankSecond drops only the error position of a multi-result call.
+func blankSecond(c *mpi.Comm) []byte {
+	data, _ := c.Bcast(0, nil) // want "assigned to the blank identifier"
+	return data
+}
+
+// inGoroutine makes the error unreachable.
+func inGoroutine(c *mpi.Comm) {
+	go c.Barrier() // want "unreachable in a go statement"
+}
+
+// inDefer discards the error at function exit.
+func inDefer(c *mpi.Comm) {
+	defer c.Barrier() // want "discarded by defer"
+}
+
+// worldDropped: World.Run returns []error, which counts as an error result.
+func worldDropped(w *mpi.World) {
+	w.Run(func(c *mpi.Comm) error { return nil }) // want "contains an error that is discarded"
+}
+
+// transportDropped: the Transport interface's methods are covered too.
+func transportDropped(tr mpi.Transport) {
+	tr.Send(0, 1, nil) // want "contains an error that is discarded"
+}
+
+// checked is the clean shape: every error lands in a checked variable.
+func checked(c *mpi.Comm) error {
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	_, _, err := c.Recv(0, 1)
+	return err
+}
+
+// allowed demonstrates suppression of an intentional discard.
+func allowed(c *mpi.Comm) {
+	c.Barrier() //parmavet:allow mpierr -- fixture: suppression path under test
+}

@@ -1,0 +1,123 @@
+// Package spanend exercises the spanend analyzer: every obs.Span produced
+// by StartSpan/StartOn (or a helper returning one) must reach End on every
+// path out of the function that holds it.
+package spanend
+
+import (
+	"errors"
+
+	"parma/internal/obs"
+)
+
+// leakOnEarlyReturn mirrors the Comm.Barrier bug: the error path returns
+// before End runs.
+func leakOnEarlyReturn(fail bool) error {
+	sp := obs.StartSpan("work") // want "span started here is not ended on every path"
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// deferEnd is the canonical clean shape.
+func deferEnd(fail bool) error {
+	sp := obs.StartSpan("work")
+	defer sp.End()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// deferredClosure ends the span inside a deferred func literal.
+func deferredClosure() {
+	sp := obs.StartOn(0, "work")
+	defer func() {
+		if sp.Active() {
+			sp.End()
+		}
+	}()
+}
+
+// activeGuard: on the false branch of Active the span is inert and needs
+// no End.
+func activeGuard() {
+	sp := obs.StartSpan("work")
+	if sp.Active() {
+		sp.End()
+	}
+}
+
+// conditionalEnd leaks when only one branch ends the span.
+func conditionalEnd(ok bool) {
+	sp := obs.StartSpan("work") // want "span started here is not ended on every path"
+	if ok {
+		sp.End()
+	}
+}
+
+// discarded throws the span away at the start call itself.
+func discarded() {
+	_ = obs.StartSpan("work") // want "result of span start is discarded"
+}
+
+// overwritten loses the first span when the variable is reassigned.
+func overwritten() {
+	sp := obs.StartSpan("first") // want "overwritten while still open"
+	sp = obs.StartSpan("second")
+	sp.End()
+}
+
+// handOff moves ownership to the caller; the caller must End it.
+func handOff() obs.Span {
+	sp := obs.StartSpan("work")
+	return sp
+}
+
+// conditionalStart is the `var sp obs.Span; if enabled { sp = ... }` idiom:
+// the zero span's End is a no-op, so one unconditional End covers both arms.
+func conditionalStart() {
+	var sp obs.Span
+	if obs.Enabled() {
+		sp = obs.StartSpan("work")
+	}
+	sp.End()
+}
+
+// loopLeak leaks on the continue path inside the loop body.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		sp := obs.StartSpan("iter") // want "span started here is not ended on every path"
+		if i == 0 {
+			continue
+		}
+		sp.End()
+	}
+}
+
+// helperSource: any call returning obs.Span is a span source, not just the
+// obs package entry points.
+func helperSource(fail bool) error {
+	sp := startNamed("helper") // want "span started here is not ended on every path"
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+func startNamed(name string) obs.Span {
+	return obs.StartSpan(name)
+}
+
+// allowed is the same leak as leakOnEarlyReturn, suppressed by an allow
+// comment on the span-start line (the position findings are reported at).
+func allowed(fail bool) error {
+	sp := obs.StartSpan("fire-and-forget") //parmavet:allow spanend -- fixture: suppression path under test
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}

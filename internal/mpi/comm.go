@@ -170,11 +170,11 @@ const (
 // reduce-then-broadcast, costing O(log P) rounds.
 func (c *Comm) Barrier() error {
 	sp := c.span("mpi/barrier")
+	defer sp.End()
 	if _, err := c.reduceBytes(nil, tagBarrier, func(a, b []byte) []byte { return nil }); err != nil {
 		return err
 	}
 	_, err := c.bcastBytes(nil, tagBarrier)
-	sp.End()
 	return err
 }
 

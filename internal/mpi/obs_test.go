@@ -160,3 +160,33 @@ func TestSendToClosedInboxErrors(t *testing.T) {
 		t.Fatal("Send to closed inbox succeeded")
 	}
 }
+
+// failTransport errors on every operation, forcing the collective error
+// paths.
+type failTransport struct{}
+
+func (failTransport) Send(dst, tag int, data []byte) error { return fmt.Errorf("transport down") }
+func (failTransport) Recv(src, tag int) ([]byte, int, error) {
+	return nil, 0, fmt.Errorf("transport down")
+}
+
+// TestBarrierRecordsSpanOnError is the regression test for a span leak the
+// spanend analyzer found: Barrier returned on the reduce error path before
+// ending its "mpi/barrier" span, so failed barriers left no trace evidence.
+// The span must be recorded even when Barrier errors.
+func TestBarrierRecordsSpanOnError(t *testing.T) {
+	rec := obs.NewRecorder()
+	obs.Enable(rec)
+	defer obs.Disable()
+
+	c := &Comm{rank: 0, size: 2, tr: failTransport{}, track: obs.AnonTrack}
+	if err := c.Barrier(); err == nil {
+		t.Fatal("Barrier over a dead transport succeeded")
+	}
+	for _, ev := range rec.Events() {
+		if ev.Name == "mpi/barrier" {
+			return
+		}
+	}
+	t.Fatal("failed Barrier left no mpi/barrier span; the error path leaked the span")
+}

@@ -94,9 +94,9 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 			sp := c.span("mpi/rank")
 			start := time.Now()
 			errs[r] = fn(c)
+			wall := time.Since(start)
+			sp.End(obs.I("rank", r))
 			if observed {
-				wall := time.Since(start)
-				sp.End(obs.I("rank", r))
 				flushRankMetrics(c, wall)
 			}
 		}(r)

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzValidateTrace hammers the Chrome-trace validator behind `parma
+// tracecheck` with arbitrary bytes. The corpus is seeded with a real trace
+// produced the same way the obs-smoke pipeline produces one — a recorder
+// with named tracks, anonymous-lane spans, and attrs — plus hand-written
+// edge cases around each validation rule. The property under test: the
+// validator never panics, and whenever it accepts an input the summary it
+// returns is internally consistent.
+func FuzzValidateTrace(f *testing.F) {
+	rec := NewRecorder()
+	rank0 := rec.NewTrack("rank 0")
+	sp := rec.StartOn(rank0, "mpi/allreduce")
+	sp.End(I("values", 8))
+	solve := rec.StartSpan("solver/newton")
+	solve.End(F("residual", 1.5e-9), S("phase", "recover"))
+	var seed bytes.Buffer
+	if err := rec.WriteChromeTrace(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+
+	for _, s := range []string{
+		``,
+		`{}`,
+		`not json`,
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"tid":0}]}`,
+		`{"traceEvents":[{"ph":"X","ts":1}]}`,             // unnamed
+		`{"traceEvents":[{"name":"x","ph":"Q"}]}`,         // unknown phase
+		`{"traceEvents":[{"name":"x","ph":"X","ts":-1}]}`, // negative time
+		`{"traceEvents":[{"name":"m","ph":"M"}]}`,         // metadata only
+		`{"traceEvents":[{"name":"x","ph":"X","ts":1e308,"dur":1e308}]}`,
+		`{"traceEvents":null}`,
+		`[{"name":"x","ph":"X"}]`, // array format, not object format
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sum, err := ValidateTrace(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if sum.Events <= 0 {
+			t.Fatalf("accepted trace with %d span events; empty traces must be rejected", sum.Events)
+		}
+		if sum.Tracks <= 0 || sum.Tracks > sum.Events {
+			t.Fatalf("summary has %d tracks for %d events", sum.Tracks, sum.Events)
+		}
+		if len(sum.Names) == 0 || len(sum.Names) > sum.Events {
+			t.Fatalf("summary has %d names for %d events", len(sum.Names), sum.Events)
+		}
+		for i, n := range sum.Names {
+			if n == "" {
+				t.Fatal("accepted trace with an unnamed span")
+			}
+			if i > 0 && sum.Names[i-1] >= n {
+				t.Fatalf("names not sorted and distinct: %q then %q", sum.Names[i-1], n)
+			}
+		}
+	})
+}

@@ -35,7 +35,7 @@ type NewtonOptions struct {
 func NewtonSolve(f func(mat.Vector) mat.Vector, jac func(mat.Vector) *mat.Matrix,
 	x0 mat.Vector, opts NewtonOptions) (mat.Vector, int, error) {
 	tol := opts.Tol
-	if tol == 0 {
+	if tol == 0 { //parmavet:allow floateq -- zero is the "unset option" sentinel, assigned not computed
 		tol = 1e-10
 	}
 	maxIter := opts.MaxIter

@@ -44,7 +44,7 @@ func Recover(a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, e
 			z.Rows(), z.Cols(), a.Rows(), a.Cols())
 	}
 	tol := opts.Tol
-	if tol == 0 {
+	if tol == 0 { //parmavet:allow floateq -- zero is the "unset option" sentinel, assigned not computed
 		tol = 1e-8
 	}
 	maxIter := opts.MaxIter
@@ -74,7 +74,7 @@ func Recover(a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, e
 		}
 	}
 	zNorm = math.Sqrt(zNorm)
-	if zNorm == 0 {
+	if zNorm == 0 { //parmavet:allow floateq -- exact-zero measurement matrix guard before relative-residual division
 		return RecoverResult{}, fmt.Errorf("solver: zero measurement matrix")
 	}
 
