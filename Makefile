@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench vet parmavet fmt figures examples obs-smoke fuzz-smoke clean
+.PHONY: all build test race lint bench vet parmavet fmt figures examples obs-smoke serve-smoke fuzz-smoke clean
 
 all: lint test race build obs-smoke
 
@@ -49,6 +49,13 @@ obs-smoke:
 		{ echo "metrics dump is missing per-rank byte counters"; exit 1; }
 	@rm -rf obs-smoke.tmp
 	@echo "obs-smoke: trace and metrics artifacts check out"
+
+# serve-smoke boots parmad on a random port, fires a 200-request
+# mixed-geometry load through parma-load (asserting zero failures, >50%
+# cache hits, and the serving metrics), then requires a clean SIGTERM
+# drain. See docs/serving.md.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # fuzz-smoke gives the trace-JSON validator a short randomized beating; the
 # seed corpus covers the obs-smoke artifact shape.

@@ -7,6 +7,7 @@ package parma
 // series.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -201,7 +202,7 @@ func BenchmarkRecover(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := solver.Recover(a, z, solver.RecoverOptions{Tol: 1e-8}); err != nil {
+		if _, err := solver.Recover(context.Background(), a, z, solver.RecoverOptions{Tol: 1e-8}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -446,7 +447,7 @@ func BenchmarkClassicalReconstruction(b *testing.B) {
 	})
 	b.Run("levenberg-marquardt", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := solver.Recover(a, z, solver.RecoverOptions{Tol: 1e-8}); err != nil {
+			if _, err := solver.Recover(context.Background(), a, z, solver.RecoverOptions{Tol: 1e-8}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,290 @@
+// Command parma-load drives open-loop load against a running parmad and
+// reports latency, throughput, and cache effectiveness. It synthesizes a
+// mixed-geometry workload (ground-truth fields plus their forward-model
+// measurements), fires requests at a target QPS without waiting for
+// responses between sends, and aggregates per-request results:
+//
+//	parmad -addr 127.0.0.1:8321 &
+//	parma-load -addr 127.0.0.1:8321 -n 200 -qps 100 -geoms 4x4,5x5,6x6
+//
+// The exit status is the assertion surface for smoke tests: nonzero when
+// any request fails or when -min-cache-hit-rate is not met.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"parma"
+	"parma/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "parma-load:", err)
+		os.Exit(1)
+	}
+}
+
+// workItem is one prepared request body.
+type workItem struct {
+	path string
+	body []byte
+	geom string
+}
+
+// result is one completed request.
+type result struct {
+	status  int
+	latency time.Duration
+	cache   string
+	batch   int
+	err     error
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("parma-load", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8321", "parmad address (host:port)")
+	n := fs.Int("n", 200, "total requests to send")
+	qps := fs.Float64("qps", 100, "target send rate (requests/second)")
+	geoms := fs.String("geoms", "4x4,5x5,6x6", "comma-separated square geometries, e.g. 4x4,6x6")
+	seed := fs.Int64("seed", 1, "workload seed")
+	measureFrac := fs.Float64("measure-frac", 0.5, "fraction of requests hitting /v1/measure (rest /v1/recover)")
+	tol := fs.Float64("tol", 0, "recover tolerance forwarded to the server (0 = server default)")
+	deadline := fs.Int64("deadline", 0, "per-request deadline_ms forwarded to the server (0 = server default)")
+	minHitRate := fs.Float64("min-cache-hit-rate", -1, "exit 1 when the observed cache hit rate is below this (e.g. 0.5); negative disables")
+	checkMetrics := fs.Bool("check-metrics", false, "scrape /metrics afterwards and require batch-size and queue-depth series")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *n <= 0 || *qps <= 0 {
+		return fmt.Errorf("-n and -qps must be positive")
+	}
+
+	items, err := buildWorkload(*geoms, *seed, *tol, *deadline, *measureFrac, *n)
+	if err != nil {
+		return err
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Open loop: send on the tick regardless of completions, so the server's
+	// queue — not the client — absorbs bursts.
+	interval := time.Duration(float64(time.Second) / *qps)
+	results := make([]result, len(items))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, it := range items {
+		if i > 0 {
+			time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+		}
+		wg.Add(1)
+		go func(i int, it workItem) {
+			defer wg.Done()
+			results[i] = fire(client, base+it.path, it.body)
+		}(i, it)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(os.Stdout, items, results, elapsed)
+
+	failures := 0
+	hits := 0
+	for _, r := range results {
+		if r.err != nil || r.status != http.StatusOK {
+			failures++
+		}
+		if r.cache == "hit" {
+			hits++
+		}
+	}
+	hitRate := float64(hits) / float64(len(results))
+	if *checkMetrics {
+		if err := verifyMetrics(client, base); err != nil {
+			return err
+		}
+		fmt.Println("metrics: batch-size and queue-depth series present")
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d requests failed", failures, len(results))
+	}
+	if *minHitRate >= 0 && hitRate < *minHitRate {
+		return fmt.Errorf("cache hit rate %.2f below required %.2f", hitRate, *minHitRate)
+	}
+	return nil
+}
+
+// buildWorkload synthesizes n request bodies over the geometry mix. Each
+// geometry gets one ground-truth field and its measured Z, so repeat
+// traffic exercises both cache keyspaces: bit-identical R fields for
+// /v1/measure factorization reuse, repeat geometries for /v1/recover warm
+// starts.
+func buildWorkload(geoms string, seed int64, tol float64, deadlineMS int64, measureFrac float64, n int) ([]workItem, error) {
+	type geomData struct {
+		name        string
+		rows, cols  int
+		rRows, zRow [][]float64
+	}
+	var gds []geomData
+	for _, g := range strings.Split(geoms, ",") {
+		g = strings.TrimSpace(g)
+		var rows, cols int
+		if _, err := fmt.Sscanf(g, "%dx%d", &rows, &cols); err != nil || rows < 2 || cols < 2 {
+			return nil, fmt.Errorf("invalid geometry %q (want e.g. 5x5 with sides >= 2)", g)
+		}
+		r, z, err := parma.Synthesize(parma.MediumConfig{Rows: rows, Cols: cols, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("synthesizing %s: %w", g, err)
+		}
+		gds = append(gds, geomData{name: g, rows: rows, cols: cols,
+			rRows: fieldRows(r), zRow: fieldRows(z)})
+	}
+	if len(gds) == 0 {
+		return nil, fmt.Errorf("no geometries given")
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]workItem, 0, n)
+	for i := 0; i < n; i++ {
+		gd := gds[rng.Intn(len(gds))]
+		var it workItem
+		it.geom = gd.name
+		if rng.Float64() < measureFrac {
+			body, err := json.Marshal(serve.MeasureRequest{
+				Rows: gd.rows, Cols: gd.cols, R: gd.rRows, DeadlineMS: deadlineMS})
+			if err != nil {
+				return nil, err
+			}
+			it.path, it.body = "/v1/measure", body
+		} else {
+			body, err := json.Marshal(serve.RecoverRequest{
+				Rows: gd.rows, Cols: gd.cols, Z: gd.zRow, Tol: tol, DeadlineMS: deadlineMS})
+			if err != nil {
+				return nil, err
+			}
+			it.path, it.body = "/v1/recover", body
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+func fieldRows(f *parma.Field) [][]float64 {
+	out := make([][]float64, f.Rows())
+	for i := range out {
+		row := make([]float64, f.Cols())
+		for j := range row {
+			row[j] = f.At(i, j)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func fire(client *http.Client, url string, body []byte) result {
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{err: err, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	var meta struct {
+		Cache     string `json:"cache"`
+		BatchSize int    `json:"batch_size"`
+		Error     string `json:"error"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	_ = dec.Decode(&meta)
+	res := result{status: resp.StatusCode, latency: time.Since(start),
+		cache: meta.Cache, batch: meta.BatchSize}
+	if resp.StatusCode != http.StatusOK {
+		res.err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, meta.Error)
+	}
+	return res
+}
+
+func report(w io.Writer, items []workItem, results []result, elapsed time.Duration) {
+	lat := make([]time.Duration, 0, len(results))
+	hits, failures, batchSum, batchN := 0, 0, 0, 0
+	perGeom := map[string]int{}
+	for i, r := range results {
+		lat = append(lat, r.latency)
+		perGeom[items[i].geom]++
+		if r.err != nil || r.status != http.StatusOK {
+			failures++
+			continue
+		}
+		if r.cache == "hit" {
+			hits++
+		}
+		if r.batch > 0 {
+			batchSum += r.batch
+			batchN++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lat)-1))
+		return lat[idx]
+	}
+	geomNames := make([]string, 0, len(perGeom))
+	for g := range perGeom {
+		geomNames = append(geomNames, g)
+	}
+	sort.Strings(geomNames)
+	mix := make([]string, 0, len(geomNames))
+	for _, g := range geomNames {
+		mix = append(mix, fmt.Sprintf("%s:%d", g, perGeom[g]))
+	}
+
+	fmt.Fprintf(w, "requests:   %d (%d failed) in %s\n", len(results), failures, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "throughput: %.1f req/s\n", float64(len(results))/elapsed.Seconds())
+	fmt.Fprintf(w, "geometries: %s\n", strings.Join(mix, " "))
+	fmt.Fprintf(w, "latency:    p50=%s p95=%s p99=%s max=%s\n",
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), q(1.0).Round(time.Microsecond))
+	fmt.Fprintf(w, "cache:      %d/%d hits (%.0f%%)\n", hits, len(results),
+		100*float64(hits)/float64(len(results)))
+	if batchN > 0 {
+		fmt.Fprintf(w, "batching:   mean batch size %.2f over %d ok requests\n",
+			float64(batchSum)/float64(batchN), batchN)
+	}
+}
+
+// verifyMetrics scrapes /metrics and requires the serving pipeline's
+// batch-size and queue-depth series to be present.
+func verifyMetrics(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics returned HTTP %d", resp.StatusCode)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"parma_serve_batch_size", "parma_serve_queue_depth"} {
+		if !bytes.Contains(text, []byte(want)) {
+			return fmt.Errorf("/metrics is missing series %s", want)
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -353,7 +354,7 @@ func cmdSolve(args []string) error {
 			fmt.Printf("distributed formation over %d simulated ranks agrees (%d equations)\n", *ranks, distTotal)
 		}
 
-		res, err := solver.Recover(a, z, solver.RecoverOptions{Tol: *tol})
+		res, err := solver.Recover(context.Background(), a, z, solver.RecoverOptions{Tol: *tol})
 		if err != nil {
 			return fmt.Errorf("%w (residual %.3g after %d iterations)", err, res.Residual, res.Iterations)
 		}

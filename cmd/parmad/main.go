@@ -1,0 +1,147 @@
+// Command parmad serves Parma's MEA recovery and forward measurement as a
+// batched HTTP/JSON daemon. It fronts internal/serve: an admission queue
+// with bounded depth, a dispatcher that batches compatible requests, a
+// worker pool with per-request deadlines, and an LRU cache amortizing
+// Laplacian factorizations and warm-start estimates across requests.
+//
+// Endpoints:
+//
+//	POST /v1/recover      measured Z field -> recovered R field
+//	POST /v1/measure      R field -> simulated Z field
+//	GET  /healthz         liveness + drain state
+//	GET  /metrics         Prometheus text exposition
+//	GET  /debug/pprof/*   runtime profiles (with -pprof)
+//
+// SIGINT/SIGTERM triggers a graceful drain: admission stops, every already
+// admitted request finishes, then the HTTP listener shuts down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parma/internal/obs"
+	"parma/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "parmad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("parmad", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address (host:port; port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file (for scripts using port 0)")
+	workers := fs.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 64, "max admitted-but-unfinished requests before 429")
+	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "how long a batch stays open for same-key requests")
+	maxBatch := fs.Int("max-batch", 8, "flush a batch early at this size")
+	cacheEntries := fs.Int("cache-entries", 128, "factorization/warm-start LRU capacity")
+	deadline := fs.Duration("deadline", 30*time.Second, "default per-request deadline")
+	maxDim := fs.Int("max-dim", 64, "reject geometries larger than this per side")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/*")
+	compactEvery := fs.Duration("compact-interval", 10*time.Second, "fold span events into rollups on this interval (bounds memory)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	rec := obs.NewRecorder()
+	obs.Enable(rec)
+	defer obs.Disable()
+	sampler := obs.NewRuntimeSampler(rec, time.Second)
+	sampler.Start()
+	defer sampler.Stop()
+
+	// Periodic compaction keeps the span buffer bounded for a long-running
+	// daemon while preserving the cumulative Prometheus counters.
+	compactDone := make(chan struct{})
+	defer close(compactDone)
+	go func() {
+		tick := time.NewTicker(*compactEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				rec.CompactSpans()
+			case <-compactDone:
+				return
+			}
+		}
+	}()
+
+	srv := serve.NewServer(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		CacheEntries:    *cacheEntries,
+		DefaultDeadline: *deadline,
+		MaxDim:          *maxDim,
+		EnablePprof:     *pprofOn,
+		Recorder:        rec,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen on %s: %w", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	fmt.Printf("parmad: listening on %s (workers=%d queue=%d batch=%d/%s cache=%d)\n",
+		bound, *workers, *queueDepth, *maxBatch, *batchWindow, *cacheEntries)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admission, let every admitted request finish,
+	// then shut the listener down so in-flight responses are delivered.
+	fmt.Println("parmad: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		_ = httpSrv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	hits, misses := srv.Cache().Stats()
+	fmt.Printf("parmad: drained cleanly (cache: %d hits, %d misses)\n", hits, misses)
+	return nil
+}

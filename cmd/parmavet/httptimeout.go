@@ -1,0 +1,50 @@
+package main
+
+// httptimeout: every `http.Server` composite literal must set
+// ReadHeaderTimeout (or the stricter ReadTimeout, which bounds the header
+// phase too). The zero value means the server waits forever for a client
+// to finish sending headers, so one slow-loris peer can pin a connection
+// — and with parmad's bounded worker pool behind the handler, pinned
+// connections are exactly the resource the admission queue is supposed to
+// protect. Servers built without a composite literal (field-by-field
+// assignment) are out of scope; the repo builds them literally.
+
+import (
+	"go/ast"
+)
+
+var httptimeoutAnalyzer = &Analyzer{
+	Name: "httptimeout",
+	Doc:  "http.Server literals must set ReadHeaderTimeout (or ReadTimeout)",
+	Run:  runHTTPTimeout,
+}
+
+func runHTTPTimeout(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if !namedTypeIs(info.TypeOf(lit), "net/http", "Server") {
+				return true
+			}
+			for _, el := range lit.Elts {
+				kv, isKV := el.(*ast.KeyValueExpr)
+				if !isKV {
+					continue
+				}
+				key, isIdent := kv.Key.(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				if key.Name == "ReadHeaderTimeout" || key.Name == "ReadTimeout" {
+					return true
+				}
+			}
+			pass.Reportf(lit.Pos(), "http.Server literal without ReadHeaderTimeout: header reads block forever, so one slow client pins a connection")
+			return true
+		})
+	}
+}

@@ -1,10 +1,11 @@
 // Command parmavet is Parma's project-specific static-analysis suite. It
 // enforces invariants no generic linter knows about:
 //
-//	spanend   obs.StartSpan/StartOn results must reach End on every path
-//	mpierr    errors from mpi.Comm/World calls may not be discarded
-//	floateq   no ==/!= on floats in the numerics packages
-//	locksend  no blocking MPI call while a sync.Mutex/RWMutex is held
+//	spanend      obs.StartSpan/StartOn results must reach End on every path
+//	mpierr       errors from mpi.Comm/World calls may not be discarded
+//	floateq      no ==/!= on floats in the numerics packages
+//	locksend     no blocking MPI call while a sync.Mutex/RWMutex is held
+//	httptimeout  http.Server literals must set ReadHeaderTimeout (or ReadTimeout)
 //
 // Usage:
 //

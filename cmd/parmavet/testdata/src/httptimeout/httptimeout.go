@@ -1,0 +1,54 @@
+// Package httptimeout exercises the httptimeout analyzer: every
+// http.Server composite literal must bound the header-read phase with
+// ReadHeaderTimeout (or the stricter ReadTimeout), except sites annotated
+// //parmavet:allow httptimeout.
+package httptimeout
+
+import (
+	"net/http"
+	"time"
+)
+
+// bare is the core finding: the zero timeouts wait forever on headers.
+func bare() *http.Server {
+	return &http.Server{ // want "http.Server literal without ReadHeaderTimeout"
+		Addr: ":8080",
+	}
+}
+
+// valueLiteral is flagged the same as the pointer form.
+func valueLiteral() http.Server {
+	return http.Server{Addr: ":8080"} // want "http.Server literal without ReadHeaderTimeout"
+}
+
+// emptyLiteral: Server{} has no fields at all, so no timeout either.
+func emptyLiteral() *http.Server {
+	return &http.Server{} // want "http.Server literal without ReadHeaderTimeout"
+}
+
+// withHeaderTimeout is the recommended shape and is not flagged.
+func withHeaderTimeout() *http.Server {
+	return &http.Server{
+		Addr:              ":8080",
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+}
+
+// withReadTimeout also bounds the header phase, so it satisfies the check.
+func withReadTimeout() *http.Server {
+	return &http.Server{
+		Addr:        ":8080",
+		ReadTimeout: time.Minute,
+	}
+}
+
+// otherLiterals: only http.Server is in scope.
+func otherLiterals() *http.Transport {
+	return &http.Transport{MaxIdleConns: 4}
+}
+
+// allowed suppresses with an annotation and a justification.
+func allowed() *http.Server {
+	//parmavet:allow httptimeout -- localhost-only test server, torn down by the harness
+	return &http.Server{Addr: "127.0.0.1:0"}
+}

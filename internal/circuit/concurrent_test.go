@@ -1,0 +1,166 @@
+package circuit
+
+import (
+	"sync"
+	"testing"
+
+	"parma/internal/grid"
+)
+
+// These tests pin the thread-safety contract the serving layer's
+// factorization cache (internal/serve.FactorCache) relies on: Solver and
+// MaskedSolver are immutable after construction, so one instance may be
+// queried from many goroutines at once. Run under -race they detect any
+// future mutation sneaking into the query paths; the exact comparison
+// against a serial baseline is sound because every query is deterministic
+// (no accumulation-order nondeterminism — each call factorized once, and
+// solves are sequential per call).
+
+// testField builds a deterministic non-uniform positive field.
+func testField(a grid.Array) *grid.Field {
+	r := grid.NewFieldFor(a)
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			r.Set(i, j, 2000+500*float64(i)+130*float64(j))
+		}
+	}
+	return r
+}
+
+func TestSolverConcurrentReaders(t *testing.T) {
+	a := grid.New(6, 7)
+	r := testField(a)
+	s, err := NewSolver(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial baseline: one pass over every query the workers will repeat.
+	type key struct{ i, j int }
+	wantZ := map[key]float64{}
+	wantPair := map[key]PairSolution{}
+	wantSens := map[key]*grid.Field{}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			wantZ[key{i, j}] = s.EffectiveResistance(i, j)
+			wantPair[key{i, j}] = s.SolvePair(i, j, 5.0)
+			wantSens[key{i, j}] = s.Sensitivity(i, j, r)
+		}
+	}
+
+	const goroutines = 8
+	const rounds = 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i := 0; i < a.Rows(); i++ {
+					for j := 0; j < a.Cols(); j++ {
+						k := key{i, j}
+						if got := s.EffectiveResistance(i, j); got != wantZ[k] {
+							t.Errorf("goroutine %d: EffectiveResistance(%d,%d) = %v, want %v", g, i, j, got, wantZ[k])
+							return
+						}
+						ps := s.SolvePair(i, j, 5.0)
+						if ps.Z != wantPair[k].Z || ps.I != wantPair[k].I {
+							t.Errorf("goroutine %d: SolvePair(%d,%d) diverged from serial baseline", g, i, j)
+							return
+						}
+						sens := s.Sensitivity(i, j, r)
+						for ii := 0; ii < a.Rows(); ii++ {
+							for jj := 0; jj < a.Cols(); jj++ {
+								if sens.At(ii, jj) != wantSens[k].At(ii, jj) {
+									t.Errorf("goroutine %d: Sensitivity(%d,%d) diverged at (%d,%d)", g, i, j, ii, jj)
+									return
+								}
+							}
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMaskedSolverConcurrentReaders(t *testing.T) {
+	a := grid.New(6, 6)
+	r := testField(a)
+	mask := grid.FullMaskFor(a)
+	// Break the array into components so the multi-factorization path and
+	// the +Inf cross-component path both run concurrently.
+	mask.DisableWire(true, 2)
+	s, err := NewMaskedSolver(a, r, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct{ i, j int }
+	want := map[key]float64{}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			want[key{i, j}] = s.EffectiveResistance(i, j)
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				for i := 0; i < a.Rows(); i++ {
+					for j := 0; j < a.Cols(); j++ {
+						if got := s.EffectiveResistance(i, j); got != want[key{i, j}] {
+							t.Errorf("goroutine %d: masked EffectiveResistance(%d,%d) = %v, want %v", g, i, j, got, want[key{i, j}])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSharedSolverAcrossMeasureAll mirrors the serving cache's exact usage:
+// several goroutines sweep the full Z matrix off one shared factorization,
+// as /v1/measure workers do on a cache hit.
+func TestSharedSolverAcrossMeasureAll(t *testing.T) {
+	a := grid.NewSquare(8)
+	r := testField(a)
+	s, err := NewSolver(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := MeasureAll(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			z := grid.NewFieldFor(a)
+			for i := 0; i < a.Rows(); i++ {
+				for j := 0; j < a.Cols(); j++ {
+					z.Set(i, j, s.EffectiveResistance(i, j))
+				}
+			}
+			for i := 0; i < a.Rows(); i++ {
+				for j := 0; j < a.Cols(); j++ {
+					if z.At(i, j) != baseline.At(i, j) {
+						t.Errorf("goroutine %d: shared-solver Z(%d,%d) = %v, want %v", g, i, j, z.At(i, j), baseline.At(i, j))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

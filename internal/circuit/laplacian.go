@@ -54,6 +54,12 @@ func checkField(a grid.Array, r *grid.Field) {
 // first horizontal wire, is the ground) and reuses the factorization across
 // all wire pairs, so measuring the whole array costs one O(N³) factorization
 // plus m·n O(N²) solves, N = m+n.
+//
+// A Solver is immutable after NewSolver and safe for concurrent use: every
+// query method only reads the factorization (mat.LU.Solve writes solely to
+// vectors it allocates per call). The serving layer's factorization cache
+// (internal/serve) hands one *Solver to many workers at once and relies on
+// this; TestSolverConcurrentReaders pins the contract under -race.
 type Solver struct {
 	arr grid.Array
 	lu  *mat.LU

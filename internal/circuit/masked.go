@@ -12,6 +12,9 @@ import (
 // no conductance, and the wire graph may fall into several electrical
 // components. Pairs in different components are unmeasurable and report
 // +Inf. Each component is grounded and factorized independently.
+//
+// Like Solver, a MaskedSolver is immutable after construction and safe for
+// concurrent readers: queries only read the per-component factorizations.
 type MaskedSolver struct {
 	arr    grid.Array
 	labels []int // component label per wire node

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"parma/internal/circuit"
@@ -42,7 +43,7 @@ func InverseComparison(cfg InverseConfig) (*metrics.Table, error) {
 		run  func(a grid.Array, z *grid.Field) (*grid.Field, error)
 	}{
 		{"levenberg-marquardt", func(a grid.Array, z *grid.Field) (*grid.Field, error) {
-			res, err := solver.Recover(a, z, solver.RecoverOptions{Tol: 1e-9, MaxIter: 40})
+			res, err := solver.Recover(context.Background(), a, z, solver.RecoverOptions{Tol: 1e-9, MaxIter: 40})
 			if err != nil {
 				// Under heavy noise LM stops at its floor; the estimate
 				// is still the comparison subject.

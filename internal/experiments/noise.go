@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -66,7 +67,7 @@ func NoiseSweep(cfg NoiseConfig) (*metrics.Table, error) {
 				return nil, err
 			}
 			gen.AddNoise(z, level, seed^0x5eed)
-			rec, err := solver.Recover(a, z, solver.RecoverOptions{Tol: math.Max(level/10, 1e-10), MaxIter: 40})
+			rec, err := solver.Recover(context.Background(), a, z, solver.RecoverOptions{Tol: math.Max(level/10, 1e-10), MaxIter: 40})
 			if err == nil {
 				converged++
 			}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTP glue: the exporters as handlers, for daemons that scrape metrics
+// over the wire instead of dumping artifacts at exit.
+
+// MetricsHandler serves the recorder's metrics in Prometheus text
+// exposition format — the same dump the -metrics CLI flag writes, minus
+// the human-readable summary table.
+func MetricsHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// PprofMux returns a mux exposing the runtime profiling endpoints under
+// /debug/pprof/, without touching http.DefaultServeMux. Mount it behind an
+// operator flag: profiles reveal code paths and should not face users.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -86,6 +86,12 @@ type Recorder struct {
 	shards [eventShards]eventShard
 	reg    *Registry
 
+	// base holds rollups folded out of the event buffer by CompactSpans, so
+	// long-running processes keep cumulative per-span statistics without
+	// retaining every event.
+	baseMu sync.Mutex
+	base   map[string]*Rollup
+
 	trackMu    sync.Mutex
 	trackNames map[int32]string
 	nextTrack  atomic.Int32
@@ -96,6 +102,7 @@ func NewRecorder() *Recorder {
 	return &Recorder{
 		epoch:      time.Now(),
 		reg:        NewRegistry(),
+		base:       map[string]*Rollup{},
 		trackNames: map[int32]string{},
 	}
 }
@@ -194,9 +201,62 @@ type Rollup struct {
 	Max   time.Duration `json:"max_ns"`
 }
 
-// Rollups aggregates events by span name, sorted by descending total time.
+// CompactSpans folds every buffered event into the cumulative rollup
+// baseline and clears the event buffer. Rollups (and the exporters built
+// on it) keep reporting lifetime totals; only the per-event detail — the
+// Chrome trace timeline — is dropped. Long-running daemons call this
+// periodically so span recording stays O(names), not O(requests).
+func (r *Recorder) CompactSpans() {
+	var taken []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		taken = append(taken, s.events...)
+		s.events = nil
+		s.mu.Unlock()
+	}
+	if len(taken) == 0 {
+		return
+	}
+	r.baseMu.Lock()
+	defer r.baseMu.Unlock()
+	for _, ev := range taken {
+		ro := r.base[ev.Name]
+		if ro == nil {
+			ro = &Rollup{Name: ev.Name}
+			r.base[ev.Name] = ro
+		}
+		ro.Count++
+		ro.Total += ev.Dur
+		if ev.Dur > ro.Max {
+			ro.Max = ev.Dur
+		}
+	}
+}
+
+// EventCount returns the number of events currently buffered (compacted
+// events are excluded).
+func (r *Recorder) EventCount() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Rollups aggregates events by span name — buffered events plus the
+// compacted baseline — sorted by descending total time.
 func (r *Recorder) Rollups() []Rollup {
 	acc := map[string]*Rollup{}
+	r.baseMu.Lock()
+	for name, ro := range r.base {
+		cp := *ro
+		acc[name] = &cp
+	}
+	r.baseMu.Unlock()
 	for _, ev := range r.Events() {
 		ro := acc[ev.Name]
 		if ro == nil {

@@ -1,0 +1,126 @@
+// Package serve turns Parma's one-shot solver/circuit stack into a
+// long-running batched service: an HTTP/JSON API in front of an admission
+// queue with bounded depth and per-request deadlines, a dispatcher that
+// groups compatible requests (same geometry and solver options) into
+// batches, a worker pool executing recoveries and forward measurements
+// with context cancellation threaded through the Newton iterations, and an
+// LRU cache that amortizes Laplacian factorizations and warm-start R
+// estimates across requests — the effective-resistance amortization the
+// PEERS line of work shows is where serving throughput lives.
+//
+// Request lifecycle: handler → admit (429 when the queue is full, 503 when
+// draining) → per-key batch bucket (flushed by size or window) → worker →
+// response. Every stage is measured: queue depth and wait, batch size,
+// cache hit rate, and per-endpoint latency histograms all land in the obs
+// registry and are scraped from GET /metrics.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"parma/internal/grid"
+)
+
+// RecoverRequest is the POST /v1/recover body: a measured Z field plus the
+// array geometry and optional solver options.
+type RecoverRequest struct {
+	Rows int         `json:"rows"`
+	Cols int         `json:"cols"`
+	Z    [][]float64 `json:"z"`
+	// Tol is the target relative residual; zero selects the solver default.
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter bounds LM iterations; zero selects the solver default.
+	MaxIter int `json:"max_iter,omitempty"`
+	// WarmStart opts out of the geometry-keyed warm-start cache when set to
+	// false; unset (nil) means true.
+	WarmStart *bool `json:"warm_start,omitempty"`
+	// DeadlineMS overrides the server's default per-request deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// RecoverResponse is the POST /v1/recover reply.
+type RecoverResponse struct {
+	R          [][]float64 `json:"r"`
+	Iterations int         `json:"iterations"`
+	Residual   float64     `json:"residual"`
+	Cache      string      `json:"cache"` // "hit" (warm start used) or "miss"
+	BatchSize  int         `json:"batch_size"`
+	QueuedMS   float64     `json:"queued_ms"`
+	SolveMS    float64     `json:"solve_ms"`
+}
+
+// MeasureRequest is the POST /v1/measure body: a resistance field to run
+// through the forward simulator.
+type MeasureRequest struct {
+	Rows       int         `json:"rows"`
+	Cols       int         `json:"cols"`
+	R          [][]float64 `json:"r"`
+	DeadlineMS int64       `json:"deadline_ms,omitempty"`
+}
+
+// MeasureResponse is the POST /v1/measure reply.
+type MeasureResponse struct {
+	Z         [][]float64 `json:"z"`
+	Cache     string      `json:"cache"` // "hit" (factorization reused) or "miss"
+	BatchSize int         `json:"batch_size"`
+	QueuedMS  float64     `json:"queued_ms"`
+	SolveMS   float64     `json:"solve_ms"`
+}
+
+// ErrorResponse is the body of every non-200 reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
+	Status     string  `json:"status"` // "ok" or "draining"
+	UptimeS    float64 `json:"uptime_s"`
+	QueueDepth int64   `json:"queue_depth"`
+}
+
+// fieldFromRows validates a row-major JSON matrix and converts it to a
+// grid.Field. maxDim bounds both dimensions against oversized allocations;
+// requirePositive additionally rejects non-positive entries (resistance
+// fields must be strictly positive, measurements merely finite).
+func fieldFromRows(rows, cols, maxDim int, vals [][]float64, requirePositive bool) (*grid.Field, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("invalid geometry %dx%d", rows, cols)
+	}
+	if rows > maxDim || cols > maxDim {
+		return nil, fmt.Errorf("geometry %dx%d exceeds the server's max dimension %d", rows, cols, maxDim)
+	}
+	if len(vals) != rows {
+		return nil, fmt.Errorf("field has %d rows, geometry says %d", len(vals), rows)
+	}
+	f := grid.NewField(rows, cols)
+	for i, row := range vals {
+		if len(row) != cols {
+			return nil, fmt.Errorf("row %d has %d columns, geometry says %d", i, len(row), cols)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("entry (%d,%d) is not finite", i, j)
+			}
+			if requirePositive && v <= 0 {
+				return nil, fmt.Errorf("entry (%d,%d) = %g must be positive", i, j, v)
+			}
+			f.Set(i, j, v)
+		}
+	}
+	return f, nil
+}
+
+// rowsFromField converts a grid.Field to the row-major JSON shape.
+func rowsFromField(f *grid.Field) [][]float64 {
+	out := make([][]float64, f.Rows())
+	for i := range out {
+		row := make([]float64, f.Cols())
+		for j := range row {
+			row[j] = f.At(i, j)
+		}
+		out[i] = row
+	}
+	return out
+}

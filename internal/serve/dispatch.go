@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"parma/internal/grid"
+	"parma/internal/obs"
+	"parma/internal/solver"
+)
+
+// taskKind distinguishes the two compute endpoints.
+type taskKind uint8
+
+const (
+	kindRecover taskKind = iota
+	kindMeasure
+)
+
+func (k taskKind) String() string {
+	if k == kindRecover {
+		return "recover"
+	}
+	return "measure"
+}
+
+// task is one admitted request travelling queue → bucket → worker.
+type task struct {
+	kind taskKind
+	// key groups batch-compatible tasks: same kind, geometry, and solver
+	// options. Only same-key tasks share a batch (and therefore warm-start
+	// and factorization locality).
+	key     string
+	ctx     context.Context
+	arr     grid.Array
+	field   *grid.Field // Z for recover, R for measure
+	tol     float64
+	maxIter int
+	warm    bool
+	enq     time.Time
+	done    chan taskResult // buffered(1): workers never block on a gone handler
+}
+
+// taskResult is the worker's reply to the handler.
+type taskResult struct {
+	field      *grid.Field // recovered R or measured Z
+	iterations int
+	residual   float64
+	cacheHit   bool
+	batchSize  int
+	queued     time.Duration
+	solve      time.Duration
+	status     int // HTTP status when err != nil
+	err        error
+}
+
+func (t *task) finish(res taskResult) {
+	res.queued = time.Since(t.enq) - res.solve
+	t.done <- res
+}
+
+// batchKey canonicalizes the grouping key.
+func batchKey(kind taskKind, a grid.Array, tol float64, maxIter int) string {
+	return fmt.Sprintf("%s|%s|tol=%g|iter=%d", kind, geomKey(a), tol, maxIter)
+}
+
+// bucket accumulates same-key tasks until flushed by size or window.
+type bucket struct {
+	tasks   []*task
+	flushAt time.Time
+}
+
+// dispatch is the batching loop: it drains the intake channel into per-key
+// buckets and flushes each bucket to the worker pool when it reaches
+// MaxBatch or its batching window expires. When intake closes (drain), all
+// buckets flush and the work channel closes behind them, so every admitted
+// task reaches a worker.
+func (s *Server) dispatch() {
+	defer close(s.work)
+	buckets := map[string]*bucket{}
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+
+	flush := func(key string) {
+		b := buckets[key]
+		delete(buckets, key)
+		obs.Observe("serve/batch_size", float64(len(b.tasks)))
+		s.work <- b.tasks
+	}
+	flushExpired := func(now time.Time) {
+		for key, b := range buckets {
+			if !b.flushAt.After(now) {
+				flush(key)
+			}
+		}
+	}
+	for {
+		// Arm the timer for the nearest pending flush.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		next := time.Duration(-1)
+		for _, b := range buckets {
+			d := time.Until(b.flushAt)
+			if d < 0 {
+				// Already expired (e.g. the loop was busy flushing another
+				// bucket past this one's window): fire immediately.
+				d = 0
+			}
+			if next < 0 || d < next {
+				next = d
+			}
+		}
+		var timerC <-chan time.Time
+		if next >= 0 {
+			timer.Reset(next)
+			timerC = timer.C
+		}
+
+		select {
+		case t, ok := <-s.intake:
+			if !ok {
+				for key := range buckets {
+					flush(key)
+				}
+				return
+			}
+			b := buckets[t.key]
+			if b == nil {
+				b = &bucket{flushAt: time.Now().Add(s.cfg.BatchWindow)}
+				buckets[t.key] = b
+			}
+			b.tasks = append(b.tasks, t)
+			if len(b.tasks) >= s.cfg.MaxBatch {
+				flush(t.key)
+			}
+		case now := <-timerC:
+			flushExpired(now)
+		}
+	}
+}
+
+// worker executes batches until the work channel closes.
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for batch := range s.work {
+		sp := obs.StartSpan("serve/batch")
+		for _, t := range batch {
+			s.runTask(t, len(batch))
+		}
+		sp.End(obs.I("size", len(batch)), obs.S("key", batch[0].key))
+	}
+}
+
+// runTask executes one admitted task and always delivers exactly one
+// result (the queue-depth decrement lives in finish's caller, admitDone).
+func (s *Server) runTask(t *task, batchSize int) {
+	defer s.admitDone()
+	obs.Observe("serve/queue_wait_ms", float64(time.Since(t.enq).Milliseconds()))
+	if err := t.ctx.Err(); err != nil {
+		obs.Add("serve/abandoned_in_queue", 1)
+		t.finish(taskResult{status: http.StatusServiceUnavailable,
+			err: fmt.Errorf("abandoned while queued: %w", err), batchSize: batchSize})
+		return
+	}
+	start := time.Now()
+	var res taskResult
+	switch t.kind {
+	case kindRecover:
+		res = s.runRecover(t)
+	case kindMeasure:
+		res = s.runMeasure(t)
+	}
+	res.batchSize = batchSize
+	res.solve = time.Since(start)
+	obs.Observe("serve/latency_"+t.kind.String()+"_ms", float64(time.Since(t.enq).Milliseconds()))
+	t.finish(res)
+}
+
+// runRecover performs a cancellable LM recovery, warm-started from the
+// cache when allowed. A warm start that diverges falls back to one cold
+// retry: a stale seed from different traffic must not fail a request the
+// cold path would have served.
+func (s *Server) runRecover(t *task) taskResult {
+	sp := obs.StartSpan("serve/recover")
+	defer sp.End(obs.S("key", t.key))
+	opts := solver.RecoverOptions{Tol: t.tol, MaxIter: t.maxIter}
+	warmUsed := false
+	if t.warm {
+		if w, ok := s.cache.WarmStart(t.arr); ok {
+			opts.Initial = w
+			warmUsed = true
+		}
+	}
+	res, err := solver.Recover(t.ctx, t.arr, t.field, opts)
+	if err != nil && warmUsed && errors.Is(err, solver.ErrDiverged) {
+		obs.Add("serve/warm_retries", 1)
+		opts.Initial = nil
+		res, err = solver.Recover(t.ctx, t.arr, t.field, opts)
+	}
+	if err != nil {
+		if errors.Is(err, solver.ErrCanceled) {
+			return taskResult{status: http.StatusServiceUnavailable,
+				err: fmt.Errorf("recovery cancelled: %w", err)}
+		}
+		return taskResult{status: http.StatusUnprocessableEntity,
+			err: fmt.Errorf("recovery failed: %w", err)}
+	}
+	s.cache.StoreWarmStart(t.arr, res.R)
+	return taskResult{field: res.R, iterations: res.Iterations,
+		residual: res.Residual, cacheHit: warmUsed}
+}
+
+// runMeasure runs the forward simulator over a (possibly cached)
+// factorization, honouring cancellation between rows.
+func (s *Server) runMeasure(t *task) taskResult {
+	sp := obs.StartSpan("serve/measure")
+	defer sp.End(obs.S("key", t.key))
+	sol, hit, err := s.cache.Solver(t.arr, t.field)
+	if err != nil {
+		return taskResult{status: http.StatusUnprocessableEntity,
+			err: fmt.Errorf("forward model rejected the field: %w", err)}
+	}
+	z := grid.NewFieldFor(t.arr)
+	for i := 0; i < t.arr.Rows(); i++ {
+		if err := t.ctx.Err(); err != nil {
+			return taskResult{status: http.StatusServiceUnavailable,
+				err: fmt.Errorf("measurement cancelled: %w", err)}
+		}
+		for j := 0; j < t.arr.Cols(); j++ {
+			z.Set(i, j, sol.EffectiveResistance(i, j))
+		}
+	}
+	return taskResult{field: z, cacheHit: hit}
+}

@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parma/internal/grid"
+	"parma/internal/obs"
+)
+
+// Config tunes the serving pipeline. The zero value of every field selects
+// a sensible default, so Config{} is a working configuration.
+type Config struct {
+	// Workers is the compute pool size; zero selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds admitted-but-unfinished requests; past it new
+	// requests get 429. Zero selects 64.
+	QueueDepth int
+	// BatchWindow is how long the dispatcher holds a batch open for
+	// same-key requests to join. Zero selects 2ms.
+	BatchWindow time.Duration
+	// MaxBatch flushes a batch early once it reaches this size. Zero
+	// selects 8.
+	MaxBatch int
+	// CacheEntries bounds the factorization/warm-start LRU. Zero selects 128.
+	CacheEntries int
+	// DefaultDeadline applies to requests that do not set deadline_ms.
+	// Zero selects 30s.
+	DefaultDeadline time.Duration
+	// MaxDim rejects geometries larger than MaxDim per side. Zero selects 64.
+	MaxDim int
+	// EnablePprof mounts /debug/pprof/* on the handler.
+	EnablePprof bool
+	// Recorder, when set, is served by GET /metrics. (Installing it as the
+	// global obs recorder is the caller's choice; see cmd/parmad.)
+	Recorder *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = 64
+	}
+	return c
+}
+
+// Errors surfaced by admission control.
+var (
+	// ErrQueueFull reports admission rejected for backpressure (HTTP 429).
+	ErrQueueFull = errors.New("serve: admission queue is full")
+	// ErrDraining reports the server is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// Server is the batched MEA-recovery service: admission queue, batching
+// dispatcher, worker pool, and factorization cache behind an HTTP handler.
+// Create with NewServer, serve via Handler, stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *FactorCache
+	start time.Time
+
+	intake chan *task
+	work   chan []*task
+
+	admitMu  sync.RWMutex
+	draining bool
+	depth    atomic.Int64
+
+	dispatcherDone chan struct{}
+	workersWG      sync.WaitGroup
+}
+
+// NewServer builds the pipeline and starts its dispatcher and workers.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:            cfg,
+		cache:          NewFactorCache(cfg.CacheEntries),
+		start:          time.Now(),
+		intake:         make(chan *task, cfg.QueueDepth),
+		work:           make(chan []*task),
+		dispatcherDone: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.dispatcherDone)
+		s.dispatch()
+	}()
+	s.workersWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the factorization cache (for stats and tests).
+func (s *Server) Cache() *FactorCache { return s.cache }
+
+// QueueDepth returns the number of admitted, unfinished requests.
+func (s *Server) QueueDepth() int64 { return s.depth.Load() }
+
+// admit enqueues t or reports why it cannot. The depth gauge counts
+// admitted-but-unfinished tasks (queued, batched, or running), so
+// backpressure tracks real outstanding work, not just channel occupancy.
+func (s *Server) admit(t *task) error {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if d := s.depth.Load(); d >= int64(s.cfg.QueueDepth) {
+		obs.Add("serve/rejected_429", 1)
+		return ErrQueueFull
+	}
+	select {
+	case s.intake <- t:
+		d := s.depth.Add(1)
+		obs.SetGauge("serve/queue_depth", float64(d))
+		obs.Add("serve/admitted_total", 1)
+		return nil
+	default:
+		obs.Add("serve/rejected_429", 1)
+		return ErrQueueFull
+	}
+}
+
+// admitDone balances admit once a task finished.
+func (s *Server) admitDone() {
+	d := s.depth.Add(-1)
+	obs.SetGauge("serve/queue_depth", float64(d))
+}
+
+// Drain stops admission and waits — bounded by ctx — for every already
+// admitted request to finish. It is idempotent; only the first call closes
+// the intake. In-flight requests are never dropped: the dispatcher flushes
+// its buckets and the workers run the queue dry before Drain returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.admitMu.Unlock()
+	if first {
+		close(s.intake)
+	}
+	done := make(chan struct{})
+	go func() {
+		<-s.dispatcherDone
+		s.workersWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with %d request(s) outstanding: %w",
+			s.depth.Load(), ctx.Err())
+	}
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/recover      Z field + geometry -> recovered R field
+//	POST /v1/measure      R field + geometry -> simulated Z field
+//	GET  /healthz         liveness + drain state
+//	GET  /metrics         Prometheus text (when Config.Recorder is set)
+//	GET  /debug/pprof/*   runtime profiles (when Config.EnablePprof)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recover", s.handleRecover)
+	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.Recorder != nil {
+		mux.Handle("GET /metrics", obs.MetricsHandler(s.cfg.Recorder))
+	}
+	if s.cfg.EnablePprof {
+		mux.Handle("/debug/pprof/", obs.PprofMux())
+	}
+	return mux
+}
+
+// maxBodyBytes bounds request bodies: a 64x64 float64 matrix in JSON is
+// well under 1 MiB even with long decimal expansions.
+const maxBodyBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// admissionStatus maps admission errors to HTTP statuses.
+func admissionStatus(err error) int {
+	if errors.Is(err, ErrQueueFull) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusServiceUnavailable
+}
+
+// runViaQueue admits t and waits for its result or the request context.
+func (s *Server) runViaQueue(w http.ResponseWriter, t *task, cancel context.CancelFunc) (taskResult, bool) {
+	defer cancel()
+	if err := s.admit(t); err != nil {
+		writeErr(w, admissionStatus(err), err)
+		return taskResult{}, false
+	}
+	// Wait for the worker even past the deadline: it observes the same ctx
+	// and replies promptly with 503, which keeps the single producer of
+	// t.done unambiguous.
+	res := <-t.done
+	if res.err != nil {
+		writeErr(w, res.status, res.err)
+		return taskResult{}, false
+	}
+	return res, true
+}
+
+func (s *Server) deadlineFor(ms int64) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.cfg.DefaultDeadline
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	obs.Add("serve/requests_recover", 1)
+	var req RecoverRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	z, err := fieldFromRows(req.Rows, req.Cols, s.cfg.MaxDim, req.Z, true)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid z field: %w", err))
+		return
+	}
+	arr := grid.New(req.Rows, req.Cols)
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
+	t := &task{
+		kind:    kindRecover,
+		key:     batchKey(kindRecover, arr, req.Tol, req.MaxIter),
+		ctx:     ctx,
+		arr:     arr,
+		field:   z,
+		tol:     req.Tol,
+		maxIter: req.MaxIter,
+		warm:    req.WarmStart == nil || *req.WarmStart,
+		enq:     time.Now(),
+		done:    make(chan taskResult, 1),
+	}
+	res, ok := s.runViaQueue(w, t, cancel)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, RecoverResponse{
+		R:          rowsFromField(res.field),
+		Iterations: res.iterations,
+		Residual:   res.residual,
+		Cache:      cacheLabel(res.cacheHit),
+		BatchSize:  res.batchSize,
+		QueuedMS:   float64(res.queued) / float64(time.Millisecond),
+		SolveMS:    float64(res.solve) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	obs.Add("serve/requests_measure", 1)
+	var req MeasureRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	rf, err := fieldFromRows(req.Rows, req.Cols, s.cfg.MaxDim, req.R, true)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid r field: %w", err))
+		return
+	}
+	arr := grid.New(req.Rows, req.Cols)
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
+	t := &task{
+		kind:  kindMeasure,
+		key:   batchKey(kindMeasure, arr, 0, 0),
+		ctx:   ctx,
+		arr:   arr,
+		field: rf,
+		enq:   time.Now(),
+		done:  make(chan taskResult, 1),
+	}
+	res, ok := s.runViaQueue(w, t, cancel)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, MeasureResponse{
+		Z:         rowsFromField(res.field),
+		Cache:     cacheLabel(res.cacheHit),
+		BatchSize: res.batchSize,
+		QueuedMS:  float64(res.queued) / float64(time.Millisecond),
+		SolveMS:   float64(res.solve) / float64(time.Millisecond),
+	})
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	h := HealthResponse{
+		Status:     "ok",
+		UptimeS:    time.Since(s.start).Seconds(),
+		QueueDepth: s.depth.Load(),
+	}
+	status := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}

@@ -1,0 +1,78 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"parma/internal/circuit"
+	"parma/internal/grid"
+	"parma/internal/mat"
+)
+
+// TestRecoverCanceled pins the cancellation contract: an already-cancelled
+// context aborts before the first LM iteration, the error wraps both
+// ErrCanceled and the context cause, and the result still carries a usable
+// (strictly positive) partial iterate.
+func TestRecoverCanceled(t *testing.T) {
+	a := grid.NewSquare(6)
+	truth := grid.UniformField(6, 6, 4000)
+	truth.Set(2, 2, 9000) // non-uniform: the closed-form guess cannot converge at iteration zero
+	z, err := circuit.MeasureAll(a, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Recover(ctx, a, z, RecoverOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to wrap context.Canceled", err)
+	}
+	if res.R == nil || res.R.Min() <= 0 {
+		t.Fatalf("cancelled recovery must still return the best iterate, got %v", res.R)
+	}
+}
+
+// TestRecoverContextCompletes ensures a live context does not disturb a
+// normal recovery.
+func TestRecoverContextCompletes(t *testing.T) {
+	a := grid.NewSquare(4)
+	truth := grid.UniformField(4, 4, 3000)
+	z, err := circuit.MeasureAll(a, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(context.Background(), a, z, RecoverOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if res.R.MaxAbsDiff(truth) > 1e-4 {
+		t.Fatalf("recovered field off by %g", res.R.MaxAbsDiff(truth))
+	}
+}
+
+// TestNewtonSolveCanceled covers the same contract for the damped Newton
+// driver: cancellation between iterations returns the current iterate.
+func TestNewtonSolveCanceled(t *testing.T) {
+	f := func(x mat.Vector) mat.Vector { return mat.Vector{x[0]*x[0] - 2} }
+	jac := func(x mat.Vector) *mat.Matrix {
+		j := mat.NewMatrix(1, 1)
+		j.Set(0, 0, 2*x[0])
+		return j
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x, iters, err := NewtonSolve(ctx, f, jac, mat.Vector{5}, NewtonOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if iters != 0 {
+		t.Fatalf("iters = %d, want 0 for pre-cancelled context", iters)
+	}
+	if len(x) != 1 || x[0] != 5 {
+		t.Fatalf("x = %v, want the untouched initial iterate", x)
+	}
+}

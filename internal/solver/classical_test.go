@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -102,7 +103,7 @@ func TestTikhonovLocalizes(t *testing.T) {
 // the paper's motivation for moving past conventional reconstructions.
 func TestClassicalVsLM(t *testing.T) {
 	a, truth, z := classicalScenario(t, 6, 4)
-	lm, err := Recover(a, z, RecoverOptions{})
+	lm, err := Recover(context.Background(), a, z, RecoverOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

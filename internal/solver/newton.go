@@ -7,6 +7,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -17,6 +18,20 @@ import (
 // ErrDiverged is returned when an iteration fails to reduce the residual
 // within its budget.
 var ErrDiverged = errors.New("solver: iteration diverged or stalled")
+
+// ErrCanceled is returned when the caller's context ends mid-iteration.
+// Errors carrying it wrap the context's own cause, so callers can test
+// either errors.Is(err, ErrCanceled) or errors.Is(err, context.Canceled).
+var ErrCanceled = errors.New("solver: canceled")
+
+// canceled wraps ctx's error under ErrCanceled, or returns nil while ctx
+// is live.
+func canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
 
 // NewtonOptions configures NewtonSolve.
 type NewtonOptions struct {
@@ -31,8 +46,9 @@ type NewtonOptions struct {
 
 // NewtonSolve finds x with f(x) = 0 by damped Newton iteration. jac must
 // return the Jacobian ∂f/∂x at x. It returns the solution and the
-// iteration count.
-func NewtonSolve(f func(mat.Vector) mat.Vector, jac func(mat.Vector) *mat.Matrix,
+// iteration count. Cancelling ctx aborts between iterations with an error
+// wrapping ErrCanceled; the best iterate so far is still returned.
+func NewtonSolve(ctx context.Context, f func(mat.Vector) mat.Vector, jac func(mat.Vector) *mat.Matrix,
 	x0 mat.Vector, opts NewtonOptions) (mat.Vector, int, error) {
 	tol := opts.Tol
 	if tol == 0 { //parmavet:allow floateq -- zero is the "unset option" sentinel, assigned not computed
@@ -53,6 +69,9 @@ func NewtonSolve(f func(mat.Vector) mat.Vector, jac func(mat.Vector) *mat.Matrix
 	for iter := 0; iter < maxIter; iter++ {
 		if res.NormInf() <= tol {
 			return x, iter, nil
+		}
+		if err := canceled(ctx); err != nil {
+			return x, iter, err
 		}
 		spIter := obs.StartSpan("solver/newton_iter")
 		j := jac(x)

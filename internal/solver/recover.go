@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -38,7 +39,13 @@ type RecoverResult struct {
 // adjoint solve per wire pair, and a dense (mn)² normal-equation solve, so
 // the method is intended for arrays up to a few tens of wires per side —
 // enough to close the loop on anomaly detection end to end.
-func Recover(a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, error) {
+//
+// Cancelling ctx aborts the iteration at the next checkpoint (once per
+// outer iteration and once per damping retry) with an error wrapping
+// ErrCanceled; the best iterate so far is still returned in the result, so
+// a serving layer can stop burning CPU on abandoned requests without
+// losing the partial estimate.
+func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, error) {
 	if z.Rows() != a.Rows() || z.Cols() != a.Cols() {
 		return RecoverResult{}, fmt.Errorf("solver: Z is %dx%d but array is %dx%d",
 			z.Rows(), z.Cols(), a.Rows(), a.Cols())
@@ -112,6 +119,9 @@ func Recover(a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, e
 		if result.Residual <= tol {
 			return result, nil
 		}
+		if err := canceled(ctx); err != nil {
+			return result, err
+		}
 		spIter := obs.StartSpan("solver/newton_iter")
 		// Jacobian in log space: J[pq, kl] = ∂Z_pq/∂R_kl · R_kl.
 		jac := mat.NewMatrix(m*n, nUnknown)
@@ -132,6 +142,12 @@ func Recover(a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, e
 
 		accepted := false
 		for tries := 0; tries < 12; tries++ {
+			if err := canceled(ctx); err != nil {
+				if spIter.Active() {
+					spIter.End(obs.I("iter", iter), obs.F("residual", cost/zNorm))
+				}
+				return result, err
+			}
 			aug := jtj.Clone()
 			for d := 0; d < nUnknown; d++ {
 				aug.Add(d, d, lambda*(jtj.At(d, d)+1e-12))

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -15,7 +16,7 @@ func TestNewtonSolveQuadratic(t *testing.T) {
 	// f(x) = x² − 4, root at 2 from x0 = 5.
 	f := func(x mat.Vector) mat.Vector { return mat.Vector{x[0]*x[0] - 4} }
 	jac := func(x mat.Vector) *mat.Matrix { return mat.FromRows([][]float64{{2 * x[0]}}) }
-	x, iters, err := NewtonSolve(f, jac, mat.Vector{5}, NewtonOptions{})
+	x, iters, err := NewtonSolve(context.Background(), f, jac, mat.Vector{5}, NewtonOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestNewtonSolveSystem(t *testing.T) {
 	jac := func(v mat.Vector) *mat.Matrix {
 		return mat.FromRows([][]float64{{2 * v[0], 2 * v[1]}, {1, -1}})
 	}
-	x, _, err := NewtonSolve(f, jac, mat.Vector{10, 1}, NewtonOptions{})
+	x, _, err := NewtonSolve(context.Background(), f, jac, mat.Vector{10, 1}, NewtonOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestNewtonReportsDivergence(t *testing.T) {
 	// error rather than loop forever.
 	f := func(x mat.Vector) mat.Vector { return mat.Vector{x[0]*x[0] + 1} }
 	jac := func(x mat.Vector) *mat.Matrix { return mat.FromRows([][]float64{{2 * x[0]}}) }
-	_, _, err := NewtonSolve(f, jac, mat.Vector{0.5}, NewtonOptions{MaxIter: 50})
+	_, _, err := NewtonSolve(context.Background(), f, jac, mat.Vector{0.5}, NewtonOptions{MaxIter: 50})
 	if err == nil {
 		t.Fatal("rootless system solved")
 	}
@@ -70,7 +71,7 @@ func TestRecoverExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Recover(a, z, RecoverOptions{Tol: 1e-10})
+		res, err := Recover(context.Background(), a, z, RecoverOptions{Tol: 1e-10})
 		if err != nil {
 			t.Fatalf("n=%d: %v (residual %g after %d iters)", n, err, res.Residual, res.Iterations)
 		}
@@ -92,7 +93,7 @@ func TestRecoverAnomalousField(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Recover(grid.New(6, 6), z, RecoverOptions{Tol: 1e-9})
+	res, err := Recover(context.Background(), grid.New(6, 6), z, RecoverOptions{Tol: 1e-9})
 	if err != nil {
 		t.Fatalf("%v (residual %g)", err, res.Residual)
 	}
@@ -117,7 +118,7 @@ func TestRecoverRectangular(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Recover(a, z, RecoverOptions{})
+	res, err := Recover(context.Background(), a, z, RecoverOptions{})
 	if err != nil {
 		t.Fatalf("%v (residual %g)", err, res.Residual)
 	}
@@ -128,15 +129,15 @@ func TestRecoverRectangular(t *testing.T) {
 
 func TestRecoverValidation(t *testing.T) {
 	a := grid.NewSquare(2)
-	if _, err := Recover(a, grid.UniformField(3, 3, 1), RecoverOptions{}); err == nil {
+	if _, err := Recover(context.Background(), a, grid.UniformField(3, 3, 1), RecoverOptions{}); err == nil {
 		t.Fatal("shape mismatch accepted")
 	}
-	if _, err := Recover(a, grid.NewField(2, 2), RecoverOptions{}); err == nil {
+	if _, err := Recover(context.Background(), a, grid.NewField(2, 2), RecoverOptions{}); err == nil {
 		t.Fatal("zero measurements accepted")
 	}
 	bad := grid.UniformField(2, 2, 100)
 	init := grid.NewField(2, 2) // zero initial resistances
-	if _, err := Recover(a, bad, RecoverOptions{Initial: init}); err == nil {
+	if _, err := Recover(context.Background(), a, bad, RecoverOptions{Initial: init}); err == nil {
 		t.Fatal("non-positive initial field accepted")
 	}
 }
@@ -149,7 +150,7 @@ func TestRecoverWithProvidedInitial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Recover(a, z, RecoverOptions{Initial: grid.UniformField(n, n, 1000)})
+	res, err := Recover(context.Background(), a, z, RecoverOptions{Initial: grid.UniformField(n, n, 1000)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,7 @@
 package parma
 
 import (
+	"context"
 	"io"
 
 	"parma/internal/anomaly"
@@ -184,10 +185,20 @@ type RecoverOptions = solver.RecoverOptions
 // RecoverResult reports a recovery run.
 type RecoverResult = solver.RecoverResult
 
+// ErrRecoverCanceled reports a recovery aborted by its context.
+var ErrRecoverCanceled = solver.ErrCanceled
+
 // Recover estimates the resistance field from measured Z by
 // Levenberg-Marquardt in log-resistance space (strictly positive iterates).
 func Recover(a Array, z *Field, opts RecoverOptions) (RecoverResult, error) {
-	return solver.Recover(a, z, opts)
+	return solver.Recover(context.Background(), a, z, opts)
+}
+
+// RecoverContext is Recover with cancellation: when ctx ends mid-iteration
+// the returned error wraps ErrRecoverCanceled and the result carries the
+// best iterate reached so far.
+func RecoverContext(ctx context.Context, a Array, z *Field, opts RecoverOptions) (RecoverResult, error) {
+	return solver.Recover(ctx, a, z, opts)
 }
 
 // DetectOptions tunes anomaly detection on a recovered field.
