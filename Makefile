@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench vet parmavet fmt figures examples obs-smoke serve-smoke fuzz-smoke clean
+.PHONY: all build test race lint bench bench-smoke vet parmavet fmt figures examples obs-smoke serve-smoke fuzz-smoke clean
 
 all: lint test race build obs-smoke
 
@@ -23,6 +23,20 @@ lint: vet parmavet
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke runs the recover benchmark at a small size and checks the JSON
+# report is well formed. The committed trajectory lives in BENCH_recover.json;
+# see docs/performance.md for how to read and extend it.
+bench-smoke:
+	@rm -f bench-smoke.tmp.json
+	$(GO) run ./cmd/parma-bench recover -size 8 -runs 1 -json bench-smoke.tmp.json
+	@grep -q '"schema": "parma-bench/recover/v1"' bench-smoke.tmp.json || \
+		{ echo "recover bench report is missing its schema marker"; exit 1; }
+	@$(GO) run ./cmd/parma-bench recover -size 8 -runs 1 -json bench-smoke.tmp.json
+	@grep -c '"schema"' bench-smoke.tmp.json | grep -qx 2 || \
+		{ echo "second run did not append to the trajectory"; exit 1; }
+	@rm -f bench-smoke.tmp.json
+	@echo "bench-smoke: recover benchmark report checks out"
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,192 @@
+package main
+
+// The `recover` subcommand benchmarks the recovery hot path end to end —
+// forward measurement, then Levenberg-Marquardt recovery — once with the
+// kernel pool pinned to one worker (the serial reference) and once at full
+// width, and emits a machine-readable JSON report. The two runs must agree
+// bit-for-bit on iterations and to 1e-10 on the converged residual: the
+// kernels promise parallelism changes wall-clock only. Reports seed the
+// BENCH trajectory (BENCH_recover.json at the repo root holds the committed
+// baseline); `make bench-smoke` runs a small size in CI.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"parma/internal/circuit"
+	"parma/internal/gen"
+	"parma/internal/grid"
+	"parma/internal/mat"
+	"parma/internal/solver"
+)
+
+// recoverReport is the machine-readable result of one recover benchmark.
+// A trajectory file (BENCH_recover.json) is a JSON array of these, oldest
+// first; -json appends to it so successive PRs accumulate a history.
+type recoverReport struct {
+	Schema string `json:"schema"`
+	// Label identifies the measured tree in a trajectory ("pre kernel
+	// layer", a commit, a machine note).
+	Label      string  `json:"label,omitempty"`
+	Size       int     `json:"size"`
+	Seed       int64   `json:"seed"`
+	Tol        float64 `json:"tol"`
+	MaxIter    int     `json:"max_iter"`
+	Runs       int     `json:"runs"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	// SerialMS and ParallelMS are best-of-Runs wall-clock times for one full
+	// recovery with the kernel pool at width 1 and at full width.
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// MeasureSerialMS and MeasureParallelMS time the forward MeasureAll
+	// sweep the same way.
+	MeasureSerialMS   float64 `json:"measure_serial_ms"`
+	MeasureParallelMS float64 `json:"measure_parallel_ms"`
+	Iterations        int     `json:"iterations"`
+	Residual          float64 `json:"residual"`
+	// ResidualDelta is |serial − parallel| converged residual; the kernels
+	// are deterministic, so anything above 1e-10 fails the run.
+	ResidualDelta float64 `json:"residual_delta"`
+}
+
+const recoverSchema = "parma-bench/recover/v1"
+
+func runRecoverBench(args []string) int {
+	fs := flag.NewFlagSet("parma-bench recover", flag.ContinueOnError)
+	size := fs.Int("size", 16, "array side length (size x size recovery)")
+	seed := fs.Int64("seed", 2022, "workload seed")
+	tol := fs.Float64("tol", 1e-8, "recovery residual tolerance")
+	maxIter := fs.Int("maxiter", 60, "recovery iteration cap")
+	runs := fs.Int("runs", 3, "timed repetitions; best is reported")
+	label := fs.String("label", "", "label recorded with the report in a trajectory file")
+	jsonPath := fs.String("json", "", "append the report to this trajectory file (default: print to stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rep, err := recoverBench(*size, *seed, *tol, *maxIter, *runs)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Label = *label
+	if *jsonPath != "" {
+		if err := appendTrajectory(*jsonPath, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recover bench: size=%d serial=%.1fms parallel=%.1fms speedup=%.2fx (report: %s)\n",
+			rep.Size, rep.SerialMS, rep.ParallelMS, rep.Speedup, *jsonPath)
+		return 0
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+	return 0
+}
+
+// appendTrajectory appends rep to the JSON array at path, creating the file
+// when absent. The trajectory stays oldest-first so diffs read as history.
+func appendTrajectory(path string, rep recoverReport) error {
+	var traj []recoverReport
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &traj); err != nil {
+			return fmt.Errorf("existing trajectory %s does not parse (fix or remove it): %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	traj = append(traj, rep)
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func recoverBench(size int, seed int64, tol float64, maxIter, runs int) (recoverReport, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	a := grid.NewSquare(size)
+	truth := gen.Medium(gen.Config{Rows: size, Cols: size, Seed: seed,
+		Anomalies: []gen.Anomaly{{
+			CenterI: float64(size) / 3, CenterJ: float64(size) / 3,
+			RadiusI: float64(size) / 5, RadiusJ: float64(size) / 5, Factor: 4,
+		}}})
+	z, err := circuit.MeasureAll(a, truth)
+	if err != nil {
+		return recoverReport{}, err
+	}
+	opts := solver.RecoverOptions{Tol: tol, MaxIter: maxIter}
+
+	timeAt := func(workers int) (time.Duration, time.Duration, solver.RecoverResult, error) {
+		prev := mat.Parallelism(workers)
+		defer mat.Parallelism(prev)
+		bestMeasure, bestRecover := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+		var res solver.RecoverResult
+		for r := 0; r < runs; r++ {
+			t0 := time.Now()
+			if _, err := circuit.MeasureAll(a, truth); err != nil {
+				return 0, 0, res, err
+			}
+			if d := time.Since(t0); d < bestMeasure {
+				bestMeasure = d
+			}
+			t0 = time.Now()
+			got, err := solver.Recover(context.Background(), a, z, opts)
+			if err != nil {
+				return 0, 0, res, err
+			}
+			if d := time.Since(t0); d < bestRecover {
+				bestRecover = d
+			}
+			res = got
+		}
+		return bestMeasure, bestRecover, res, nil
+	}
+
+	serialMeasure, serialRecover, serialRes, err := timeAt(1)
+	if err != nil {
+		return recoverReport{}, fmt.Errorf("serial run: %w", err)
+	}
+	parMeasure, parRecover, parRes, err := timeAt(0) // 0 = GOMAXPROCS
+	if err != nil {
+		return recoverReport{}, fmt.Errorf("parallel run: %w", err)
+	}
+
+	delta := math.Abs(serialRes.Residual - parRes.Residual)
+	if delta > 1e-10 {
+		return recoverReport{}, fmt.Errorf("serial and parallel residuals differ by %g (> 1e-10): %g vs %g",
+			delta, serialRes.Residual, parRes.Residual)
+	}
+	if serialRes.Iterations != parRes.Iterations {
+		return recoverReport{}, fmt.Errorf("serial and parallel iteration counts differ: %d vs %d",
+			serialRes.Iterations, parRes.Iterations)
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return recoverReport{
+		Schema:            recoverSchema,
+		Size:              size,
+		Seed:              seed,
+		Tol:               tol,
+		MaxIter:           maxIter,
+		Runs:              runs,
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		SerialMS:          ms(serialRecover),
+		ParallelMS:        ms(parRecover),
+		Speedup:           float64(serialRecover) / float64(parRecover),
+		MeasureSerialMS:   ms(serialMeasure),
+		MeasureParallelMS: ms(parMeasure),
+		Iterations:        parRes.Iterations,
+		Residual:          parRes.Residual,
+		ResidualDelta:     delta,
+	}, nil
+}

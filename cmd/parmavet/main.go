@@ -6,6 +6,8 @@
 //	floateq      no ==/!= on floats in the numerics packages
 //	locksend     no blocking MPI call while a sync.Mutex/RWMutex is held
 //	httptimeout  http.Server literals must set ReadHeaderTimeout (or ReadTimeout)
+//	poolsize     no raw goroutine fan-out loops in the numerics packages;
+//	             kernel parallelism goes through mat.ParallelFor
 //
 // Usage:
 //

@@ -2,6 +2,7 @@ package circuit
 
 import (
 	"fmt"
+	"sync"
 
 	"parma/internal/grid"
 	"parma/internal/mat"
@@ -47,6 +48,10 @@ type CGSolver struct {
 	lap *sparse.CSR
 	n   int
 	tol float64
+	// ws pools CG workspaces so a sweep over many pairs reuses its work
+	// vectors instead of allocating five per solve, while concurrent
+	// EffectiveResistance calls each still get a private set.
+	ws sync.Pool
 }
 
 // NewCGSolver prepares an iterative solver. tol <= 0 selects 1e-12.
@@ -69,7 +74,12 @@ func (s *CGSolver) EffectiveResistance(i, j int) (float64, error) {
 	if v != 0 {
 		rhs[v-1] = -1
 	}
-	sol, err := sparse.CG(s.lap, rhs, sparse.CGOptions{Tol: s.tol, Precondition: true})
+	ws, _ := s.ws.Get().(*sparse.Workspace)
+	if ws == nil {
+		ws = new(sparse.Workspace)
+	}
+	defer s.ws.Put(ws)
+	sol, err := sparse.CGWith(ws, s.lap, rhs, sparse.CGOptions{Tol: s.tol, Precondition: true})
 	if err != nil {
 		return 0, fmt.Errorf("circuit: CG solve for pair (%d,%d): %w", i, j, err)
 	}

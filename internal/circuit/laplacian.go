@@ -14,6 +14,7 @@ import (
 
 	"parma/internal/grid"
 	"parma/internal/mat"
+	"parma/internal/obs"
 	"parma/internal/sparse"
 )
 
@@ -154,17 +155,26 @@ func (s *Solver) SolvePair(i, j int, srcU float64) PairSolution {
 }
 
 // MeasureAll returns the full Z matrix — the synthetic equivalent of the
-// wet lab's pairwise measurements.
+// wet lab's pairwise measurements. The m·n pair solves are independent
+// reads of the one factorization, so they fan out across the shared kernel
+// pool (mat.Parallelism bounds the width); each pair writes its own Z
+// entry, and the result is identical at any parallelism.
 func MeasureAll(a grid.Array, r *grid.Field) (*grid.Field, error) {
 	s, err := NewSolver(a, r)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("circuit/measure_all")
 	z := grid.NewFieldFor(a)
-	for i := 0; i < a.Rows(); i++ {
-		for j := 0; j < a.Cols(); j++ {
-			z.Set(i, j, s.EffectiveResistance(i, j))
+	m, n := a.Rows(), a.Cols()
+	zv := z.Values()
+	mat.ParallelFor(m*n, 4, func(lo, hi int) {
+		for pq := lo; pq < hi; pq++ {
+			zv[pq] = s.EffectiveResistance(pq/n, pq%n)
 		}
+	})
+	if sp.Active() {
+		sp.End(obs.I("pairs", m*n))
 	}
 	return z, nil
 }

@@ -1,0 +1,94 @@
+package mat
+
+// The package's shared fan-out point. Every parallel kernel (MulPar, ATA,
+// Cholesky trailing updates) and every caller that fans work out over
+// matrix rows (solver Jacobian assembly, circuit pair sweeps) routes
+// through ParallelFor, so one knob — Parallelism — bounds the total
+// goroutine fan-out of the dense-kernel layer. That is what lets the
+// kernels compose with parmad's request-level worker pool without
+// oversubscription: the serving layer divides GOMAXPROCS between the two
+// levels instead of multiplying them (see internal/serve.NewServer).
+//
+// Chunks are handed out by an atomic counter rather than pre-partitioned
+// ranges, so unevenly sized work items (the triangular row lengths of ATA,
+// the shrinking columns of Cholesky) self-balance the way the sched
+// package's stealing pool balances formation work.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parDegree is the configured kernel parallelism; <= 0 selects GOMAXPROCS
+// at call time.
+var parDegree atomic.Int64
+
+// Parallelism sets the worker count every kernel in this package (and every
+// ParallelFor caller) may fan out to, returning the previous setting.
+// n <= 0 restores the default, GOMAXPROCS at call time. The setting is
+// process-global on purpose: a server running K concurrent recoveries wants
+// K·Parallelism ≈ GOMAXPROCS, which only a shared knob can arrange.
+func Parallelism(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(parDegree.Swap(int64(n)))
+}
+
+// degree resolves the effective worker count.
+func degree() int {
+	if d := parDegree.Load(); d > 0 {
+		return int(d)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelFor runs fn over disjoint chunks of [0, n), each at most grain
+// wide, across the package worker pool. It returns once every index is
+// covered. fn must be safe to call concurrently on disjoint ranges; chunks
+// are claimed from an atomic counter so uneven per-index work self-balances.
+// With one worker (or n below one grain) it degrades to a direct call,
+// costing nothing over a plain loop.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	workers := degree()
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			c := int(next.Add(1) - 1)
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 0; w < workers-1; w++ {
+		go func() { //parmavet:allow poolsize -- this IS the shared pool: the one sanctioned spawn site
+			defer wg.Done()
+			run()
+		}()
+	}
+	run() // the caller is worker zero
+	wg.Wait()
+}

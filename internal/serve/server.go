@@ -12,13 +12,18 @@ import (
 	"time"
 
 	"parma/internal/grid"
+	"parma/internal/mat"
 	"parma/internal/obs"
 )
 
 // Config tunes the serving pipeline. The zero value of every field selects
 // a sensible default, so Config{} is a working configuration.
 type Config struct {
-	// Workers is the compute pool size; zero selects GOMAXPROCS.
+	// Workers is the compute pool size; zero selects GOMAXPROCS. NewServer
+	// divides GOMAXPROCS between this request-level pool and the dense
+	// kernel pool (mat.Parallelism), so Workers × kernel-parallelism never
+	// oversubscribes the machine: many workers mean serial kernels, few
+	// workers let each request's kernels fan wide.
 	Workers int
 	// QueueDepth bounds admitted-but-unfinished requests; past it new
 	// requests get 429. Zero selects 64.
@@ -95,9 +100,18 @@ type Server struct {
 	workersWG      sync.WaitGroup
 }
 
-// NewServer builds the pipeline and starts its dispatcher and workers.
+// NewServer builds the pipeline and starts its dispatcher and workers. It
+// also splits the machine between the two parallelism levels: the kernel
+// pool (internal/mat) gets GOMAXPROCS/Workers goroutines per solve, so a
+// fully busy worker pool lands on GOMAXPROCS total runnable goroutines
+// instead of Workers × GOMAXPROCS.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	kernelPar := runtime.GOMAXPROCS(0) / cfg.Workers
+	if kernelPar < 1 {
+		kernelPar = 1
+	}
+	mat.Parallelism(kernelPar)
 	s := &Server{
 		cfg:            cfg,
 		cache:          NewFactorCache(cfg.CacheEntries),

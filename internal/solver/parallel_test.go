@@ -1,0 +1,152 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"parma/internal/circuit"
+	"parma/internal/gen"
+	"parma/internal/grid"
+	"parma/internal/mat"
+)
+
+// testField builds a deterministic non-uniform field the parallel paths are
+// exercised against.
+func testField(m, n int) *grid.Field {
+	return gen.Medium(gen.Config{Rows: m, Cols: n, Seed: 42,
+		Anomalies: []gen.Anomaly{{CenterI: float64(m) / 2, CenterJ: float64(n) / 2,
+			RadiusI: 2, RadiusJ: 2, Factor: 3}}})
+}
+
+// TestParallelJacobianMatchesSerial pins the fanned-out assembly to the
+// serial reference loop within 1e-12 (they are in fact bit-identical: each
+// pair writes its own row).
+func TestParallelJacobianMatchesSerial(t *testing.T) {
+	a := grid.New(5, 4)
+	r := testField(5, 4)
+	fwd, err := circuit.NewSolver(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n := a.Rows(), a.Cols()
+	want := mat.NewMatrix(m*n, m*n)
+	for p := 0; p < m; p++ {
+		for q := 0; q < n; q++ {
+			sens := fwd.Sensitivity(p, q, r)
+			row := want.Row(p*n + q)
+			for k := 0; k < m; k++ {
+				for l := 0; l < n; l++ {
+					row[k*n+l] = sens.At(k, l) * r.At(k, l)
+				}
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		prev := mat.Parallelism(workers)
+		got := mat.NewMatrix(m*n, m*n)
+		assembleJacobian(got, fwd, r)
+		mat.Parallelism(prev)
+		if !got.ApproxEqual(want, 1e-12) {
+			t.Errorf("workers=%d: parallel Jacobian differs from serial reference", workers)
+		}
+	}
+}
+
+// TestRecoverInvariantUnderParallelism asserts the whole recovery is
+// bit-stable across pool widths: every parallel write is to disjoint
+// memory and every reduction keeps its serial order, so parallelism may
+// change wall-clock only, never the iterate sequence.
+func TestRecoverInvariantUnderParallelism(t *testing.T) {
+	a := grid.New(6, 6)
+	truth := testField(6, 6)
+	z, err := circuit.MeasureAll(a, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) RecoverResult {
+		prev := mat.Parallelism(workers)
+		defer mat.Parallelism(prev)
+		res, err := Recover(context.Background(), a, z, RecoverOptions{Tol: 1e-9})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.Iterations != parallel.Iterations {
+		t.Errorf("iterations differ: serial %d vs parallel %d", serial.Iterations, parallel.Iterations)
+	}
+	if d := math.Abs(serial.Residual - parallel.Residual); d > 1e-12 {
+		t.Errorf("residuals differ by %g: serial %g vs parallel %g", d, serial.Residual, parallel.Residual)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if d := math.Abs(serial.R.At(i, j) - parallel.R.At(i, j)); d > 1e-9*serial.R.At(i, j) {
+				t.Fatalf("recovered fields differ at (%d,%d): %g vs %g", i, j, serial.R.At(i, j), parallel.R.At(i, j))
+			}
+		}
+	}
+}
+
+// TestConcurrentRecoverSharedSolver drives parallel Jacobian assembly and
+// concurrent Recover calls through one shared, cached circuit.Solver — the
+// serving layer's exact sharing pattern — under the race detector. The
+// solver's immutable-after-construction contract plus the disjoint-row
+// writes mean no synchronization beyond the pool barrier is needed.
+func TestConcurrentRecoverSharedSolver(t *testing.T) {
+	a := grid.New(5, 5)
+	r := testField(5, 5)
+	z, err := circuit.MeasureAll(a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := circuit.NewSolver(a, r) // the "cached" factorization
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := mat.Parallelism(4)
+	defer mat.Parallelism(prev)
+
+	var wg sync.WaitGroup
+	// Two full recoveries race each other (each fans its own kernels out on
+	// the shared pool)...
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Recover(context.Background(), a, z, RecoverOptions{Tol: 1e-8})
+			if err != nil {
+				t.Errorf("concurrent Recover: %v", err)
+				return
+			}
+			if res.Residual > 1e-8 {
+				t.Errorf("concurrent Recover residual %g", res.Residual)
+			}
+		}()
+	}
+	// ...while other goroutines hammer the shared cached solver with
+	// sensitivity and measurement reads, and one assembles a Jacobian from
+	// it through the same pool.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				_ = shared.Sensitivity(rep%5, (rep*2)%5, r)
+				_ = shared.EffectiveResistance((rep*3)%5, rep%5)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		jac := mat.NewMatrix(25, 25)
+		for rep := 0; rep < 3; rep++ {
+			assembleJacobian(jac, shared, r)
+		}
+	}()
+	wg.Wait()
+}

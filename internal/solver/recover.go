@@ -40,6 +40,16 @@ type RecoverResult struct {
 // the method is intended for arrays up to a few tens of wires per side —
 // enough to close the loop on anomaly detection end to end.
 //
+// The hot path runs on the parallel kernel layer in internal/mat: the m·n
+// sensitivity solves fan out across the shared worker pool (each pair owns
+// one Jacobian row, so no locks), J^T·J is formed by the one-pass symmetric
+// ATA kernel, and the damped normal equations are solved by Cholesky with a
+// pivoted-LU fallback on breakdown. mat.Parallelism bounds the fan-out; a
+// serving layer running many concurrent recoveries sets it so request-level
+// and kernel-level parallelism multiply out to GOMAXPROCS, not beyond.
+// Results are bit-identical at any parallelism setting: every parallel
+// write targets disjoint memory and every reduction keeps its serial order.
+//
 // Cancelling ctx aborts the iteration at the next checkpoint (once per
 // outer iteration and once per damping retry) with an error wrapping
 // ErrCanceled; the best iterate so far is still returned in the result, so
@@ -85,26 +95,44 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 		return RecoverResult{}, fmt.Errorf("solver: zero measurement matrix")
 	}
 
-	residualAt := func(field *grid.Field) (mat.Vector, *circuit.Solver, error) {
+	// residualInto factorizes field's Laplacian and fills dst with the
+	// per-pair residuals, fanning the m·n independent pair solves across the
+	// shared kernel pool (the factorization is read-only after NewSolver, so
+	// pair solves are free to run concurrently).
+	residualInto := func(field *grid.Field, dst mat.Vector) (*circuit.Solver, error) {
 		s, err := circuit.NewSolver(a, field)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		res := mat.NewVector(m * n)
-		for i := 0; i < m; i++ {
-			for j := 0; j < n; j++ {
-				res[i*n+j] = s.EffectiveResistance(i, j) - z.At(i, j)
+		mat.ParallelFor(m*n, pairGrain, func(lo, hi int) {
+			for pq := lo; pq < hi; pq++ {
+				i, j := pq/n, pq%n
+				dst[pq] = s.EffectiveResistance(i, j) - z.At(i, j)
 			}
-		}
-		return res, s, nil
+		})
+		return s, nil
 	}
 
-	res, fwd, err := residualAt(r)
+	res := mat.NewVector(m * n)
+	fwd, err := residualInto(r, res)
 	if err != nil {
 		return RecoverResult{}, fmt.Errorf("solver: initial forward solve: %w", err)
 	}
 	cost := res.Norm2()
 	lambda := 1e-3
+
+	// Iteration-scoped buffers, reused across every iteration and damping
+	// retry: the Jacobian, the normal equations J^T·J, the damped scratch
+	// copy that Cholesky destroys, and the trial field/residual that
+	// ping-pong with the accepted ones. Before this, every rejected LM step
+	// allocated a fresh (mn)² matrix.
+	jac := mat.NewMatrix(m*n, nUnknown)
+	jtj := mat.NewMatrix(nUnknown, nUnknown)
+	aug := mat.NewMatrix(nUnknown, nUnknown)
+	jtr := mat.NewVector(nUnknown)
+	step := mat.NewVector(nUnknown)
+	trial := grid.NewField(m, n)
+	trialRes := mat.NewVector(m * n)
 
 	result := RecoverResult{R: r}
 	spRecover := obs.StartSpan("solver/recover")
@@ -123,22 +151,9 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 			return result, err
 		}
 		spIter := obs.StartSpan("solver/newton_iter")
-		// Jacobian in log space: J[pq, kl] = ∂Z_pq/∂R_kl · R_kl.
-		jac := mat.NewMatrix(m*n, nUnknown)
-		for p := 0; p < m; p++ {
-			for q := 0; q < n; q++ {
-				sens := fwd.Sensitivity(p, q, r)
-				row := jac.Row(p*n + q)
-				for k := 0; k < m; k++ {
-					for l := 0; l < n; l++ {
-						row[k*n+l] = sens.At(k, l) * r.At(k, l)
-					}
-				}
-			}
-		}
-		jt := jac.Transpose()
-		jtj := jt.Mul(jac)
-		jtr := jt.MulVec(res)
+		assembleJacobian(jac, fwd, r)
+		jac.ATAInto(jtj)
+		jac.MulTVecTo(jtr, res)
 
 		accepted := false
 		for tries := 0; tries < 12; tries++ {
@@ -148,28 +163,30 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 				}
 				return result, err
 			}
-			aug := jtj.Clone()
-			for d := 0; d < nUnknown; d++ {
-				aug.Add(d, d, lambda*(jtj.At(d, d)+1e-12))
-			}
-			step, err := mat.Solve(aug, jtr)
-			if err != nil {
+			// Damp in the reusable scratch matrix: aug = jtj + λ·diag. The
+			// in-place Cholesky destroys aug, which is fine — it is rebuilt
+			// from jtj on the next retry (an O((mn)²) copy, not an
+			// allocation).
+			buildDamped(aug, jtj, lambda)
+			if !solveDamped(aug, jtj, jtr, step, lambda) {
 				lambda *= 10
 				continue
 			}
-			trial := r.Clone()
-			for k := 0; k < m; k++ {
-				for l := 0; l < n; l++ {
-					trial.Set(k, l, r.At(k, l)*math.Exp(-clamp(step[k*n+l], 2)))
-				}
+			rv, tv := r.Values(), trial.Values()
+			for d := 0; d < nUnknown; d++ {
+				tv[d] = rv[d] * math.Exp(-clamp(step[d], 2))
 			}
-			trialRes, trialFwd, err := residualAt(trial)
+			trialFwd, err := residualInto(trial, trialRes)
 			if err != nil {
 				lambda *= 10
 				continue
 			}
 			if tn := trialRes.Norm2(); tn < cost {
-				r, res, fwd, cost = trial, trialRes, trialFwd, tn
+				// Accept by swapping buffers: the rejected field/residual
+				// become next try's scratch, so accepts allocate nothing.
+				r, trial = trial, r
+				res, trialRes = trialRes, res
+				fwd, cost = trialFwd, tn
 				result.R = r
 				lambda = math.Max(lambda/3, 1e-12)
 				accepted = true
@@ -199,6 +216,64 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 		return result, nil
 	}
 	return result, ErrDiverged
+}
+
+// pairGrain batches pair solves per pool chunk: each solve is two
+// triangular substitutions (tens of microseconds at paper sizes), so a few
+// per handout amortize the chunk claim without hurting balance.
+const pairGrain = 4
+
+// assembleJacobian fills jac with the log-space Jacobian
+// J[pq, kl] = ∂Z_pq/∂R_kl · R_kl, fanning the m·n adjoint sensitivity
+// solves across the shared kernel pool. Each pair owns one Jacobian row, so
+// workers write disjoint memory and need no locks; fwd is immutable after
+// construction (pinned under -race in internal/circuit), which is what
+// makes the concurrent solves sound.
+func assembleJacobian(jac *mat.Matrix, fwd *circuit.Solver, r *grid.Field) {
+	m, n := r.Rows(), r.Cols()
+	sp := obs.StartSpan("solver/jacobian")
+	rv := r.Values()
+	mat.ParallelFor(m*n, 1, func(lo, hi int) {
+		for pq := lo; pq < hi; pq++ {
+			sens := fwd.Sensitivity(pq/n, pq%n, r)
+			row := jac.Row(pq)
+			sv := sens.Values()
+			for d := range row {
+				row[d] = sv[d] * rv[d]
+			}
+		}
+	})
+	if sp.Active() {
+		sp.End(obs.I("pairs", m*n))
+	}
+}
+
+// buildDamped sets aug = jtj + λ·(diag(jtj) + 1e-12·I).
+func buildDamped(aug, jtj *mat.Matrix, lambda float64) {
+	aug.CopyFrom(jtj)
+	for d := 0; d < jtj.Rows(); d++ {
+		aug.Add(d, d, lambda*(jtj.At(d, d)+1e-12))
+	}
+}
+
+// solveDamped solves aug·step = jtr into step. The damped normal equations
+// are SPD by construction, so Cholesky (half the arithmetic of pivoted LU,
+// no pivot search) is the primary path; on numerical breakdown aug is
+// rebuilt and pivoted LU has the final word. It reports whether a step was
+// produced — false sends the caller up the damping ladder.
+func solveDamped(aug, jtj *mat.Matrix, jtr, step mat.Vector, lambda float64) bool {
+	if chol, err := mat.CholeskyInPlace(aug); err == nil {
+		chol.SolveTo(step, jtr)
+		return true
+	}
+	obs.Add("solver/cholesky_fallbacks", 1)
+	buildDamped(aug, jtj, lambda) // the failed factorization clobbered aug
+	lu, err := mat.Factorize(aug)
+	if err != nil {
+		return false
+	}
+	copy(step, lu.Solve(jtr))
+	return true
 }
 
 // clamp limits |x| to bound, preserving sign — a trust region on log steps.

@@ -23,10 +23,40 @@ type CGOptions struct {
 	Precondition bool
 }
 
+// Workspace holds the conjugate gradient work vectors (x, r, z, p, A·p and
+// the preconditioner diagonal) so repeated solves against same-sized
+// systems — per-pair effective-resistance sweeps, masked measurement scans
+// — reuse one set of buffers instead of allocating five vectors per solve.
+// The zero value is ready; buffers grow on first use and are retained. A
+// Workspace serves one solve at a time (guard it or pool it for concurrent
+// callers; CGSolver keeps a sync.Pool).
+type Workspace struct {
+	x, r, z, p, ap, invDiag mat.Vector
+}
+
+// vec returns a length-n view of buf, growing it when needed; the contents
+// are unspecified, callers overwrite.
+func (w *Workspace) vec(buf *mat.Vector, n int) mat.Vector {
+	if cap(*buf) < n {
+		*buf = mat.NewVector(n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // CG solves A·x = b for a symmetric positive (semi)definite CSR matrix using
 // the conjugate gradient method, optionally Jacobi-preconditioned.
 // The returned vector is a fresh allocation; b is not modified.
 func CG(a *CSR, b mat.Vector, opts CGOptions) (mat.Vector, error) {
+	// A fresh workspace means the returned x is a fresh allocation, keeping
+	// this entry point's contract while the solve itself shares CGWith.
+	return CGWith(new(Workspace), a, b, opts)
+}
+
+// CGWith is CG running entirely in ws's buffers: zero allocations once the
+// workspace is warm. The returned vector aliases the workspace and is only
+// valid until its next solve — callers that keep the solution Clone it.
+func CGWith(ws *Workspace, a *CSR, b mat.Vector, opts CGOptions) (mat.Vector, error) {
 	if a.Rows() != a.Cols() {
 		panic(fmt.Sprintf("sparse: CG requires a square matrix, got %dx%d", a.Rows(), a.Cols()))
 	}
@@ -48,7 +78,8 @@ func CG(a *CSR, b mat.Vector, opts CGOptions) (mat.Vector, error) {
 
 	var invDiag mat.Vector
 	if opts.Precondition {
-		invDiag = a.Diagonal()
+		invDiag = ws.vec(&ws.invDiag, n)
+		a.DiagonalTo(invDiag)
 		for i, d := range invDiag {
 			if d > 0 {
 				invDiag[i] = 1 / d
@@ -58,20 +89,25 @@ func CG(a *CSR, b mat.Vector, opts CGOptions) (mat.Vector, error) {
 		}
 	}
 
-	x := mat.NewVector(n)
-	r := b.Clone() // r = b - A·0
+	x := ws.vec(&ws.x, n)
+	x.Fill(0)
+	r := ws.vec(&ws.r, n)
+	copy(r, b) // r = b - A·0
 	bnorm := b.Norm2()
 	if bnorm == 0 {
 		return x, nil
 	}
 
-	z := r.Clone()
+	z := ws.vec(&ws.z, n)
 	if invDiag != nil {
 		applyDiag(z, invDiag, r)
+	} else {
+		copy(z, r)
 	}
-	p := z.Clone()
+	p := ws.vec(&ws.p, n)
+	copy(p, z)
 	rz := r.Dot(z)
-	ap := mat.NewVector(n)
+	ap := ws.vec(&ws.ap, n)
 
 	for iter := 0; iter < maxIter; iter++ {
 		if r.Norm2() <= tol*bnorm {

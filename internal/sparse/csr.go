@@ -123,14 +123,23 @@ func (m *CSR) MulVecTo(y, x mat.Vector) {
 
 // Diagonal returns the matrix diagonal as a vector (square matrices only).
 func (m *CSR) Diagonal() mat.Vector {
+	d := mat.NewVector(m.rows)
+	m.DiagonalTo(d)
+	return d
+}
+
+// DiagonalTo writes the matrix diagonal into dst, avoiding allocation
+// (square matrices only).
+func (m *CSR) DiagonalTo(dst mat.Vector) {
 	if m.rows != m.cols {
 		panic("sparse: Diagonal requires a square matrix")
 	}
-	d := mat.NewVector(m.rows)
-	for i := 0; i < m.rows; i++ {
-		d[i] = m.At(i, i)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("sparse: DiagonalTo dst length %d, want %d", len(dst), m.rows))
 	}
-	return d
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.At(i, i)
+	}
 }
 
 // Dense converts to a dense matrix (for tests and small problems).

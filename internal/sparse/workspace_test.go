@@ -1,0 +1,86 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"parma/internal/mat"
+)
+
+// spdLaplacian builds a grounded path-graph Laplacian — SPD and well
+// conditioned — of order n.
+func spdLaplacian(n int) *CSR {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.Add(i, i+1, -1)
+		}
+	}
+	return b.Build()
+}
+
+// TestCGWithWorkspaceReuse solves a sequence of systems through one
+// workspace and checks each against a fresh-allocation CG run: stale buffer
+// contents from the previous solve must not leak into the next.
+func TestCGWithWorkspaceReuse(t *testing.T) {
+	a := spdLaplacian(40)
+	rng := rand.New(rand.NewSource(13))
+	ws := new(Workspace)
+	for _, precond := range []bool{true, false} {
+		for rep := 0; rep < 4; rep++ {
+			b := mat.NewVector(40)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			opts := CGOptions{Tol: 1e-12, Precondition: precond}
+			want, err := CG(a, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CGWith(ws, a, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.ApproxEqual(want, 1e-10) {
+				t.Fatalf("precond=%v rep=%d: workspace solve differs from fresh solve", precond, rep)
+			}
+		}
+	}
+}
+
+// TestCGWithAllocates pins the point of the workspace: a warm workspace
+// solve performs no per-iteration vector allocations.
+func TestCGWithAllocates(t *testing.T) {
+	a := spdLaplacian(64)
+	b := mat.NewVector(64)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	ws := new(Workspace)
+	opts := CGOptions{Tol: 1e-10, Precondition: true}
+	if _, err := CGWith(ws, a, b, opts); err != nil { // warm-up sizes the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := CGWith(ws, a, b, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm CGWith allocates %.1f objects per solve, want 0", allocs)
+	}
+}
+
+func TestDiagonalTo(t *testing.T) {
+	a := spdLaplacian(5)
+	dst := mat.NewVector(5)
+	dst.Fill(99)
+	a.DiagonalTo(dst)
+	if !dst.ApproxEqual(mat.Vector{2, 2, 2, 2, 2}, 0) {
+		t.Fatalf("DiagonalTo = %v", dst)
+	}
+}
