@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke vet parmavet fmt figures examples obs-smoke serve-smoke fuzz-smoke clean
+.PHONY: all build test race lint bench bench-smoke vet parmavet fmt figures examples obs-smoke serve-smoke chaos-smoke fuzz-smoke clean
 
 all: lint test race build obs-smoke
 
@@ -71,10 +71,19 @@ obs-smoke:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
-# fuzz-smoke gives the trace-JSON validator a short randomized beating; the
-# seed corpus covers the obs-smoke artifact shape.
+# chaos-smoke drives the resilience stack end to end: self-healing
+# formation as real TCP processes under seeded faults (bit-identical to
+# the fault-free run), then parmad past saturation (Retry-After sheds +
+# degraded stale-cache answers). See docs/robustness.md.
+chaos-smoke:
+	sh scripts/chaos-smoke.sh
+
+# fuzz-smoke gives the randomized-input surfaces a short beating: the
+# trace-JSON validator and the MPI inbox under concurrent send/recv/close.
+# Go allows one -fuzz pattern per invocation, hence two runs.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzValidateTrace -fuzztime 10s ./internal/obs
+	$(GO) test -run '^$$' -fuzz FuzzInbox -fuzztime 10s ./internal/mpi
 
 # Regenerate every paper figure plus the extension studies.
 figures:

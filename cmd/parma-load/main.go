@@ -45,11 +45,13 @@ type workItem struct {
 
 // result is one completed request.
 type result struct {
-	status  int
-	latency time.Duration
-	cache   string
-	batch   int
-	err     error
+	status     int
+	latency    time.Duration
+	cache      string
+	batch      int
+	degraded   bool
+	retryAfter string
+	err        error
 }
 
 func run(argv []string) error {
@@ -64,6 +66,9 @@ func run(argv []string) error {
 	deadline := fs.Int64("deadline", 0, "per-request deadline_ms forwarded to the server (0 = server default)")
 	minHitRate := fs.Float64("min-cache-hit-rate", -1, "exit 1 when the observed cache hit rate is below this (e.g. 0.5); negative disables")
 	checkMetrics := fs.Bool("check-metrics", false, "scrape /metrics afterwards and require batch-size and queue-depth series")
+	allowShed := fs.Bool("allow-shed", false, "treat 429/503 sheds as expected backpressure instead of failures (each must carry Retry-After)")
+	expectShed := fs.Bool("expect-shed", false, "exit 1 unless at least one request was shed with Retry-After (implies -allow-shed)")
+	expectDegraded := fs.Bool("expect-degraded", false, "exit 1 unless at least one request was served degraded from the stale cache")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -100,15 +105,30 @@ func run(argv []string) error {
 
 	report(os.Stdout, items, results, elapsed)
 
-	failures := 0
-	hits := 0
+	shedOK := *allowShed || *expectShed
+	failures, hits, sheds, shedsNoHint, degraded, degradedBad := 0, 0, 0, 0, 0, 0
 	for _, r := range results {
-		if r.err != nil || r.status != http.StatusOK {
-			failures++
+		if r.degraded {
+			degraded++
+			if r.cache != "stale" {
+				degradedBad++
+			}
 		}
-		if r.cache == "hit" {
-			hits++
+		if r.err == nil && r.status == http.StatusOK {
+			if r.cache == "hit" {
+				hits++
+			}
+			continue
 		}
+		if shedOK && (r.status == http.StatusTooManyRequests || r.status == http.StatusServiceUnavailable) {
+			if r.retryAfter == "" {
+				shedsNoHint++
+			} else {
+				sheds++
+			}
+			continue
+		}
+		failures++
 	}
 	hitRate := float64(hits) / float64(len(results))
 	if *checkMetrics {
@@ -119,6 +139,18 @@ func run(argv []string) error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d requests failed", failures, len(results))
+	}
+	if shedsNoHint > 0 {
+		return fmt.Errorf("%d shed responses were missing the Retry-After header", shedsNoHint)
+	}
+	if degradedBad > 0 {
+		return fmt.Errorf("%d degraded responses were not labelled cache=stale", degradedBad)
+	}
+	if *expectShed && sheds == 0 {
+		return fmt.Errorf("expected backpressure sheds with Retry-After, saw none")
+	}
+	if *expectDegraded && degraded == 0 {
+		return fmt.Errorf("expected degraded stale-cache responses, saw none")
 	}
 	if *minHitRate >= 0 && hitRate < *minHitRate {
 		return fmt.Errorf("cache hit rate %.2f below required %.2f", hitRate, *minHitRate)
@@ -203,12 +235,14 @@ func fire(client *http.Client, url string, body []byte) result {
 	var meta struct {
 		Cache     string `json:"cache"`
 		BatchSize int    `json:"batch_size"`
+		Degraded  bool   `json:"degraded"`
 		Error     string `json:"error"`
 	}
 	dec := json.NewDecoder(resp.Body)
 	_ = dec.Decode(&meta)
 	res := result{status: resp.StatusCode, latency: time.Since(start),
-		cache: meta.Cache, batch: meta.BatchSize}
+		cache: meta.Cache, batch: meta.BatchSize, degraded: meta.Degraded,
+		retryAfter: resp.Header.Get("Retry-After")}
 	if resp.StatusCode != http.StatusOK {
 		res.err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, meta.Error)
 	}
@@ -217,12 +251,18 @@ func fire(client *http.Client, url string, body []byte) result {
 
 func report(w io.Writer, items []workItem, results []result, elapsed time.Duration) {
 	lat := make([]time.Duration, 0, len(results))
-	hits, failures, batchSum, batchN := 0, 0, 0, 0
+	hits, failures, batchSum, batchN, sheds, degraded := 0, 0, 0, 0, 0, 0
 	perGeom := map[string]int{}
 	for i, r := range results {
 		lat = append(lat, r.latency)
 		perGeom[items[i].geom]++
+		if r.degraded {
+			degraded++
+		}
 		if r.err != nil || r.status != http.StatusOK {
+			if r.status == http.StatusTooManyRequests || r.status == http.StatusServiceUnavailable {
+				sheds++
+			}
 			failures++
 			continue
 		}
@@ -263,6 +303,9 @@ func report(w io.Writer, items []workItem, results []result, elapsed time.Durati
 	if batchN > 0 {
 		fmt.Fprintf(w, "batching:   mean batch size %.2f over %d ok requests\n",
 			float64(batchSum)/float64(batchN), batchN)
+	}
+	if sheds > 0 || degraded > 0 {
+		fmt.Fprintf(w, "resilience: %d shed (429/503), %d served degraded from stale cache\n", sheds, degraded)
 	}
 }
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,16 +33,18 @@ func main() {
 	ranks := flag.Int("ranks", 4, "world size")
 	n := flag.Int("n", 12, "array size (n x n)")
 	seed := flag.Int64("seed", 2022, "workload seed")
+	chaos := flag.String("chaos", "", "seeded fault schedule, e.g. seed=7,drop=0.05,dup=0.05,crash=2@10 (implies -resilient)")
+	resilient := flag.Bool("resilient", false, "use the reliable transport and self-healing formation")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *launch:
-		err = runLaunch(*ranks, *n, *seed)
+		err = runLaunch(*ranks, *n, *seed, *chaos, *resilient)
 	case *serve != "":
 		err = runServe(*serve, *ranks)
 	case *connect != "":
-		err = runRank(*connect, *rank, *ranks, *n, *seed)
+		err = runRank(*connect, *rank, *ranks, *n, *seed, *chaos, *resilient)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -50,6 +53,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "parma-mpi: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// chaosConfig validates the -chaos/-resilient combination. Chaos implies
+// the reliable layer: injected faults without retries and idempotent
+// delivery would just wedge the formation.
+func chaosConfig(chaosSpec string, resilient bool, ranks int) (*mpi.ChaosSpec, *mpi.ReliableConfig, error) {
+	var spec *mpi.ChaosSpec
+	if chaosSpec != "" {
+		cs, err := mpi.ParseChaos(chaosSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cs.CrashRank == 0 {
+			return nil, nil, errors.New("crash=0 would kill the formation coordinator; crash a nonzero rank")
+		}
+		if cs.CrashRank >= ranks {
+			return nil, nil, fmt.Errorf("crash rank %d outside world of %d", cs.CrashRank, ranks)
+		}
+		spec = &cs
+		resilient = true
+	}
+	if !resilient {
+		return nil, nil, nil
+	}
+	return spec, &mpi.ReliableConfig{}, nil
 }
 
 func runServe(addr string, ranks int) error {
@@ -61,30 +89,61 @@ func runServe(addr string, ranks int) error {
 	return co.Serve()
 }
 
-func runRank(addr string, rank, ranks, n int, seed int64) error {
+func runRank(addr string, rank, ranks, n int, seed int64, chaosSpec string, resilient bool) error {
 	if rank < 0 || rank >= ranks {
 		return fmt.Errorf("rank %d outside world of %d", rank, ranks)
+	}
+	chaos, reliable, err := chaosConfig(chaosSpec, resilient, ranks)
+	if err != nil {
+		return err
 	}
 	p, err := experiments.BuildProblem(n, seed)
 	if err != nil {
 		return err
 	}
-	comm, closeFn, err := mpi.DialTCP(addr, rank, ranks, mpi.CostModel{})
+	comm, closeFn, err := mpi.DialTCPResilient(addr, rank, ranks, mpi.CostModel{}, chaos, reliable)
 	if err != nil {
 		return err
 	}
 	defer closeFn()
 	start := time.Now()
-	res, err := mpi.DistributedFormation(comm, p)
+	if reliable == nil {
+		res, err := mpi.DistributedFormation(comm, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rank %d/%d: %d local equations of %d total in %v\n",
+			rank, ranks, res.LocalEquations, res.TotalEquations, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	res, err := mpi.ResilientFormation(comm, p, mpi.ResilientConfig{})
 	if err != nil {
+		// A scheduled crash is the experiment working as intended: mark it
+		// and exit cleanly so the launcher can tell it from a real failure.
+		if errors.Is(err, mpi.ErrCrashed) {
+			fmt.Printf("rank %d/%d: crashed by fault injection (%v)\n", rank, ranks, err)
+			return nil
+		}
 		return err
 	}
-	fmt.Printf("rank %d/%d: %d local equations of %d total in %v\n",
-		rank, ranks, res.LocalEquations, res.TotalEquations, time.Since(start).Round(time.Millisecond))
+	// Peers may still be retransmitting toward this rank; give their final
+	// acks a window before the process (and its connection) goes away.
+	comm.DrainFor(500 * time.Millisecond)
+	line := fmt.Sprintf("rank %d/%d: %d total equations, system hash %016x in %v",
+		rank, ranks, res.TotalEquations, res.SystemHash, time.Since(start).Round(time.Millisecond))
+	if rank == 0 && len(res.Dead) > 0 {
+		line += fmt.Sprintf(" (dead ranks %v, %d blocks redistributed)", res.Dead, res.Redistributed)
+	}
+	fmt.Println(line)
 	return nil
 }
 
-func runLaunch(ranks, n int, seed int64) error {
+func runLaunch(ranks, n int, seed int64, chaosSpec string, resilient bool) error {
+	// Validate up front so a bad chaos grammar fails before any process
+	// spawns rather than in every rank at once.
+	if _, _, err := chaosConfig(chaosSpec, resilient, ranks); err != nil {
+		return err
+	}
 	co, err := mpi.NewCoordinator("127.0.0.1:0", ranks)
 	if err != nil {
 		return err
@@ -98,13 +157,20 @@ func runLaunch(ranks, n int, seed int64) error {
 	}
 	procs := make([]*exec.Cmd, ranks)
 	for r := 0; r < ranks; r++ {
-		cmd := exec.Command(exe,
+		args := []string{
 			"-connect", co.Addr(),
 			"-rank", fmt.Sprint(r),
 			"-ranks", fmt.Sprint(ranks),
 			"-n", fmt.Sprint(n),
 			"-seed", fmt.Sprint(seed),
-		)
+		}
+		if chaosSpec != "" {
+			args = append(args, "-chaos", chaosSpec)
+		}
+		if resilient {
+			args = append(args, "-resilient")
+		}
+		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

@@ -49,6 +49,9 @@ func run(argv []string) error {
 	cacheEntries := fs.Int("cache-entries", 128, "factorization/warm-start LRU capacity")
 	deadline := fs.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxDim := fs.Int("max-dim", 64, "reject geometries larger than this per side")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint attached to shed (429/503) responses")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive saturation failures that open a geometry's circuit breaker")
+	breakerOpenFor := fs.Duration("breaker-open-for", 5*time.Second, "how long an open breaker sheds before a half-open probe")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/*")
 	compactEvery := fs.Duration("compact-interval", 10*time.Second, "fold span events into rollups on this interval (bounds memory)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
@@ -81,15 +84,18 @@ func run(argv []string) error {
 	}()
 
 	srv := serve.NewServer(serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		BatchWindow:     *batchWindow,
-		MaxBatch:        *maxBatch,
-		CacheEntries:    *cacheEntries,
-		DefaultDeadline: *deadline,
-		MaxDim:          *maxDim,
-		EnablePprof:     *pprofOn,
-		Recorder:        rec,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		CacheEntries:     *cacheEntries,
+		DefaultDeadline:  *deadline,
+		MaxDim:           *maxDim,
+		RetryAfter:       *retryAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerOpenFor:   *breakerOpenFor,
+		EnablePprof:      *pprofOn,
+		Recorder:         rec,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

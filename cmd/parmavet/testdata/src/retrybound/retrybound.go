@@ -1,0 +1,122 @@
+// Package retrybound is the parmavet fixture for the retrybound
+// analyzer: retry loops that sleep between attempts must bound them.
+package retrybound
+
+import (
+	"context"
+	"time"
+)
+
+func try() bool { return false }
+
+// Unbounded for{}: sleeps forever if try never succeeds.
+func spinForever() {
+	for { // want "unbounded retry loop"
+		if try() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A condition alone is not a bound: try() may never flip.
+func spinOnCondition() {
+	for !try() { // want "unbounded retry loop"
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// <-time.After is the same backoff in channel clothing.
+func spinOnAfter(stop chan struct{}) {
+	for { // want "unbounded retry loop"
+		select {
+		case <-stop:
+		case <-time.After(10 * time.Millisecond):
+			if try() {
+				return
+			}
+		}
+	}
+}
+
+// The backoff hiding in a func literal still runs per iteration.
+func spinViaClosure() {
+	for { // want "unbounded retry loop"
+		wait := func() { time.Sleep(time.Millisecond) }
+		wait()
+		if try() {
+			return
+		}
+	}
+}
+
+// Bounded counter: the canonical shape, mirrors the reliable transport.
+func boundedAttempts() {
+	for attempt := 1; attempt <= 8; attempt++ {
+		if try() {
+			return
+		}
+		time.Sleep(time.Duration(attempt) * time.Millisecond)
+	}
+}
+
+// Ranging over a finite attempt schedule is a bound.
+func boundedBySchedule(backoffs []time.Duration) {
+	for _, b := range backoffs {
+		if try() {
+			return
+		}
+		time.Sleep(b)
+	}
+}
+
+// A wall-clock deadline check in the body is a bound.
+func boundedByDeadline(deadline time.Time) {
+	for {
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A deadline in the loop condition works too.
+func boundedByCondDeadline(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Context cancellation is a bound: the caller owns the retry budget.
+func boundedByContext(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+			if try() {
+				return
+			}
+		}
+	}
+}
+
+// Deliberately unbounded supervisors opt out with a reason.
+func supervisor() {
+	//parmavet:allow retrybound -- must outlive any fault and retry forever
+	for {
+		if try() {
+			return
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+// A loop that never sleeps is not a retry loop, whatever its shape.
+func busyButNotRetry() {
+	for {
+		if try() {
+			return
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"parma/internal/obs"
+)
+
+// deadRankTransport fails every operation with the typed rank-death error,
+// standing in for a peer the failure detector has declared dead.
+type deadRankTransport struct{ rank int }
+
+func (t deadRankTransport) Send(dst, tag int, data []byte) error {
+	return &RankDeadError{Rank: dst, Reason: "test transport"}
+}
+
+func (t deadRankTransport) Recv(src, tag int) ([]byte, int, error) {
+	return nil, 0, &RankDeadError{Rank: src, Reason: "test transport"}
+}
+
+// TestCollectivesRecordSpansAndPropagateTypedErrors extends the Barrier
+// span-leak regression to every collective: each must record its span even
+// on the error path, and the typed error from the transport must reach the
+// caller intact (errors.Is(err, ErrRankDead) matchable).
+func TestCollectivesRecordSpansAndPropagateTypedErrors(t *testing.T) {
+	cases := []struct {
+		span string
+		call func(c *Comm) error
+	}{
+		{"mpi/barrier", func(c *Comm) error { return c.Barrier() }},
+		{"mpi/bcast", func(c *Comm) error { _, err := c.Bcast(0, []byte("x")); return err }},
+		{"mpi/reduce", func(c *Comm) error { _, err := c.ReduceSum([]float64{1}); return err }},
+		{"mpi/allreduce", func(c *Comm) error { _, err := c.AllreduceSum([]float64{1}); return err }},
+		{"mpi/gather", func(c *Comm) error { _, err := c.Gather([]byte("x")); return err }},
+		{"mpi/scatter", func(c *Comm) error { _, err := c.Scatter([][]byte{{1}, {2}}); return err }},
+		{"mpi/allgather", func(c *Comm) error { _, err := c.Allgather([]byte("x")); return err }},
+		{"mpi/alltoall", func(c *Comm) error { _, err := c.Alltoall([][]byte{{1}, {2}}); return err }},
+		{"mpi/sendrecv", func(c *Comm) error { _, err := c.SendRecv(1, []byte("x")); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.span, func(t *testing.T) {
+			rec := obs.NewRecorder()
+			obs.Enable(rec)
+			defer obs.Disable()
+
+			c := &Comm{rank: 0, size: 2, tr: deadRankTransport{}, track: obs.AnonTrack}
+			err := tc.call(c)
+			if err == nil {
+				t.Fatalf("%s over a dead transport succeeded", tc.span)
+			}
+			if !errors.Is(err, ErrRankDead) {
+				t.Fatalf("%s error %v lost its type; want errors.Is(err, ErrRankDead)", tc.span, err)
+			}
+			var found bool
+			for _, ev := range rec.Events() {
+				if ev.Name == tc.span {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("failed %s left no span; the error path leaked it", tc.span)
+			}
+		})
+	}
+}
+
+// TestCollectiveErrorsNoSpanLeak runs failing collectives back to back on
+// one recorder and checks the recorded events are exactly the spans those
+// calls start — nested ones included. A leaked span (started, never ended)
+// would be missing from the event list; a double-End would add an extra.
+func TestCollectiveErrorsNoSpanLeak(t *testing.T) {
+	rec := obs.NewRecorder()
+	obs.Enable(rec)
+	defer obs.Disable()
+
+	c := &Comm{rank: 0, size: 2, tr: deadRankTransport{}, track: obs.AnonTrack}
+	_ = c.Barrier()                       // mpi/barrier
+	_, _ = c.Allgather(nil)               // mpi/allgather + nested mpi/gather
+	_, _ = c.Alltoall([][]byte{{1}, {2}}) // mpi/alltoall
+	_, _ = c.SendRecv(1, nil)             // mpi/sendrecv
+
+	want := map[string]int{
+		"mpi/barrier": 1, "mpi/allgather": 1, "mpi/gather": 1,
+		"mpi/alltoall": 1, "mpi/sendrecv": 1,
+	}
+	got := map[string]int{}
+	for _, ev := range rec.Events() {
+		got[ev.Name]++
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("span %s recorded %d times, want %d (leak or double-End)", name, got[name], n)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("unexpected span %s recorded on the error path", name)
+		}
+	}
+}

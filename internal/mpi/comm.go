@@ -157,6 +157,75 @@ func (c *Comm) Recv(src, tag int) ([]byte, int, error) {
 	return data, actual, nil
 }
 
+// SendNoAck delivers data best-effort when the transport supports it:
+// deduplicated on receive but neither retried nor ordered, the right
+// semantics for idempotent streams such as formation checkpoints. On plain
+// transports it degrades to Send.
+func (c *Comm) SendNoAck(dst, tag int, data []byte) error {
+	if dst == c.rank || dst < 0 || dst >= c.size {
+		return fmt.Errorf("mpi: rank %d sending (no-ack) to invalid rank %d", c.rank, dst)
+	}
+	if na, ok := c.tr.(noAckSender); ok {
+		c.chargeSend(len(data))
+		return na.SendNoAck(dst, tag, data)
+	}
+	return c.Send(dst, tag, data)
+}
+
+// RecvTimeout is Recv bounded by d. Deadline expiry returns a typed
+// *OpTimeoutError (errors.Is ErrOpTimeout); a dead peer surfaces as
+// *RankDeadError when the reliable layer's detector is active. Transports
+// without deadline support fall back to a blocking Recv.
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) ([]byte, int, error) {
+	if src != AnySource && (src < 0 || src >= c.size) {
+		return nil, 0, fmt.Errorf("mpi: rank %d receiving from rank %d outside world of %d", c.rank, src, c.size)
+	}
+	dt, ok := c.tr.(deadlineTransport)
+	if !ok {
+		return c.Recv(src, tag)
+	}
+	data, actual, _, timedOut, err := dt.RecvDeadline(src, tag, time.Now().Add(d))
+	if err != nil {
+		return nil, 0, err
+	}
+	if timedOut {
+		return nil, 0, &OpTimeoutError{Op: "recv", Rank: src}
+	}
+	c.chargeRecv(len(data))
+	return data, actual, nil
+}
+
+// PeerIdle returns how long the transport has gone without hearing from
+// rank, and whether liveness is tracked at all (it is only under the
+// reliable layer with heartbeats on).
+func (c *Comm) PeerIdle(rank int) (time.Duration, bool) {
+	lp, ok := c.tr.(livenessProber)
+	if !ok || lp.SuspectAfter() <= 0 {
+		return 0, false
+	}
+	return lp.PeerIdle(rank), true
+}
+
+// SuspectAfter returns the failure detector's silence threshold, or 0 when
+// no detector is active.
+func (c *Comm) SuspectAfter() time.Duration {
+	if lp, ok := c.tr.(livenessProber); ok {
+		return lp.SuspectAfter()
+	}
+	return 0
+}
+
+// DrainFor keeps the reliable layer servicing retransmits for d after the
+// rank's own work is done, so peers whose final acks were lost do not
+// declare this rank dead. A no-op on transports without a reliable layer.
+// Rank processes that exit after their work (the TCP deployment) should
+// call it before Close; the in-process World runner drains automatically.
+func (c *Comm) DrainFor(d time.Duration) {
+	if dr, ok := c.tr.(interface{ DrainFor(time.Duration) }); ok {
+		dr.DrainFor(d)
+	}
+}
+
 // Collective tags live in a reserved space above user tags.
 const (
 	tagBarrier = 1 << 28

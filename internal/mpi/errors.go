@@ -1,0 +1,72 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed failure classes for the resilience layer. Callers match them with
+// errors.Is: the concrete error types below carry the rank and step detail
+// while still answering Is() for their sentinel, so a formation loop can
+// write `errors.Is(err, ErrRankDead)` without caring which rank died.
+var (
+	// ErrRankDead reports that a peer rank stopped responding: its
+	// heartbeats ceased and retries against it were exhausted. This is the
+	// typed replacement for the silent hang a dead rank used to cause.
+	ErrRankDead = errors.New("mpi: rank dead")
+
+	// ErrCrashed reports that this rank's own transport was crashed by an
+	// injected fault (ChaosSpec.Crash). Ops on a crashed transport fail
+	// fast and deliver nothing.
+	ErrCrashed = errors.New("mpi: rank crashed")
+
+	// ErrOpTimeout reports that an operation's deadline expired while the
+	// peer was still alive (heartbeats flowing, message late or lost).
+	ErrOpTimeout = errors.New("mpi: operation deadline exceeded")
+)
+
+// RankDeadError identifies which peer stopped responding and why the
+// detector concluded so.
+type RankDeadError struct {
+	Rank   int
+	Reason string
+}
+
+func (e *RankDeadError) Error() string {
+	if e.Reason == "" {
+		return fmt.Sprintf("mpi: rank %d dead", e.Rank)
+	}
+	return fmt.Sprintf("mpi: rank %d dead (%s)", e.Rank, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrRankDead) match.
+func (e *RankDeadError) Is(target error) bool { return target == ErrRankDead }
+
+// CrashError identifies the injected crash point of this rank.
+type CrashError struct {
+	Rank int
+	Step int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("mpi: rank %d crashed at step %d (injected)", e.Rank, e.Step)
+}
+
+// Is makes errors.Is(err, ErrCrashed) match.
+func (e *CrashError) Is(target error) bool { return target == ErrCrashed }
+
+// OpTimeoutError reports the operation and peer whose deadline expired.
+type OpTimeoutError struct {
+	Op   string
+	Rank int // peer rank, or AnySource
+}
+
+func (e *OpTimeoutError) Error() string {
+	if e.Rank == AnySource {
+		return fmt.Sprintf("mpi: %s deadline exceeded", e.Op)
+	}
+	return fmt.Sprintf("mpi: %s deadline exceeded waiting on rank %d", e.Op, e.Rank)
+}
+
+// Is makes errors.Is(err, ErrOpTimeout) match.
+func (e *OpTimeoutError) Is(target error) bool { return target == ErrOpTimeout }

@@ -1,0 +1,393 @@
+package mpi
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parma/internal/obs"
+)
+
+// ChaosSpec is a deterministic, seed-driven fault schedule. Every decision
+// is a pure function of the seed and the frame's identity (kind, source,
+// destination, sequence number, delivery attempt), never of wall-clock
+// timing, so the same spec over the same workload injects the same fault
+// sequence on every run — in unit tests, under -race, and in CI.
+//
+// The textual grammar (the -chaos flag of parma-mpi) is a comma-separated
+// key=value list:
+//
+//	seed=N                 PRNG seed (default 1)
+//	drop=P                 drop each frame attempt with probability P
+//	dup=P                  duplicate each frame with probability P
+//	reorder=P              hold a frame back past the next same-destination send
+//	delay=P:DUR            delay each frame up to DUR with probability P
+//	crash=RANK@STEP        crash RANK after it has sent STEP data frames
+//	partition=A-B@S1-S2    drop frames between ranks A and B while the
+//	                       sender's data-frame count is in [S1, S2]
+//
+// Example: seed=7,drop=0.05,dup=0.02,crash=2@40
+type ChaosSpec struct {
+	Seed     int64
+	DropP    float64
+	DupP     float64
+	ReorderP float64
+	DelayP   float64
+	DelayMax time.Duration
+
+	// CrashRank crashes at the moment its CrashStep-th data frame would be
+	// sent; -1 disables.
+	CrashRank int
+	CrashStep int
+
+	// PartitionA/B name the two ranks cut off from each other during the
+	// sender-step window [PartitionFrom, PartitionTo]; PartitionA = -1
+	// disables.
+	PartitionA, PartitionB     int
+	PartitionFrom, PartitionTo int
+}
+
+// NoChaos is the zero schedule: every field off.
+var NoChaos = ChaosSpec{CrashRank: -1, PartitionA: -1}
+
+// Enabled reports whether the spec injects anything at all.
+func (s ChaosSpec) Enabled() bool {
+	return s.DropP > 0 || s.DupP > 0 || s.ReorderP > 0 || s.DelayP > 0 ||
+		s.CrashRank >= 0 || s.PartitionA >= 0
+}
+
+// ParseChaos parses the -chaos grammar documented on ChaosSpec.
+func ParseChaos(text string) (ChaosSpec, error) {
+	spec := NoChaos
+	spec.Seed = 1
+	if strings.TrimSpace(text) == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(text, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return spec, fmt.Errorf("mpi: chaos term %q is not key=value", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			spec.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			spec.DropP, err = parseProb(val)
+		case "dup":
+			spec.DupP, err = parseProb(val)
+		case "reorder":
+			spec.ReorderP, err = parseProb(val)
+		case "delay":
+			p, dur, found := strings.Cut(val, ":")
+			if !found {
+				return spec, fmt.Errorf("mpi: chaos delay %q wants P:DURATION", val)
+			}
+			if spec.DelayP, err = parseProb(p); err == nil {
+				spec.DelayMax, err = time.ParseDuration(dur)
+			}
+		case "crash":
+			r, s, found := strings.Cut(val, "@")
+			if !found {
+				return spec, fmt.Errorf("mpi: chaos crash %q wants RANK@STEP", val)
+			}
+			if spec.CrashRank, err = strconv.Atoi(r); err == nil {
+				spec.CrashStep, err = strconv.Atoi(s)
+			}
+			if err == nil && (spec.CrashRank < 0 || spec.CrashStep < 0) {
+				return spec, fmt.Errorf("mpi: chaos crash %q wants non-negative rank and step", val)
+			}
+		case "partition":
+			pair, window, found := strings.Cut(val, "@")
+			if !found {
+				return spec, fmt.Errorf("mpi: chaos partition %q wants A-B@S1-S2", val)
+			}
+			a, b, okPair := strings.Cut(pair, "-")
+			s1, s2, okWin := strings.Cut(window, "-")
+			if !okPair || !okWin {
+				return spec, fmt.Errorf("mpi: chaos partition %q wants A-B@S1-S2", val)
+			}
+			if spec.PartitionA, err = strconv.Atoi(a); err == nil {
+				if spec.PartitionB, err = strconv.Atoi(b); err == nil {
+					if spec.PartitionFrom, err = strconv.Atoi(s1); err == nil {
+						spec.PartitionTo, err = strconv.Atoi(s2)
+					}
+				}
+			}
+		default:
+			return spec, fmt.Errorf("mpi: unknown chaos key %q", key)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("mpi: chaos term %q: %v", part, err)
+		}
+	}
+	return spec, nil
+}
+
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %g outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// FaultEvent is one injected fault, recorded for reproducibility checks.
+type FaultEvent struct {
+	Kind string // "drop", "dup", "reorder", "delay", "partition", "crash"
+	Dst  int
+	Seq  uint64
+}
+
+// FaultTransport decorates a Transport with the ChaosSpec's fault schedule.
+// It sits between the reliable framing layer and the raw transport, so it
+// sees (kind, seq)-headed frames and can key every decision off frame
+// identity. Heartbeat frames pass unfaulted (they are detector plumbing,
+// not workload traffic); everything else — data, no-ack data, acks — is
+// fair game. Used standalone over raw payloads it falls back to a per-
+// destination send index as the identity.
+//
+// All methods are safe for concurrent use (the heartbeat goroutine sends
+// through it alongside the owning rank).
+type FaultTransport struct {
+	inner Transport
+	rank  int
+	spec  ChaosSpec
+
+	mu       sync.Mutex
+	attempts map[attemptKey]int // delivery attempts seen per frame identity
+	rawSeq   []uint64           // per-dst send index for unframed payloads
+	dataSent int                // distinct data frames sent (the crash/partition clock)
+	crashed  bool
+	held     []heldFrame // reorder buffer
+	log      []FaultEvent
+}
+
+type attemptKey struct {
+	kind byte
+	dst  int
+	seq  uint64
+}
+
+type heldFrame struct {
+	dst, tag int
+	data     []byte
+}
+
+// NewFaultTransport wraps inner with the fault schedule for this rank.
+func NewFaultTransport(inner Transport, rank int, spec ChaosSpec) *FaultTransport {
+	return &FaultTransport{
+		inner:    inner,
+		rank:     rank,
+		spec:     spec,
+		attempts: map[attemptKey]int{},
+	}
+}
+
+// Log returns the injected-fault sequence so far (a copy).
+func (f *FaultTransport) Log() []FaultEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FaultEvent, len(f.log))
+	copy(out, f.log)
+	return out
+}
+
+// Crashed reports whether the injected crash has fired.
+func (f *FaultTransport) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FaultTransport) record(kind string, dst int, seq uint64) {
+	f.log = append(f.log, FaultEvent{Kind: kind, Dst: dst, Seq: seq})
+	obs.Add("mpi/faults_"+kind, 1)
+}
+
+// roll derives the deterministic [0,1) draw for one decision on one frame.
+func (f *FaultTransport) roll(decision string, kind byte, dst int, seq uint64, attempt int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d|%d|%d|%d", f.spec.Seed, decision, kind, f.rank, dst, seq, attempt)
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+func (f *FaultTransport) Send(dst, tag int, data []byte) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return &CrashError{Rank: f.rank, Step: f.spec.CrashStep}
+	}
+
+	kind, seq, framed := parseFrameHeader(data)
+	if framed && kind == kHeartbeat {
+		f.mu.Unlock()
+		return f.inner.Send(dst, tag, data)
+	}
+	if !framed {
+		// Raw payload: identity is the running per-destination send index.
+		if f.rawSeq == nil {
+			f.rawSeq = make([]uint64, dst+1)
+		}
+		for len(f.rawSeq) <= dst {
+			f.rawSeq = append(f.rawSeq, 0)
+		}
+		kind, seq = kRaw, f.rawSeq[dst]
+		f.rawSeq[dst]++
+	}
+
+	key := attemptKey{kind: kind, dst: dst, seq: seq}
+	f.attempts[key]++
+	attempt := f.attempts[key]
+	// A frame's fate is sealed at first transmission: retries are the
+	// recovery path and pass through clean, so the injected-fault log is a
+	// pure function of (workload, seed) — retry timing cannot shift it.
+	// Standing conditions (crash, partition) still apply to every attempt.
+	first := attempt == 1
+
+	// The crash and partition clocks tick on distinct data frames only, so
+	// retries and acks never shift the schedule.
+	step := f.dataSent
+	if (kind == kData || kind == kDataNoAck || kind == kRaw) && attempt == 1 {
+		f.dataSent++
+		if f.spec.CrashRank == f.rank && f.dataSent > f.spec.CrashStep {
+			f.crashed = true
+			f.record("crash", dst, seq)
+			f.mu.Unlock()
+			return &CrashError{Rank: f.rank, Step: f.spec.CrashStep}
+		}
+	}
+
+	if f.spec.PartitionA >= 0 && step >= f.spec.PartitionFrom && step <= f.spec.PartitionTo {
+		a, b := f.spec.PartitionA, f.spec.PartitionB
+		if (f.rank == a && dst == b) || (f.rank == b && dst == a) {
+			if first {
+				f.record("partition", dst, seq)
+			}
+			f.mu.Unlock()
+			return nil // swallowed, like a cut cable
+		}
+	}
+	if first && f.spec.DropP > 0 && f.roll("drop", kind, dst, seq, 1) < f.spec.DropP {
+		f.record("drop", dst, seq)
+		f.mu.Unlock()
+		return nil
+	}
+
+	var delay time.Duration
+	if first && f.spec.DelayP > 0 && f.roll("delay", kind, dst, seq, 1) < f.spec.DelayP {
+		delay = time.Duration(f.roll("delaydur", kind, dst, seq, 1) * float64(f.spec.DelayMax))
+		f.record("delay", dst, seq)
+	}
+	dup := first && f.spec.DupP > 0 && f.roll("dup", kind, dst, seq, 1) < f.spec.DupP
+	if dup {
+		f.record("dup", dst, seq)
+	}
+	reorder := first && f.spec.ReorderP > 0 && f.roll("reorder", kind, dst, seq, 1) < f.spec.ReorderP
+
+	// Flush frames held for reordering before this one goes out — unless
+	// this frame is itself being held, in which case it jumps behind the
+	// next operation instead.
+	toSend := f.takeHeldLocked()
+	if reorder {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		f.held = append(f.held, heldFrame{dst: dst, tag: tag, data: cp})
+		f.record("reorder", dst, seq)
+	}
+	f.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	for _, h := range toSend {
+		if err := f.inner.Send(h.dst, h.tag, h.data); err != nil {
+			return err
+		}
+	}
+	if reorder {
+		return nil
+	}
+	if err := f.inner.Send(dst, tag, data); err != nil {
+		return err
+	}
+	if dup {
+		return f.inner.Send(dst, tag, data)
+	}
+	return nil
+}
+
+// takeHeldLocked removes and returns the reorder buffer. Callers hold f.mu.
+func (f *FaultTransport) takeHeldLocked() []heldFrame {
+	if len(f.held) == 0 {
+		return nil
+	}
+	out := f.held
+	f.held = nil
+	return out
+}
+
+// flushHeld releases reorder-held frames; every Recv path calls it so a
+// held frame is delayed by at most one operation, not lost.
+func (f *FaultTransport) flushHeld() error {
+	f.mu.Lock()
+	toSend := f.takeHeldLocked()
+	f.mu.Unlock()
+	for _, h := range toSend {
+		if err := f.inner.Send(h.dst, h.tag, h.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *FaultTransport) Recv(src, tag int) ([]byte, int, error) {
+	if f.Crashed() {
+		return nil, 0, &CrashError{Rank: f.rank, Step: f.spec.CrashStep}
+	}
+	if err := f.flushHeld(); err != nil {
+		return nil, 0, err
+	}
+	return f.inner.Recv(src, tag)
+}
+
+func (f *FaultTransport) RecvDeadline(src, tag int, deadline time.Time) ([]byte, int, int, bool, error) {
+	if f.Crashed() {
+		return nil, 0, 0, false, &CrashError{Rank: f.rank, Step: f.spec.CrashStep}
+	}
+	if err := f.flushHeld(); err != nil {
+		return nil, 0, 0, false, err
+	}
+	dt, ok := f.inner.(deadlineTransport)
+	if !ok {
+		data, actual, err := f.inner.Recv(src, tag)
+		return data, actual, tag, false, err
+	}
+	return dt.RecvDeadline(src, tag, deadline)
+}
+
+// Close forwards to the inner transport's closer, if any.
+func (f *FaultTransport) Close() error {
+	if c, ok := f.inner.(transportCloser); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// sortedRanks returns the ranks of a set in ascending order (helper shared
+// with the self-healing formation).
+func sortedRanks(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -11,10 +11,16 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // AnySource matches messages from every rank in Recv.
 const AnySource = -1
+
+// AnyTag matches messages with any tag in the transport-internal receive
+// paths (the reliable layer demultiplexes frames itself). User tags are
+// non-negative, collective tags live above 1<<28, so -2 is safe.
+const AnyTag = -2
 
 // message is one in-flight point-to-point payload.
 type message struct {
@@ -53,19 +59,38 @@ func (ib *inbox) put(m message) error {
 }
 
 // get blocks until a message matching (src, tag) is available and removes
-// it. src may be AnySource. It returns false if the inbox closes first.
+// it. src may be AnySource, tag may be AnyTag. It returns false if the
+// inbox closes first.
 func (ib *inbox) get(src, tag int) (message, bool) {
+	m, ok, _ := ib.getDeadline(src, tag, time.Time{})
+	return m, ok
+}
+
+// getDeadline is get with an optional deadline (the zero time waits
+// forever). The third result reports a timeout: the deadline passed with no
+// matching message and the inbox still open.
+func (ib *inbox) getDeadline(src, tag int, deadline time.Time) (message, bool, bool) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		// The cond has no timed wait; a timer broadcast wakes the loop so it
+		// can observe the deadline.
+		timer = time.AfterFunc(time.Until(deadline), ib.cond.Broadcast)
+		defer timer.Stop()
+	}
 	for {
 		for i, m := range ib.stash {
-			if (src == AnySource || m.src == src) && m.tag == tag {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
 				ib.stash = append(ib.stash[:i], ib.stash[i+1:]...)
-				return m, true
+				return m, true, false
 			}
 		}
 		if ib.closed {
-			return message{}, false
+			return message{}, false, false
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return message{}, false, true
 		}
 		ib.cond.Wait()
 	}
@@ -89,6 +114,21 @@ type Transport interface {
 	Recv(src, tag int) ([]byte, int, error)
 }
 
+// deadlineTransport is the optional deadline-aware receive every built-in
+// transport implements. It also reports the matched message's tag, so the
+// reliable layer can pull with AnyTag and demultiplex frames itself.
+// timedOut distinguishes a deadline expiry from a closed transport.
+type deadlineTransport interface {
+	RecvDeadline(src, tag int, deadline time.Time) (data []byte, actualSrc, actualTag int, timedOut bool, err error)
+}
+
+// transportCloser is the optional shutdown hook decorators expose so
+// World.Run (and DialTCP's close function) can stop background work such
+// as heartbeat senders.
+type transportCloser interface {
+	Close() error
+}
+
 // chanTransport is the in-process transport: a shared inbox table.
 type chanTransport struct {
 	rank    int
@@ -110,4 +150,15 @@ func (t *chanTransport) Recv(src, tag int) ([]byte, int, error) {
 		return nil, 0, fmt.Errorf("mpi: rank %d inbox closed while waiting for src=%d tag=%d", t.rank, src, tag)
 	}
 	return m.data, m.src, nil
+}
+
+func (t *chanTransport) RecvDeadline(src, tag int, deadline time.Time) ([]byte, int, int, bool, error) {
+	m, ok, timedOut := t.inboxes[t.rank].getDeadline(src, tag, deadline)
+	if timedOut {
+		return nil, 0, 0, true, nil
+	}
+	if !ok {
+		return nil, 0, 0, false, fmt.Errorf("mpi: rank %d inbox closed while waiting for src=%d tag=%d", t.rank, src, tag)
+	}
+	return m.data, m.src, m.tag, false, nil
 }

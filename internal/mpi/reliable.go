@@ -1,0 +1,503 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"parma/internal/obs"
+)
+
+// The reliable layer turns a lossy, reordering, duplicating transport (the
+// FaultTransport, or a real network) back into the FIFO exactly-once
+// channel the collectives assume:
+//
+//   - every data frame carries a per-destination sequence number;
+//   - the receiver acknowledges every data frame (including duplicates),
+//     delivers in sequence order, holds early frames back, and drops
+//     duplicates — so delivery is idempotent and non-overtaking per peer;
+//   - the sender retries unacknowledged frames with exponential backoff
+//     plus jitter, bounded by MaxAttempts, and reports a peer that never
+//     acknowledges as a typed *RankDeadError;
+//   - a heartbeat goroutine keeps silent-but-alive peers distinguishable
+//     from dead ones: any frame from a peer refreshes its last-seen clock,
+//     and a Recv that waits past SuspectAfter with a silent peer returns
+//     *RankDeadError instead of hanging forever.
+//
+// Frame layout: magic kind byte, little-endian uint64 sequence number,
+// payload. Acks and heartbeats travel on the reserved control tag.
+
+const (
+	kRaw       byte = 0x00 // unframed payload (FaultTransport-internal)
+	kData      byte = 0xA1 // acknowledged, sequence-ordered payload
+	kAck       byte = 0xA2 // acknowledges the seq in the header
+	kHeartbeat byte = 0xA3 // liveness beacon, never delivered
+	kDataNoAck byte = 0xA4 // fire-and-forget payload, deduplicated only
+)
+
+const frameHeaderLen = 9
+
+// ctlTag carries acks and heartbeats, above the collective tag space.
+const ctlTag = 1<<28 + 15
+
+func encodeFrame(kind byte, seq uint64, payload []byte) []byte {
+	out := make([]byte, frameHeaderLen+len(payload))
+	out[0] = kind
+	binary.LittleEndian.PutUint64(out[1:], seq)
+	copy(out[frameHeaderLen:], payload)
+	return out
+}
+
+// parseFrameHeader recognizes reliable-layer frames. ok is false for raw
+// payloads (no magic kind byte or too short).
+func parseFrameHeader(data []byte) (kind byte, seq uint64, ok bool) {
+	if len(data) < frameHeaderLen {
+		return 0, 0, false
+	}
+	switch data[0] {
+	case kData, kAck, kHeartbeat, kDataNoAck:
+		return data[0], binary.LittleEndian.Uint64(data[1:]), true
+	}
+	return 0, 0, false
+}
+
+// ReliableConfig tunes retries, deadlines, and the failure detector. The
+// zero value of every field selects a working default.
+type ReliableConfig struct {
+	// MaxAttempts bounds delivery attempts per frame. Zero selects 8.
+	MaxAttempts int
+	// RetryBase is the first ack-wait window; it doubles per attempt with
+	// up to 50% jitter. Zero selects 2ms.
+	RetryBase time.Duration
+	// RetryMax caps the per-attempt ack-wait window. Zero selects 250ms.
+	RetryMax time.Duration
+	// OpDeadline bounds every Recv without an explicit deadline (and so
+	// every collective's individual receives). Zero means no deadline.
+	OpDeadline time.Duration
+	// HeartbeatEvery is the liveness beacon period. Zero selects 25ms;
+	// negative disables heartbeats (and with them the failure detector).
+	HeartbeatEvery time.Duration
+	// SuspectAfter declares a peer dead when no frame from it has arrived
+	// for this long while a Recv is waiting on it. Zero selects
+	// 12*HeartbeatEvery; negative disables the detector.
+	SuspectAfter time.Duration
+	// Seed drives retry jitter (timing only — never delivery semantics).
+	Seed int64
+}
+
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 25 * time.Millisecond
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 12 * c.HeartbeatEvery
+	}
+	return c
+}
+
+// detectorOn reports whether the failure detector is active.
+func (c ReliableConfig) detectorOn() bool {
+	return c.HeartbeatEvery > 0 && c.SuspectAfter > 0
+}
+
+// reliableTransport implements Transport (plus the deadline, no-ack, and
+// liveness extensions) over any inner transport that supports deadline
+// receives. All sequencing state is owned by the rank's goroutine; only
+// the heartbeat sender runs concurrently, and it touches nothing but
+// inner.Send (which every transport serializes internally).
+type reliableTransport struct {
+	inner   Transport
+	innerDL deadlineTransport
+	rank    int
+	size    int
+	cfg     ReliableConfig
+
+	nextSeq   []uint64             // per-dst data sequence
+	noackSeq  []uint64             // per-dst no-ack sequence
+	expect    []uint64             // per-src next in-order data seq
+	ooo       []map[uint64]message // per-src early frames awaiting their turn
+	noackSeen []map[uint64]bool    // per-src delivered no-ack seqs
+	pending   []message            // in-order deliverables awaiting a matching Recv
+	lastSeen  []time.Time          // per-src last frame arrival
+
+	rng    *rand.Rand
+	hbStop chan struct{}
+	hbDone chan struct{}
+}
+
+// newReliable wraps inner for one rank. inner must support deadline
+// receives (all transports in this package do).
+func newReliable(inner Transport, rank, size int, cfg ReliableConfig) (*reliableTransport, error) {
+	dl, ok := inner.(deadlineTransport)
+	if !ok {
+		return nil, fmt.Errorf("mpi: reliable layer needs a deadline-capable transport, got %T", inner)
+	}
+	cfg = cfg.withDefaults()
+	t := &reliableTransport{
+		inner:     inner,
+		innerDL:   dl,
+		rank:      rank,
+		size:      size,
+		cfg:       cfg,
+		nextSeq:   make([]uint64, size),
+		noackSeq:  make([]uint64, size),
+		expect:    make([]uint64, size),
+		ooo:       make([]map[uint64]message, size),
+		noackSeen: make([]map[uint64]bool, size),
+		lastSeen:  make([]time.Time, size),
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ int64(rank)<<17)),
+		hbStop:    make(chan struct{}),
+		hbDone:    make(chan struct{}),
+	}
+	now := time.Now()
+	for i := range t.lastSeen {
+		t.lastSeen[i] = now
+	}
+	if cfg.HeartbeatEvery > 0 && size > 1 {
+		go t.heartbeat()
+	} else {
+		close(t.hbDone)
+	}
+	return t, nil
+}
+
+// heartbeat broadcasts liveness beacons until Close.
+func (t *reliableTransport) heartbeat() {
+	defer close(t.hbDone)
+	tick := time.NewTicker(t.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	frame := encodeFrame(kHeartbeat, 0, nil)
+	for {
+		select {
+		case <-t.hbStop:
+			return
+		case <-tick.C:
+			for p := 0; p < t.size; p++ {
+				if p == t.rank {
+					continue
+				}
+				// Beacons are best-effort; a crashed or closed path just
+				// means this rank goes quiet, which is the signal.
+				//parmavet:allow mpierr -- dropped beacons ARE the failure signal
+				_ = t.inner.Send(p, ctlTag, frame)
+			}
+		}
+	}
+}
+
+// Close stops the heartbeat sender and forwards to the inner transport.
+func (t *reliableTransport) Close() error {
+	select {
+	case <-t.hbStop:
+	default:
+		close(t.hbStop)
+	}
+	<-t.hbDone
+	if c, ok := t.inner.(transportCloser); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// backoff returns the ack-wait window for the given 1-based attempt:
+// RetryBase doubled per attempt, capped at RetryMax, plus up to 50% jitter.
+func (t *reliableTransport) backoff(attempt int) time.Duration {
+	d := t.cfg.RetryBase << (attempt - 1)
+	if d > t.cfg.RetryMax || d <= 0 {
+		d = t.cfg.RetryMax
+	}
+	return d + time.Duration(t.rng.Int63n(int64(d)/2+1))
+}
+
+// Send delivers data to dst exactly once (from the receiver's point of
+// view), retrying unacknowledged frames with backoff. A peer that never
+// acknowledges within MaxAttempts is reported dead.
+func (t *reliableTransport) Send(dst, tag int, data []byte) error {
+	seq := t.nextSeq[dst]
+	t.nextSeq[dst]++
+	frame := encodeFrame(kData, seq, data)
+	for attempt := 1; attempt <= t.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			obs.Add("mpi/send_retries", 1)
+		}
+		if err := t.inner.Send(dst, tag, frame); err != nil {
+			return err // own crash or closed world: not retryable
+		}
+		deadline := time.Now().Add(t.backoff(attempt))
+		acked, err := t.awaitAck(dst, seq, deadline)
+		if err != nil {
+			return err
+		}
+		if acked {
+			return nil
+		}
+	}
+	obs.Add("mpi/rank_dead_detected", 1)
+	return &RankDeadError{Rank: dst, Reason: fmt.Sprintf("%d send attempts unacknowledged", t.cfg.MaxAttempts)}
+}
+
+// awaitAck pumps incoming frames until the ack for (dst, seq) arrives or
+// the deadline passes. Data frames arriving meanwhile are acked and
+// buffered, so two ranks mid-Send at each other cannot deadlock.
+func (t *reliableTransport) awaitAck(dst int, seq uint64, deadline time.Time) (bool, error) {
+	for {
+		raw, src, tag, timedOut, err := t.innerDL.RecvDeadline(AnySource, AnyTag, deadline)
+		if err != nil {
+			return false, err
+		}
+		if timedOut {
+			return false, nil
+		}
+		ackSrc, ackSeq, isAck, err := t.processFrame(src, tag, raw)
+		if err != nil {
+			return false, err
+		}
+		if isAck && ackSrc == dst && ackSeq == seq {
+			return true, nil
+		}
+	}
+}
+
+// SendNoAck delivers data best-effort: deduplicated on receive but neither
+// ordered nor retried. Used for idempotent streams (checkpoints) where a
+// lost frame only costs recomputation.
+func (t *reliableTransport) SendNoAck(dst, tag int, data []byte) error {
+	seq := t.noackSeq[dst]
+	t.noackSeq[dst]++
+	return t.inner.Send(dst, tag, encodeFrame(kDataNoAck, seq, data))
+}
+
+// processFrame handles one raw arrival: refresh liveness, ack and order
+// data, dedup, and stash deliverables. For ack frames it returns the
+// (src, seq) pair so a waiting Send can match it.
+func (t *reliableTransport) processFrame(src, tag int, raw []byte) (ackSrc int, ackSeq uint64, isAck bool, err error) {
+	if src >= 0 && src < t.size {
+		t.lastSeen[src] = time.Now()
+	}
+	kind, seq, framed := parseFrameHeader(raw)
+	if !framed {
+		// Raw payload from a non-reliable peer: deliver as-is.
+		t.pending = append(t.pending, message{src: src, tag: tag, data: raw})
+		return 0, 0, false, nil
+	}
+	payload := raw[frameHeaderLen:]
+	switch kind {
+	case kHeartbeat:
+		// Liveness only.
+	case kAck:
+		return src, seq, true, nil
+	case kDataNoAck:
+		seen := t.noackSeen[src]
+		if seen == nil {
+			seen = map[uint64]bool{}
+			t.noackSeen[src] = seen
+		}
+		if seen[seq] {
+			obs.Add("mpi/dedup_dropped", 1)
+			return 0, 0, false, nil
+		}
+		seen[seq] = true
+		t.pending = append(t.pending, message{src: src, tag: tag, data: payload})
+	case kData:
+		// Always ack — the sender may be retrying a frame whose first ack
+		// was lost.
+		if err := t.inner.Send(src, ctlTag, encodeFrame(kAck, seq, nil)); err != nil {
+			return 0, 0, false, err
+		}
+		switch {
+		case seq < t.expect[src]:
+			obs.Add("mpi/dedup_dropped", 1)
+		case seq == t.expect[src]:
+			t.pending = append(t.pending, message{src: src, tag: tag, data: payload})
+			t.expect[src]++
+			t.drainOOO(src)
+		default:
+			if t.ooo[src] == nil {
+				t.ooo[src] = map[uint64]message{}
+			}
+			if _, dup := t.ooo[src][seq]; dup {
+				obs.Add("mpi/dedup_dropped", 1)
+			} else {
+				obs.Add("mpi/reordered_restored", 1)
+				t.ooo[src][seq] = message{src: src, tag: tag, data: payload}
+			}
+		}
+	}
+	return 0, 0, false, nil
+}
+
+// drainOOO promotes consecutively-sequenced early frames to deliverable.
+func (t *reliableTransport) drainOOO(src int) {
+	for {
+		m, ok := t.ooo[src][t.expect[src]]
+		if !ok {
+			return
+		}
+		delete(t.ooo[src], t.expect[src])
+		t.pending = append(t.pending, m)
+		t.expect[src]++
+	}
+}
+
+// takePending removes and returns the first pending message matching
+// (src, tag).
+func (t *reliableTransport) takePending(src, tag int) (message, bool) {
+	for i, m := range t.pending {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			t.pending = append(t.pending[:i], t.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// pollSlice is how long one inner wait lasts between detector checks.
+func (t *reliableTransport) pollSlice() time.Duration {
+	if !t.cfg.detectorOn() {
+		return 50 * time.Millisecond
+	}
+	s := t.cfg.SuspectAfter / 4
+	if s < time.Millisecond {
+		s = time.Millisecond
+	}
+	return s
+}
+
+// recvMatch blocks for a message matching (src, tag) until the deadline
+// (zero = the configured OpDeadline, if any; otherwise forever). It turns
+// a silent peer into *RankDeadError and a late one into timedOut=true.
+func (t *reliableTransport) recvMatch(src, tag int, deadline time.Time) (message, bool, error) {
+	if deadline.IsZero() && t.cfg.OpDeadline > 0 {
+		deadline = time.Now().Add(t.cfg.OpDeadline)
+	}
+	for {
+		if m, ok := t.takePending(src, tag); ok {
+			return m, false, nil
+		}
+		slice := time.Now().Add(t.pollSlice())
+		if !deadline.IsZero() && deadline.Before(slice) {
+			slice = deadline
+		}
+		raw, asrc, atag, timedOut, err := t.innerDL.RecvDeadline(AnySource, AnyTag, slice)
+		if err != nil {
+			return message{}, false, err
+		}
+		if !timedOut {
+			if _, _, _, err := t.processFrame(asrc, atag, raw); err != nil {
+				return message{}, false, err
+			}
+			continue
+		}
+		if src != AnySource && t.cfg.detectorOn() && time.Since(t.lastSeen[src]) > t.cfg.SuspectAfter {
+			obs.Add("mpi/rank_dead_detected", 1)
+			return message{}, false, &RankDeadError{Rank: src,
+				Reason: fmt.Sprintf("no frames for %v", time.Since(t.lastSeen[src]).Round(time.Millisecond))}
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return message{}, true, nil
+		}
+	}
+}
+
+func (t *reliableTransport) Recv(src, tag int) ([]byte, int, error) {
+	m, timedOut, err := t.recvMatch(src, tag, time.Time{})
+	if err != nil {
+		return nil, 0, err
+	}
+	if timedOut {
+		return nil, 0, &OpTimeoutError{Op: "recv", Rank: src}
+	}
+	return m.data, m.src, nil
+}
+
+func (t *reliableTransport) RecvDeadline(src, tag int, deadline time.Time) ([]byte, int, int, bool, error) {
+	m, timedOut, err := t.recvMatch(src, tag, deadline)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if timedOut {
+		return nil, 0, 0, true, nil
+	}
+	return m.data, m.src, m.tag, false, nil
+}
+
+// drain keeps servicing incoming frames — re-acking retransmits, absorbing
+// heartbeats — after the owner's work is done, until stop closes. Without
+// it a rank whose final ack was lost would go silent while its peer
+// retries, and the peer would falsely declare it dead.
+func (t *reliableTransport) drain(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		raw, src, tag, timedOut, err := t.innerDL.RecvDeadline(AnySource, AnyTag, time.Now().Add(5*time.Millisecond))
+		if err != nil {
+			return
+		}
+		if !timedOut {
+			if _, _, _, err := t.processFrame(src, tag, raw); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// DrainFor is drain with a time bound, for transports whose process exits
+// after the work (the TCP ranks): it gives peers a window to get their
+// final retransmits re-acked.
+func (t *reliableTransport) DrainFor(d time.Duration) {
+	stop := make(chan struct{})
+	time.AfterFunc(d, func() { close(stop) })
+	t.drain(stop)
+}
+
+// PeerIdle returns how long ago the last frame from rank arrived.
+func (t *reliableTransport) PeerIdle(rank int) time.Duration {
+	if rank < 0 || rank >= t.size {
+		return 0
+	}
+	return time.Since(t.lastSeen[rank])
+}
+
+// SuspectAfter exposes the detector threshold for callers (the resilient
+// formation) that fold liveness into their own progress decisions.
+func (t *reliableTransport) SuspectAfter() time.Duration {
+	if !t.cfg.detectorOn() {
+		return 0
+	}
+	return t.cfg.SuspectAfter
+}
+
+// Compile-time checks: every transport must stay deadline-capable, or the
+// reliable layer and RecvTimeout silently degrade to blocking receives.
+var (
+	_ deadlineTransport = (*chanTransport)(nil)
+	_ deadlineTransport = (*tcpTransport)(nil)
+	_ deadlineTransport = (*FaultTransport)(nil)
+	_ deadlineTransport = (*reliableTransport)(nil)
+	_ transportCloser   = (*reliableTransport)(nil)
+	_ noAckSender       = (*reliableTransport)(nil)
+	_ livenessProber    = (*reliableTransport)(nil)
+)
+
+// Optional capability interfaces the Comm helpers probe for.
+type noAckSender interface {
+	SendNoAck(dst, tag int, data []byte) error
+}
+
+type livenessProber interface {
+	PeerIdle(rank int) time.Duration
+	SuspectAfter() time.Duration
+}

@@ -1,0 +1,315 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fastReliable keeps retry and detector timing tight so chaos tests finish
+// quickly while still exercising every code path.
+func fastReliable() ReliableConfig {
+	return ReliableConfig{
+		MaxAttempts:    6,
+		RetryBase:      time.Millisecond,
+		RetryMax:       20 * time.Millisecond,
+		HeartbeatEvery: 5 * time.Millisecond,
+		SuspectAfter:   60 * time.Millisecond,
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	spec, err := ParseChaos("seed=7,drop=0.05,dup=0.02,reorder=0.1,delay=0.5:2ms,crash=2@40,partition=1-3@10-20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChaosSpec{
+		Seed: 7, DropP: 0.05, DupP: 0.02, ReorderP: 0.1,
+		DelayP: 0.5, DelayMax: 2 * time.Millisecond,
+		CrashRank: 2, CrashStep: 40,
+		PartitionA: 1, PartitionB: 3, PartitionFrom: 10, PartitionTo: 20,
+	}
+	if spec != want {
+		t.Fatalf("ParseChaos = %+v, want %+v", spec, want)
+	}
+	if empty, err := ParseChaos("  "); err != nil || empty.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", empty, err)
+	}
+	for _, bad := range []string{"drop=1.5", "crash=2", "crash=-1@5", "partition=1@2", "delay=0.5", "wat=1", "seed"} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFaultLogDeterministic runs the same chaotic workload twice with one
+// seed and a third time with another: same seed must reproduce the same
+// fault sequence exactly, a different seed must not.
+func TestFaultLogDeterministic(t *testing.T) {
+	workload := func(seed int64) [][]FaultEvent {
+		spec := NoChaos
+		spec.Seed = seed
+		spec.DropP = 0.1
+		spec.DupP = 0.05
+		w := NewWorld(4, CostModel{}).WithChaos(spec).WithReliable(fastReliable())
+		errs := w.Run(func(c *Comm) error {
+			for round := 0; round < 3; round++ {
+				if _, err := c.AllreduceSum([]float64{float64(c.Rank())}); err != nil {
+					return err
+				}
+			}
+			return c.Barrier()
+		})
+		if err := FirstError(errs); err != nil {
+			t.Fatal(err)
+		}
+		logs := make([][]FaultEvent, 4)
+		for r := 0; r < 4; r++ {
+			logs[r] = w.FaultLog(r)
+		}
+		return logs
+	}
+	first := workload(42)
+	second := workload(42)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed, different fault logs:\n%v\nvs\n%v", first, second)
+	}
+	var injected int
+	for _, l := range first {
+		injected += len(l)
+	}
+	if injected == 0 {
+		t.Fatal("chaos schedule injected nothing; test is vacuous")
+	}
+	if reflect.DeepEqual(first, workload(43)) {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+}
+
+// TestReliableDeliveryUnderChaos hammers collectives and point-to-point
+// exchanges through drop/dup/reorder faults: the reliable layer must hide
+// all of it.
+func TestReliableDeliveryUnderChaos(t *testing.T) {
+	spec := NoChaos
+	spec.Seed = 11
+	spec.DropP = 0.15
+	spec.DupP = 0.1
+	spec.ReorderP = 0.1
+	w := NewWorld(4, CostModel{}).WithChaos(spec).WithReliable(fastReliable())
+	errs := w.Run(func(c *Comm) error {
+		sum, err := c.AllreduceSum([]float64{float64(c.Rank() + 1)})
+		if err != nil {
+			return err
+		}
+		if sum[0] != 10 {
+			return fmt.Errorf("rank %d: allreduce = %v, want 10", c.Rank(), sum[0])
+		}
+		// Ring exchange: every rank sends 20 sequenced messages to its
+		// successor; FIFO and exactly-once must both hold.
+		next, prev := (c.Rank()+1)%c.Size(), (c.Rank()+3)%c.Size()
+		for i := 0; i < 20; i++ {
+			if err := c.Send(next, 9, []byte{byte(i)}); err != nil {
+				return err
+			}
+			got, _, err := c.Recv(prev, 9)
+			if err != nil {
+				return err
+			}
+			if len(got) != 1 || got[0] != byte(i) {
+				return fmt.Errorf("rank %d: ring msg %d arrived as %v", c.Rank(), i, got)
+			}
+		}
+		return c.Barrier()
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectorReportsRankDead crashes one rank and checks the peer that
+// waits on it gets a typed ErrRankDead instead of hanging.
+func TestDetectorReportsRankDead(t *testing.T) {
+	spec := NoChaos
+	spec.Seed = 3
+	spec.CrashRank = 1
+	spec.CrashStep = 0 // crash on rank 1's first data send
+	w := NewWorld(2, CostModel{}).WithChaos(spec).WithReliable(fastReliable())
+	errs := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Send(0, 7, []byte("x")) // fires the crash
+		}
+		_, _, err := c.Recv(1, 7)
+		return err
+	})
+	if !errors.Is(errs[1], ErrCrashed) {
+		t.Fatalf("crashed rank error = %v, want ErrCrashed", errs[1])
+	}
+	var dead *RankDeadError
+	if !errors.As(errs[0], &dead) || dead.Rank != 1 {
+		t.Fatalf("survivor error = %v, want RankDeadError{Rank: 1}", errs[0])
+	}
+	if !errors.Is(errs[0], ErrRankDead) {
+		t.Fatalf("errors.Is(%v, ErrRankDead) = false", errs[0])
+	}
+}
+
+// TestSendRetriesExhausted partitions two ranks permanently: the sender
+// must give up after bounded retries with a typed error, not spin forever.
+func TestSendRetriesExhausted(t *testing.T) {
+	spec := NoChaos
+	spec.Seed = 5
+	spec.PartitionA, spec.PartitionB = 0, 1
+	spec.PartitionFrom, spec.PartitionTo = 0, 1<<30
+	cfg := fastReliable()
+	cfg.SuspectAfter = -1 // detector off: force the retry path to decide
+	w := NewWorld(2, CostModel{}).WithChaos(spec).WithReliable(cfg)
+	errs := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 3, []byte("into the void"))
+		}
+		_, _, err := c.RecvTimeout(0, 3, 400*time.Millisecond)
+		if errors.Is(err, ErrOpTimeout) {
+			return nil // expected: nothing can arrive
+		}
+		return err
+	})
+	if !errors.Is(errs[0], ErrRankDead) {
+		t.Fatalf("sender error = %v, want ErrRankDead after retry exhaustion", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("receiver error = %v", errs[1])
+	}
+}
+
+// TestRecvTimeoutTyped checks the per-op deadline surfaces as ErrOpTimeout
+// while the peer is demonstrably alive.
+func TestRecvTimeoutTyped(t *testing.T) {
+	w := NewWorld(2, CostModel{}).WithReliable(fastReliable())
+	errs := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(80 * time.Millisecond) // alive, heartbeating, silent
+			return c.Send(0, 4, []byte("late"))
+		}
+		_, _, err := c.RecvTimeout(1, 4, 10*time.Millisecond)
+		if !errors.Is(err, ErrOpTimeout) {
+			return fmt.Errorf("timeout error = %v, want ErrOpTimeout", err)
+		}
+		if _, _, err := c.Recv(1, 4); err != nil {
+			return fmt.Errorf("follow-up recv: %v", err)
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResilientFormationCleanMatchesDistributed checks the self-healing
+// formation reproduces the plain distributed result on a clean transport.
+func TestResilientFormationCleanMatchesDistributed(t *testing.T) {
+	p := formationProblem(t, 8, 1)
+
+	var wantTotal int
+	var wantHash uint64
+	errs := NewWorld(4, CostModel{}).Run(func(c *Comm) error {
+		res, err := DistributedFormation(c, p)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			wantTotal = res.TotalEquations
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	// Fault-free system hash: XOR of every rank's local hash, which the
+	// single-rank run computes directly.
+	errs = NewWorld(1, CostModel{}).Run(func(c *Comm) error {
+		res, err := DistributedFormation(c, p)
+		if err != nil {
+			return err
+		}
+		wantHash = res.LocalHash
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+
+	errs = NewWorld(4, CostModel{}).Run(func(c *Comm) error {
+		res, err := ResilientFormation(c, p, ResilientConfig{})
+		if err != nil {
+			return err
+		}
+		if res.TotalEquations != wantTotal || res.SystemHash != wantHash {
+			return fmt.Errorf("rank %d: resilient = (%d, %016x), want (%d, %016x)",
+				c.Rank(), res.TotalEquations, res.SystemHash, wantTotal, wantHash)
+		}
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResilientFormationSurvivesCrash is the acceptance scenario: 5%
+// drop, duplication, and one rank crashing mid-formation. Survivors must
+// finish with a result bit-identical to the fault-free run.
+func TestResilientFormationSurvivesCrash(t *testing.T) {
+	p := formationProblem(t, 8, 2)
+
+	var wantTotal int
+	var wantHash uint64
+	errs := NewWorld(1, CostModel{}).Run(func(c *Comm) error {
+		res, err := DistributedFormation(c, p)
+		if err != nil {
+			return err
+		}
+		wantTotal, wantHash = res.TotalEquations, res.LocalHash
+		return nil
+	})
+	if err := FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := NoChaos
+	spec.Seed = 9
+	spec.DropP = 0.05
+	spec.DupP = 0.05
+	spec.CrashRank = 2
+	spec.CrashStep = 2 // dies after its second checkpoint-or-request send
+	w := NewWorld(4, CostModel{}).WithChaos(spec).WithReliable(fastReliable())
+	var rootRes ResilientResult
+	errs = w.Run(func(c *Comm) error {
+		res, err := ResilientFormation(c, p, ResilientConfig{BlocksPerRank: 4})
+		if err != nil {
+			return err
+		}
+		if res.TotalEquations != wantTotal || res.SystemHash != wantHash {
+			return fmt.Errorf("rank %d: chaotic = (%d, %016x), want (%d, %016x)",
+				c.Rank(), res.TotalEquations, res.SystemHash, wantTotal, wantHash)
+		}
+		if c.Rank() == 0 {
+			rootRes = res
+		}
+		return nil
+	})
+	if !errors.Is(errs[2], ErrCrashed) {
+		t.Fatalf("crash target error = %v, want ErrCrashed", errs[2])
+	}
+	for _, r := range []int{0, 1, 3} {
+		if errs[r] != nil {
+			t.Fatalf("survivor rank %d: %v", r, errs[r])
+		}
+	}
+	if len(rootRes.Dead) != 1 || rootRes.Dead[0] != 2 {
+		t.Fatalf("root declared dead = %v, want [2]", rootRes.Dead)
+	}
+	if rootRes.Redistributed == 0 {
+		t.Fatal("crash mid-formation redistributed no blocks; crash step too late to matter")
+	}
+}

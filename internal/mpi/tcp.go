@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
+	"time"
 
 	"parma/internal/obs"
 )
@@ -118,8 +120,11 @@ func (co *Coordinator) Serve() error {
 				err = writeFrame(co.conns[dst], dst, src, tag, payload)
 				co.wmu[dst].Unlock()
 				if err != nil {
-					errs[rank] = err
-					return
+					// A dead destination (crashed rank) must not take the
+					// whole fabric down: count the undeliverable frame and
+					// keep routing for the survivors.
+					obs.Add("mpi/coordinator_undeliverable", 1)
+					continue
 				}
 			}
 		}(rank, conn)
@@ -134,15 +139,48 @@ func (co *Coordinator) Serve() error {
 // tcpTransport is a rank's connection to the coordinator. Incoming frames
 // are pumped into an inbox for (src, tag) matching.
 type tcpTransport struct {
-	rank int
-	conn net.Conn
-	wmu  sync.Mutex
-	in   *inbox
+	rank     int
+	conn     net.Conn
+	wmu      sync.Mutex
+	in       *inbox
+	dropOnce sync.Once
+}
+
+// pump moves frames from the wire into the inbox until the connection
+// breaks. Frames arriving after the inbox has closed (shutdown race, or a
+// peer still flushing) are counted and logged once instead of silently
+// vanishing, and the pump keeps draining the connection so the peer's
+// writes never block on a full socket buffer.
+func (t *tcpTransport) pump(r io.Reader) {
+	br := bufio.NewReader(r)
+	for {
+		_, src, tag, payload, err := readFrame(br)
+		if err != nil {
+			t.in.close()
+			return
+		}
+		if err := t.in.put(message{src: src, tag: tag, data: payload}); err != nil {
+			obs.Add("mpi/dropped_frames", 1)
+			t.dropOnce.Do(func() {
+				log.Printf("mpi: rank %d dropping frames arriving after inbox close (first: src=%d tag=%d, %d bytes); counting in mpi/dropped_frames", t.rank, src, tag, len(payload))
+			})
+		}
+	}
 }
 
 // DialTCP connects rank to a coordinator and returns a Comm over the TCP
 // transport. Close shuts the connection down; pending Recvs fail.
 func DialTCP(addr string, rank, size int, model CostModel) (*Comm, func() error, error) {
+	return DialTCPResilient(addr, rank, size, model, nil, nil)
+}
+
+// DialTCPResilient is DialTCP with optional fault injection and reliable
+// delivery layered over the connection: chaos (when non-nil and enabled)
+// injects the seeded fault schedule, reliable (when non-nil) adds
+// sequence-numbered idempotent delivery, retries, and the heartbeat
+// failure detector. The returned close function stops the heartbeat sender
+// before closing the connection.
+func DialTCPResilient(addr string, rank, size int, model CostModel, chaos *ChaosSpec, reliable *ReliableConfig) (*Comm, func() error, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("mpi: rank %d dial: %w", rank, err)
@@ -153,21 +191,26 @@ func DialTCP(addr string, rank, size int, model CostModel) (*Comm, func() error,
 		conn.Close()
 		return nil, nil, fmt.Errorf("mpi: rank %d hello: %w", rank, err)
 	}
-	tr := &tcpTransport{rank: rank, conn: conn, in: newInbox()}
-	go func() {
-		br := bufio.NewReader(conn)
-		for {
-			_, src, tag, payload, err := readFrame(br)
-			if err != nil {
-				tr.in.close()
-				return
-			}
-			if err := tr.in.put(message{src: src, tag: tag, data: payload}); err != nil {
-				return // inbox closed under us; drop the pump
-			}
+	base := &tcpTransport{rank: rank, conn: conn, in: newInbox()}
+	go base.pump(conn)
+	var tr Transport = base
+	if chaos != nil && chaos.Enabled() {
+		tr = NewFaultTransport(tr, rank, *chaos)
+	}
+	if reliable != nil {
+		rt, err := newReliable(tr, rank, size, *reliable)
+		if err != nil {
+			conn.Close()
+			return nil, nil, err
 		}
-	}()
-	closeFn := func() error { return conn.Close() }
+		tr = rt
+	}
+	closeFn := func() error {
+		if c, ok := tr.(transportCloser); ok {
+			return c.Close()
+		}
+		return conn.Close()
+	}
 	return &Comm{rank: rank, size: size, model: model, track: obs.AnonTrack, tr: tr}, closeFn, nil
 }
 
@@ -184,3 +227,16 @@ func (t *tcpTransport) Recv(src, tag int) ([]byte, int, error) {
 	}
 	return m.data, m.src, nil
 }
+
+func (t *tcpTransport) RecvDeadline(src, tag int, deadline time.Time) ([]byte, int, int, bool, error) {
+	m, ok, timedOut := t.in.getDeadline(src, tag, deadline)
+	if timedOut {
+		return nil, 0, 0, true, nil
+	}
+	if !ok {
+		return nil, 0, 0, false, fmt.Errorf("mpi: rank %d connection closed while waiting for src=%d tag=%d", t.rank, src, tag)
+	}
+	return m.data, m.src, m.tag, false, nil
+}
+
+func (t *tcpTransport) Close() error { return t.conn.Close() }

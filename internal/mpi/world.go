@@ -15,6 +15,35 @@ type World struct {
 	model   CostModel
 	inboxes []*inbox
 	speeds  []float64 // per-rank relative compute speed; nil = homogeneous
+
+	chaos    *ChaosSpec      // fault schedule; nil = clean transport
+	reliable *ReliableConfig // reliable layer; nil = raw transport
+	faults   []*FaultTransport
+}
+
+// WithChaos layers the fault schedule under every rank's transport in the
+// next Run. Almost always combined with WithReliable — the raw collectives
+// assume lossless delivery.
+func (w *World) WithChaos(spec ChaosSpec) *World {
+	w.chaos = &spec
+	return w
+}
+
+// WithReliable layers sequence-numbered idempotent delivery, bounded
+// retries, and the heartbeat failure detector over every rank's transport
+// in the next Run.
+func (w *World) WithReliable(cfg ReliableConfig) *World {
+	w.reliable = &cfg
+	return w
+}
+
+// FaultLog returns the fault sequence injected at the given rank during
+// the last chaotic Run (nil without WithChaos).
+func (w *World) FaultLog(rank int) []FaultEvent {
+	if w.faults == nil || rank < 0 || rank >= len(w.faults) || w.faults[rank] == nil {
+		return nil
+	}
+	return w.faults[rank].Log()
 }
 
 // NewWorld creates a world of the given size with a communication cost
@@ -68,12 +97,35 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 	errs := make([]error, w.size)
 	comms := make([]*Comm, w.size)
 	observed := obs.Enabled()
-	var wg sync.WaitGroup
+	w.faults = make([]*FaultTransport, w.size)
+	closers := make([]transportCloser, 0, w.size)
+	reliables := make([]*reliableTransport, w.size)
+	// fnWg tracks fn completions; ranks then drain their reliable
+	// transports (re-acking stragglers' retransmits) until every rank's fn
+	// has returned, so a lost final ack can't strand a peer in retries.
+	var wg, fnWg sync.WaitGroup
+	stopDrain := make(chan struct{})
 	for r := 0; r < w.size; r++ {
+		var tr Transport = &chanTransport{rank: r, inboxes: w.inboxes}
+		if w.chaos != nil && w.chaos.Enabled() {
+			ft := NewFaultTransport(tr, r, *w.chaos)
+			w.faults[r] = ft
+			tr = ft
+		}
+		if w.reliable != nil {
+			rt, err := newReliable(tr, r, w.size, *w.reliable)
+			if err != nil {
+				errs[r] = err
+				continue
+			}
+			closers = append(closers, rt)
+			reliables[r] = rt
+			tr = rt
+		}
 		comms[r] = &Comm{
 			rank: r, size: w.size, model: w.model, speed: 1,
 			track: obs.AnonTrack,
-			tr:    &chanTransport{rank: r, inboxes: w.inboxes},
+			tr:    tr,
 		}
 		if w.speeds != nil {
 			comms[r].speed = w.speeds[r]
@@ -83,25 +135,38 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 		}
 		comms[r].simComm += w.model.RankStartup
 		wg.Add(1)
+		fnWg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+			func() {
+				defer fnWg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+					}
+				}()
+				c := comms[r]
+				sp := c.span("mpi/rank")
+				start := time.Now()
+				errs[r] = fn(c)
+				wall := time.Since(start)
+				sp.End(obs.I("rank", r))
+				if observed {
+					flushRankMetrics(c, wall)
 				}
 			}()
-			c := comms[r]
-			sp := c.span("mpi/rank")
-			start := time.Now()
-			errs[r] = fn(c)
-			wall := time.Since(start)
-			sp.End(obs.I("rank", r))
-			if observed {
-				flushRankMetrics(c, wall)
+			if rt := reliables[r]; rt != nil {
+				rt.drain(stopDrain)
 			}
 		}(r)
 	}
+	fnWg.Wait()
+	close(stopDrain)
 	wg.Wait()
+	// Stop heartbeat senders before the inboxes close under them.
+	for _, c := range closers {
+		_ = c.Close()
+	}
 	for _, ib := range w.inboxes {
 		ib.close()
 	}

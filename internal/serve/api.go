@@ -44,10 +44,16 @@ type RecoverResponse struct {
 	R          [][]float64 `json:"r"`
 	Iterations int         `json:"iterations"`
 	Residual   float64     `json:"residual"`
-	Cache      string      `json:"cache"` // "hit" (warm start used) or "miss"
+	Cache      string      `json:"cache"` // "hit" (warm start used), "miss", or "stale" (degraded)
 	BatchSize  int         `json:"batch_size"`
 	QueuedMS   float64     `json:"queued_ms"`
 	SolveMS    float64     `json:"solve_ms"`
+	// Degraded marks a stale-cache answer served because the live pipeline
+	// could not run this request (saturation, deadline, or an open circuit
+	// breaker). R is then the last good recovery for this geometry, not a
+	// recovery of the submitted Z.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // MeasureRequest is the POST /v1/measure body: a resistance field to run
@@ -62,10 +68,15 @@ type MeasureRequest struct {
 // MeasureResponse is the POST /v1/measure reply.
 type MeasureResponse struct {
 	Z         [][]float64 `json:"z"`
-	Cache     string      `json:"cache"` // "hit" (factorization reused) or "miss"
+	Cache     string      `json:"cache"` // "hit" (factorization reused), "miss", or "stale" (degraded)
 	BatchSize int         `json:"batch_size"`
 	QueuedMS  float64     `json:"queued_ms"`
 	SolveMS   float64     `json:"solve_ms"`
+	// Degraded marks a stale-cache answer: the last measured Z for this
+	// geometry, which may correspond to a different R than the one
+	// submitted.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 reply.

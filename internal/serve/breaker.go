@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"parma/internal/obs"
+)
+
+// breakerState is the classic three-state circuit-breaker lifecycle.
+type breakerState uint8
+
+const (
+	bClosed breakerState = iota
+	bOpen
+	bHalfOpen
+)
+
+// breaker tracks one geometry keyspace's health. A keyspace is the natural
+// failure domain here: factorization cost, warm-start quality, and solve
+// time all key on geometry, so a pathological 64x64 workload must not shed
+// healthy 8x8 traffic.
+type breaker struct {
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// breakerSet holds one breaker per geometry keyspace. Keyspaces with no
+// recorded failures carry no entry at all, so the steady state is an empty
+// map and a single mutex acquisition per request.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	openFor   time.Duration
+	m         map[string]*breaker
+}
+
+func newBreakerSet(threshold int, openFor time.Duration) *breakerSet {
+	return &breakerSet{threshold: threshold, openFor: openFor, m: map[string]*breaker{}}
+}
+
+// allow reports whether a request for key may enter the live pipeline.
+// Open breakers refuse everything until openFor elapses, then admit
+// exactly one half-open probe; further requests keep shedding until that
+// probe settles the keyspace's fate via success or failure.
+func (s *breakerSet) allow(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case bClosed:
+		return true
+	case bOpen:
+		if time.Since(b.openedAt) < s.openFor {
+			return false
+		}
+		b.state = bHalfOpen
+		b.probing = true
+		obs.Add("serve/breaker_half_open", 1)
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success closes the keyspace's breaker. Any completed request that is
+// not a saturation/deadline failure counts — including client-data 4xx
+// results, which prove the pipeline itself is healthy.
+func (s *breakerSet) success(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil {
+		return
+	}
+	if b.state != bClosed {
+		obs.Add("serve/breaker_closed", 1)
+	}
+	delete(s.m, key)
+}
+
+// failure records a saturation-class failure (deadline exceeded,
+// cancellation under load). threshold consecutive failures open the
+// breaker; a failed half-open probe re-opens it for another openFor.
+func (s *breakerSet) failure(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil {
+		b = &breaker{}
+		s.m[key] = b
+	}
+	switch b.state {
+	case bHalfOpen:
+		b.state = bOpen
+		b.openedAt = time.Now()
+		b.probing = false
+		obs.Add("serve/breaker_reopened", 1)
+	case bClosed:
+		b.failures++
+		if b.failures >= s.threshold {
+			b.state = bOpen
+			b.openedAt = time.Now()
+			obs.Add("serve/breaker_opened", 1)
+		}
+	}
+	// Already open: stragglers from requests admitted before the trip keep
+	// the window where it is; re-arming openedAt would let a steady trickle
+	// of failures hold the breaker open forever.
+}

@@ -151,3 +151,23 @@ func (c *FactorCache) StoreWarmStart(a grid.Array, r *grid.Field) {
 	}
 	c.put("warm|"+geomKey(a), r.Clone())
 }
+
+// LastZ returns a copy of the most recent measured Z for a's geometry, if
+// any — the stale answer the degraded path serves when the live pipeline
+// cannot run a measurement.
+func (c *FactorCache) LastZ(a grid.Array) (*grid.Field, bool) {
+	v, ok := c.get("lastz|" + geomKey(a))
+	if !ok {
+		return nil, false
+	}
+	return v.(*grid.Field).Clone(), true
+}
+
+// StoreLastZ records z (cloned) as the stale-fallback measurement for a's
+// geometry.
+func (c *FactorCache) StoreLastZ(a grid.Array, z *grid.Field) {
+	if z == nil {
+		return
+	}
+	c.put("lastz|"+geomKey(a), z.Clone())
+}

@@ -237,5 +237,6 @@ func (s *Server) runMeasure(t *task) taskResult {
 			z.Set(i, j, sol.EffectiveResistance(i, j))
 		}
 	}
+	s.cache.StoreLastZ(t.arr, z)
 	return taskResult{field: z, cacheHit: hit}
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +43,17 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// MaxDim rejects geometries larger than MaxDim per side. Zero selects 64.
 	MaxDim int
+	// RetryAfter is the backoff hint attached (as a Retry-After header) to
+	// shed requests: 429 backpressure, 503 drain/deadline sheds, and open
+	// circuit breakers. Zero selects 1s.
+	RetryAfter time.Duration
+	// BreakerThreshold is how many consecutive saturation-class failures
+	// (deadline exceeded, cancellation under load) open a geometry
+	// keyspace's circuit breaker. Zero selects 5.
+	BreakerThreshold int
+	// BreakerOpenFor is how long an open breaker sheds (or serves stale)
+	// before letting a half-open probe through. Zero selects 5s.
+	BreakerOpenFor time.Duration
 	// EnablePprof mounts /debug/pprof/* on the handler.
 	EnablePprof bool
 	// Recorder, when set, is served by GET /metrics. (Installing it as the
@@ -70,6 +83,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxDim <= 0 {
 		c.MaxDim = 64
 	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 5 * time.Second
+	}
 	return c
 }
 
@@ -85,9 +107,10 @@ var (
 // dispatcher, worker pool, and factorization cache behind an HTTP handler.
 // Create with NewServer, serve via Handler, stop with Drain.
 type Server struct {
-	cfg   Config
-	cache *FactorCache
-	start time.Time
+	cfg      Config
+	cache    *FactorCache
+	breakers *breakerSet
+	start    time.Time
 
 	intake chan *task
 	work   chan []*task
@@ -115,6 +138,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:            cfg,
 		cache:          NewFactorCache(cfg.CacheEntries),
+		breakers:       newBreakerSet(cfg.BreakerThreshold, cfg.BreakerOpenFor),
 		start:          time.Now(),
 		intake:         make(chan *task, cfg.QueueDepth),
 		work:           make(chan []*task),
@@ -238,17 +262,94 @@ func admissionStatus(err error) int {
 	return http.StatusServiceUnavailable
 }
 
+// shed refuses a request with backpressure semantics: the Retry-After
+// header tells well-behaved clients when to come back instead of
+// hammering a saturated server.
+func (s *Server) shed(w http.ResponseWriter, status int, err error) {
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	obs.Add("serve/shed_total", 1)
+	writeErr(w, status, err)
+}
+
+// serveStale answers t from the geometry-keyed stale cache when the live
+// pipeline cannot: the last recovered R for /v1/recover, the last
+// measured Z for /v1/measure. The reply is explicit about its provenance
+// (degraded: true, cache: "stale"); clients that cannot tolerate a stale
+// answer retry after the Retry-After hint instead. Reports whether a
+// response was written.
+func (s *Server) serveStale(w http.ResponseWriter, t *task, reason string) bool {
+	var f *grid.Field
+	var ok bool
+	switch t.kind {
+	case kindRecover:
+		f, ok = s.cache.WarmStart(t.arr)
+	case kindMeasure:
+		f, ok = s.cache.LastZ(t.arr)
+	}
+	if !ok {
+		return false
+	}
+	obs.Add("serve/degraded_total", 1)
+	if t.kind == kindRecover {
+		writeJSON(w, http.StatusOK, RecoverResponse{
+			R: rowsFromField(f), Cache: "stale",
+			Degraded: true, DegradedReason: reason,
+		})
+	} else {
+		writeJSON(w, http.StatusOK, MeasureResponse{
+			Z: rowsFromField(f), Cache: "stale",
+			Degraded: true, DegradedReason: reason,
+		})
+	}
+	return true
+}
+
 // runViaQueue admits t and waits for its result or the request context.
+// It is also where graceful degradation lives: an open circuit breaker or
+// a saturated queue falls back to a stale cached answer when one exists
+// and sheds with Retry-After when none does. Draining is not degradable —
+// the server is going away and clients must fail over, not limp along on
+// stale data.
 func (s *Server) runViaQueue(w http.ResponseWriter, t *task, cancel context.CancelFunc) (taskResult, bool) {
 	defer cancel()
+	gk := geomKey(t.arr)
+	if !s.breakers.allow(gk) {
+		obs.Add("serve/breaker_shed", 1)
+		if s.serveStale(w, t, "circuit breaker open for geometry "+gk) {
+			return taskResult{}, false
+		}
+		s.shed(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: circuit breaker open for geometry %s", gk))
+		return taskResult{}, false
+	}
 	if err := s.admit(t); err != nil {
-		writeErr(w, admissionStatus(err), err)
+		if errors.Is(err, ErrQueueFull) && s.serveStale(w, t, "solver pool saturated") {
+			return taskResult{}, false
+		}
+		s.shed(w, admissionStatus(err), err)
 		return taskResult{}, false
 	}
 	// Wait for the worker even past the deadline: it observes the same ctx
 	// and replies promptly with 503, which keeps the single producer of
 	// t.done unambiguous.
 	res := <-t.done
+	if res.err != nil && res.status == http.StatusServiceUnavailable {
+		// Saturation-class failure: deadline burned in the queue or the
+		// solve was cancelled. Feed the breaker, then degrade if possible.
+		s.breakers.failure(gk)
+		if s.serveStale(w, t, res.err.Error()) {
+			return taskResult{}, false
+		}
+		s.shed(w, res.status, res.err)
+		return taskResult{}, false
+	}
+	// Any other completed outcome — success or a client-data 4xx — proves
+	// the keyspace's pipeline is healthy.
+	s.breakers.success(gk)
 	if res.err != nil {
 		writeErr(w, res.status, res.err)
 		return taskResult{}, false
