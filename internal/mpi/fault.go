@@ -367,8 +367,10 @@ func (f *FaultTransport) RecvDeadline(src, tag int, deadline time.Time) ([]byte,
 	}
 	dt, ok := f.inner.(deadlineTransport)
 	if !ok {
-		data, actual, err := f.inner.Recv(src, tag)
-		return data, actual, tag, false, err
+		// Falling back to a blocking Recv would ignore the deadline and
+		// could only echo the requested tag (possibly AnyTag) back as the
+		// actual one, misrouting any caller that demultiplexes by tag.
+		return nil, 0, 0, false, fmt.Errorf("mpi: fault transport needs a deadline-capable inner transport for RecvDeadline, got %T", f.inner)
 	}
 	return dt.RecvDeadline(src, tag, deadline)
 }

@@ -34,6 +34,8 @@ const (
 	kAck       byte = 0xA2 // acknowledges the seq in the header
 	kHeartbeat byte = 0xA3 // liveness beacon, never delivered
 	kDataNoAck byte = 0xA4 // fire-and-forget payload, deduplicated only
+	kReset     byte = 0xA5 // sequence resync: expect the seq in the header next
+	kResetAck  byte = 0xA6 // acknowledges a kReset (separate from data acks)
 )
 
 const frameHeaderLen = 9
@@ -56,7 +58,7 @@ func parseFrameHeader(data []byte) (kind byte, seq uint64, ok bool) {
 		return 0, 0, false
 	}
 	switch data[0] {
-	case kData, kAck, kHeartbeat, kDataNoAck:
+	case kData, kAck, kHeartbeat, kDataNoAck, kReset, kResetAck:
 		return data[0], binary.LittleEndian.Uint64(data[1:]), true
 	}
 	return 0, 0, false
@@ -123,6 +125,7 @@ type reliableTransport struct {
 	cfg     ReliableConfig
 
 	nextSeq   []uint64             // per-dst data sequence
+	needReset []bool               // per-dst: a failed Send burned a seq; resync before new data
 	noackSeq  []uint64             // per-dst no-ack sequence
 	expect    []uint64             // per-src next in-order data seq
 	ooo       []map[uint64]message // per-src early frames awaiting their turn
@@ -150,6 +153,7 @@ func newReliable(inner Transport, rank, size int, cfg ReliableConfig) (*reliable
 		size:      size,
 		cfg:       cfg,
 		nextSeq:   make([]uint64, size),
+		needReset: make([]bool, size),
 		noackSeq:  make([]uint64, size),
 		expect:    make([]uint64, size),
 		ooo:       make([]map[uint64]message, size),
@@ -221,8 +225,17 @@ func (t *reliableTransport) backoff(attempt int) time.Duration {
 
 // Send delivers data to dst exactly once (from the receiver's point of
 // view), retrying unacknowledged frames with backoff. A peer that never
-// acknowledges within MaxAttempts is reported dead.
+// acknowledges within MaxAttempts is reported dead. A failed Send burns
+// its sequence number; the next Send to the same peer resynchronizes
+// first, so a peer that was merely slow or partitioned (and later
+// rejoins) does not park every subsequent frame in its reorder buffer
+// waiting for the gap to fill.
 func (t *reliableTransport) Send(dst, tag int, data []byte) error {
+	if t.needReset[dst] {
+		if err := t.resync(dst); err != nil {
+			return err
+		}
+	}
 	seq := t.nextSeq[dst]
 	t.nextSeq[dst]++
 	frame := encodeFrame(kData, seq, data)
@@ -234,7 +247,7 @@ func (t *reliableTransport) Send(dst, tag int, data []byte) error {
 			return err // own crash or closed world: not retryable
 		}
 		deadline := time.Now().Add(t.backoff(attempt))
-		acked, err := t.awaitAck(dst, seq, deadline)
+		acked, err := t.awaitAck(dst, seq, kAck, deadline)
 		if err != nil {
 			return err
 		}
@@ -242,14 +255,47 @@ func (t *reliableTransport) Send(dst, tag int, data []byte) error {
 			return nil
 		}
 	}
+	t.needReset[dst] = true
 	obs.Add("mpi/rank_dead_detected", 1)
 	return &RankDeadError{Rank: dst, Reason: fmt.Sprintf("%d send attempts unacknowledged", t.cfg.MaxAttempts)}
 }
 
-// awaitAck pumps incoming frames until the ack for (dst, seq) arrives or
-// the deadline passes. Data frames arriving meanwhile are acked and
-// buffered, so two ranks mid-Send at each other cannot deadlock.
-func (t *reliableTransport) awaitAck(dst int, seq uint64, deadline time.Time) (bool, error) {
+// resync realigns dst's expected sequence after a failed Send burned one
+// or more numbers. The kReset frame tells the receiver "my next data seq
+// is N": it advances expect past the gap and discards stale early frames,
+// so delivery resumes whether or not the burned frame ever arrived. The
+// handshake is acked on a dedicated kind (kResetAck) so a duplicated
+// reset ack can never satisfy a data Send whose frame was lost.
+func (t *reliableTransport) resync(dst int) error {
+	seq := t.nextSeq[dst]
+	frame := encodeFrame(kReset, seq, nil)
+	for attempt := 1; attempt <= t.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			obs.Add("mpi/send_retries", 1)
+		}
+		if err := t.inner.Send(dst, ctlTag, frame); err != nil {
+			return err // own crash or closed world: not retryable
+		}
+		deadline := time.Now().Add(t.backoff(attempt))
+		acked, err := t.awaitAck(dst, seq, kResetAck, deadline)
+		if err != nil {
+			return err
+		}
+		if acked {
+			t.needReset[dst] = false
+			obs.Add("mpi/seq_resync", 1)
+			return nil
+		}
+	}
+	obs.Add("mpi/rank_dead_detected", 1)
+	return &RankDeadError{Rank: dst, Reason: fmt.Sprintf("%d resync attempts unacknowledged", t.cfg.MaxAttempts)}
+}
+
+// awaitAck pumps incoming frames until an ack of the given kind for
+// (dst, seq) arrives or the deadline passes. Data frames arriving
+// meanwhile are acked and buffered, so two ranks mid-Send at each other
+// cannot deadlock.
+func (t *reliableTransport) awaitAck(dst int, seq uint64, want byte, deadline time.Time) (bool, error) {
 	for {
 		raw, src, tag, timedOut, err := t.innerDL.RecvDeadline(AnySource, AnyTag, deadline)
 		if err != nil {
@@ -258,11 +304,11 @@ func (t *reliableTransport) awaitAck(dst int, seq uint64, deadline time.Time) (b
 		if timedOut {
 			return false, nil
 		}
-		ackSrc, ackSeq, isAck, err := t.processFrame(src, tag, raw)
+		ackSrc, ackSeq, ackKind, err := t.processFrame(src, tag, raw)
 		if err != nil {
 			return false, err
 		}
-		if isAck && ackSrc == dst && ackSeq == seq {
+		if ackKind == want && ackSrc == dst && ackSeq == seq {
 			return true, nil
 		}
 	}
@@ -278,9 +324,10 @@ func (t *reliableTransport) SendNoAck(dst, tag int, data []byte) error {
 }
 
 // processFrame handles one raw arrival: refresh liveness, ack and order
-// data, dedup, and stash deliverables. For ack frames it returns the
-// (src, seq) pair so a waiting Send can match it.
-func (t *reliableTransport) processFrame(src, tag int, raw []byte) (ackSrc int, ackSeq uint64, isAck bool, err error) {
+// data, dedup, and stash deliverables. For ack frames (kAck, kResetAck)
+// it returns the (src, seq, kind) triple so a waiting Send or resync can
+// match it; ackKind is zero otherwise.
+func (t *reliableTransport) processFrame(src, tag int, raw []byte) (ackSrc int, ackSeq uint64, ackKind byte, err error) {
 	if src >= 0 && src < t.size {
 		t.lastSeen[src] = time.Now()
 	}
@@ -288,14 +335,33 @@ func (t *reliableTransport) processFrame(src, tag int, raw []byte) (ackSrc int, 
 	if !framed {
 		// Raw payload from a non-reliable peer: deliver as-is.
 		t.pending = append(t.pending, message{src: src, tag: tag, data: raw})
-		return 0, 0, false, nil
+		return 0, 0, 0, nil
 	}
 	payload := raw[frameHeaderLen:]
 	switch kind {
 	case kHeartbeat:
 		// Liveness only.
-	case kAck:
-		return src, seq, true, nil
+	case kAck, kResetAck:
+		return src, seq, kind, nil
+	case kReset:
+		// Always ack — the sender retries the reset until acked. expect
+		// only moves forward: a stale duplicate must not rewind it, or
+		// already-delivered data would be delivered again on retransmit.
+		if err := t.inner.Send(src, ctlTag, encodeFrame(kResetAck, seq, nil)); err != nil {
+			return 0, 0, 0, err
+		}
+		if seq > t.expect[src] {
+			obs.Add("mpi/seq_resync", 1)
+			// Early frames below the new base are from burned sends the
+			// peer has given up on; they will never be completed.
+			for s := range t.ooo[src] {
+				if s < seq {
+					delete(t.ooo[src], s)
+				}
+			}
+			t.expect[src] = seq
+			t.drainOOO(src)
+		}
 	case kDataNoAck:
 		seen := t.noackSeen[src]
 		if seen == nil {
@@ -304,7 +370,7 @@ func (t *reliableTransport) processFrame(src, tag int, raw []byte) (ackSrc int, 
 		}
 		if seen[seq] {
 			obs.Add("mpi/dedup_dropped", 1)
-			return 0, 0, false, nil
+			return 0, 0, 0, nil
 		}
 		seen[seq] = true
 		t.pending = append(t.pending, message{src: src, tag: tag, data: payload})
@@ -312,7 +378,7 @@ func (t *reliableTransport) processFrame(src, tag int, raw []byte) (ackSrc int, 
 		// Always ack — the sender may be retrying a frame whose first ack
 		// was lost.
 		if err := t.inner.Send(src, ctlTag, encodeFrame(kAck, seq, nil)); err != nil {
-			return 0, 0, false, err
+			return 0, 0, 0, err
 		}
 		switch {
 		case seq < t.expect[src]:
@@ -333,7 +399,7 @@ func (t *reliableTransport) processFrame(src, tag int, raw []byte) (ackSrc int, 
 			}
 		}
 	}
-	return 0, 0, false, nil
+	return 0, 0, 0, nil
 }
 
 // drainOOO promotes consecutively-sequenced early frames to deliverable.

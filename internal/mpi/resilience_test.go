@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -311,5 +312,107 @@ func TestResilientFormationSurvivesCrash(t *testing.T) {
 	}
 	if rootRes.Redistributed == 0 {
 		t.Fatal("crash mid-formation redistributed no blocks; crash step too late to matter")
+	}
+}
+
+// gateTransport swallows outbound kData frames while blocked, simulating a
+// one-way outage (the control plane — acks, resets — stays up). Unlike the
+// chaos partition, it heals on demand rather than on the step clock.
+type gateTransport struct {
+	inner   *chanTransport
+	blocked atomic.Bool
+}
+
+func (g *gateTransport) Send(dst, tag int, data []byte) error {
+	if g.blocked.Load() {
+		if kind, _, framed := parseFrameHeader(data); framed && kind == kData {
+			return nil
+		}
+	}
+	return g.inner.Send(dst, tag, data)
+}
+
+func (g *gateTransport) Recv(src, tag int) ([]byte, int, error) {
+	return g.inner.Recv(src, tag)
+}
+
+func (g *gateTransport) RecvDeadline(src, tag int, deadline time.Time) ([]byte, int, int, bool, error) {
+	return g.inner.RecvDeadline(src, tag, deadline)
+}
+
+// TestSendResyncAfterPeerRejoins reproduces the seq-burn wedge: a Send that
+// exhausts its retries burns a sequence number, and before the resync
+// handshake existed the next Send to a healed peer parked forever in the
+// receiver's reorder buffer (gap at the burned seq) while still being
+// acked — the sender believed it delivered, the receiver never saw it.
+func TestSendResyncAfterPeerRejoins(t *testing.T) {
+	inboxes := []*inbox{newInbox(), newInbox()}
+	defer func() {
+		for _, ib := range inboxes {
+			ib.close()
+		}
+	}()
+	cfg := ReliableConfig{
+		MaxAttempts:    3,
+		RetryBase:      time.Millisecond,
+		RetryMax:       4 * time.Millisecond,
+		HeartbeatEvery: -1, // the test owns all traffic
+		SuspectAfter:   -1,
+	}
+	gate := &gateTransport{inner: &chanTransport{rank: 0, inboxes: inboxes}}
+	gate.blocked.Store(true)
+	t0, err := newReliable(gate, 0, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := newReliable(&chanTransport{rank: 1, inboxes: inboxes}, 1, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recvd := make(chan []byte, 4)
+	go func() {
+		for {
+			data, _, err := t1.Recv(0, 7)
+			if err != nil {
+				return // inbox closed at test end
+			}
+			recvd <- data
+		}
+	}()
+
+	if err := t0.Send(1, 7, []byte("lost")); !errors.Is(err, ErrRankDead) {
+		t.Fatalf("gated send error = %v, want ErrRankDead", err)
+	}
+	gate.blocked.Store(false) // the peer was alive all along; the path heals
+
+	if err := t0.Send(1, 7, []byte("after rejoin")); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	select {
+	case got := <-recvd:
+		if string(got) != "after rejoin" {
+			t.Fatalf("delivered %q, want %q", got, "after rejoin")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message after rejoin never delivered: burned seq wedged the receiver")
+	}
+}
+
+// recvOnlyTransport implements Transport but not deadlineTransport.
+type recvOnlyTransport struct{}
+
+func (recvOnlyTransport) Send(dst, tag int, data []byte) error   { return nil }
+func (recvOnlyTransport) Recv(src, tag int) ([]byte, int, error) { select {} }
+
+// TestFaultRecvDeadlineRequiresDeadlineInner: the fault decorator must
+// refuse deadline receives over an inner transport that cannot honor them,
+// instead of silently blocking and echoing the requested tag (possibly
+// AnyTag) back as the matched one.
+func TestFaultRecvDeadlineRequiresDeadlineInner(t *testing.T) {
+	f := NewFaultTransport(recvOnlyTransport{}, 0, NoChaos)
+	_, _, _, _, err := f.RecvDeadline(0, AnyTag, time.Now().Add(time.Millisecond))
+	if err == nil {
+		t.Fatal("RecvDeadline over a non-deadline inner transport must return an error")
 	}
 }

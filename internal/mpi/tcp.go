@@ -3,6 +3,7 @@ package mpi
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -107,7 +108,9 @@ func (co *Coordinator) Serve() error {
 			for {
 				dst, src, tag, payload, err := readFrame(br)
 				if err != nil {
-					if err != io.EOF {
+					// EOF is a clean shutdown; ErrClosed means the routing
+					// side below severed this connection deliberately.
+					if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 						errs[rank] = err
 					}
 					return
@@ -118,14 +121,17 @@ func (co *Coordinator) Serve() error {
 				}
 				co.wmu[dst].Lock()
 				err = writeFrame(co.conns[dst], dst, src, tag, payload)
-				co.wmu[dst].Unlock()
 				if err != nil {
 					// A dead destination (crashed rank) must not take the
 					// whole fabric down: count the undeliverable frame and
-					// keep routing for the survivors.
+					// keep routing for the survivors. The write may have been
+					// partial, leaving dst's byte stream desynchronized, so
+					// sever the connection — later frames would be parsed as
+					// garbage, and a closed conn fails fast and cleanly.
 					obs.Add("mpi/coordinator_undeliverable", 1)
-					continue
+					_ = co.conns[dst].Close()
 				}
+				co.wmu[dst].Unlock()
 			}
 		}(rank, conn)
 	}

@@ -1,8 +1,13 @@
 package mpi
 
 import (
+	"bufio"
+	"encoding/binary"
+	"net"
+
 	"fmt"
 	"math"
+	"parma/internal/obs"
 	"sync"
 	"testing"
 	"time"
@@ -135,5 +140,85 @@ func TestCoordinatorRejectsBadRank(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("coordinator did not reject the bad rank")
+	}
+}
+
+// dialRaw opens a raw framed connection to the coordinator and performs
+// the rank handshake, bypassing DialTCP so tests can drive the wire
+// protocol directly.
+func dialRaw(t *testing.T, addr string, rank int) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(int32(rank)))
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestCoordinatorSeversDestinationOnWriteError: when a write to a
+// destination fails, the stream may be desynchronized by a partial frame,
+// so the coordinator must sever that connection — not leave it half
+// written — while continuing to route for the survivors and still
+// terminating cleanly (a deliberately severed conn is not an error).
+func TestCoordinatorSeversDestinationOnWriteError(t *testing.T) {
+	rec := obs.NewRecorder()
+	obs.Enable(rec)
+	defer obs.Disable()
+
+	co, err := NewCoordinator("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- co.Serve() }()
+
+	conns := make([]net.Conn, 3)
+	for r := range conns {
+		conns[r] = dialRaw(t, co.Addr(), r)
+	}
+
+	// Rank 2 crashes. Rank 0 keeps sending to it until the coordinator's
+	// writes start failing (the first may land in the kernel buffer before
+	// the RST arrives); each failure must be counted and must not take the
+	// routing loop down.
+	conns[2].Close()
+	undeliverable := rec.Registry().Counter("mpi/coordinator_undeliverable")
+	deadline := time.After(5 * time.Second)
+	for undeliverable.Value() == 0 {
+		if err := writeFrame(conns[0], 2, 0, 4, []byte("doomed")); err != nil {
+			t.Fatalf("rank 0's own connection failed: %v", err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("coordinator never observed a write error to the crashed rank")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Survivor traffic still flows.
+	if err := writeFrame(conns[0], 1, 0, 7, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	_, src, tag, payload, err := readFrame(bufio.NewReader(conns[1]))
+	if err != nil || src != 0 || tag != 7 || string(payload) != "alive" {
+		t.Fatalf("survivor frame = (src=%d tag=%d %q, %v), want (0, 7, \"alive\")", src, tag, payload, err)
+	}
+
+	// Clean shutdown: the severed destination must not surface as a Serve
+	// error, only genuine protocol violations should.
+	conns[0].Close()
+	conns[1].Close()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("coordinator error after sever: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not terminate after survivors closed")
 	}
 }

@@ -88,6 +88,26 @@ func (s *breakerSet) success(key string) {
 	delete(s.m, key)
 }
 
+// refused settles a half-open probe that never entered the pipeline
+// because admission turned it away: the keyspace goes back to open for
+// another openFor window so a later probe can retry. Without this the
+// probe would leak probing=true forever — no request could ever settle
+// it, and the keyspace would shed until process restart. Closed and
+// already-open breakers are untouched: plain backpressure on a healthy
+// keyspace says nothing about its pipeline and must not trip the breaker.
+func (s *breakerSet) refused(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil || b.state != bHalfOpen {
+		return
+	}
+	b.state = bOpen
+	b.openedAt = time.Now()
+	b.probing = false
+	obs.Add("serve/breaker_reopened", 1)
+}
+
 // failure records a saturation-class failure (deadline exceeded,
 // cancellation under load). threshold consecutive failures open the
 // breaker; a failed half-open probe re-opens it for another openFor.

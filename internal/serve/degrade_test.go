@@ -202,3 +202,63 @@ func TestBreakerOpensShedsAndRecovers(t *testing.T) {
 		}
 	}
 }
+
+// TestBreakerProbeSettlesOnAdmissionFailure: a half-open probe refused at
+// admission (queue full) must settle the breaker — re-opening it — rather
+// than leak probing=true, which would wedge the keyspace into shedding
+// forever with no request ever allowed to retry it. Queue-full at probe
+// time is the likely case: the breaker opened under the same saturation.
+func TestBreakerProbeSettlesOnAdmissionFailure(t *testing.T) {
+	_, hs := newTestServer(t, Config{
+		Workers:          1,
+		QueueDepth:       1,
+		BatchWindow:      300 * time.Millisecond,
+		MaxBatch:         100,
+		BreakerThreshold: 2,
+		BreakerOpenFor:   150 * time.Millisecond,
+	})
+	_, z5 := workload(t, 5)
+	doomed := RecoverRequest{Rows: 5, Cols: 5, Z: rowsFromField(z5), DeadlineMS: 1}
+	healthy := RecoverRequest{Rows: 5, Cols: 5, Z: rowsFromField(z5)}
+
+	// Two deadline-in-queue failures trip the 5x5 breaker.
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, hs.Client(), hs.URL+"/v1/recover", doomed)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("doomed request %d: status %d, want 503: %s", i, resp.StatusCode, body)
+		}
+	}
+	time.Sleep(200 * time.Millisecond) // open window elapses: next request probes
+
+	// Saturate the queue with a different geometry so the 5x5 probe is
+	// refused at admission, not by its own breaker.
+	_, z4 := workload(t, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postJSON(t, hs.Client(), hs.URL+"/v1/recover",
+			RecoverRequest{Rows: 4, Cols: 4, Z: rowsFromField(z4)})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	resp, body := postJSON(t, hs.Client(), hs.URL+"/v1/recover", healthy)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("refused probe: status %d, want 429: %s", resp.StatusCode, body)
+	}
+	wg.Wait() // queue drains
+
+	// The refused probe re-opened the breaker; after another open window a
+	// fresh probe must be admitted and close it for good.
+	time.Sleep(200 * time.Millisecond)
+	resp, body = postJSON(t, hs.Client(), hs.URL+"/v1/recover", healthy)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after requeue window: status %d, want 200: %s", resp.StatusCode, body)
+	}
+	var out RecoverResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Degraded {
+		t.Errorf("recovered probe still degraded (reason %q), want live answer", out.DegradedReason)
+	}
+}

@@ -327,6 +327,12 @@ func (s *Server) runViaQueue(w http.ResponseWriter, t *task, cancel context.Canc
 		return taskResult{}, false
 	}
 	if err := s.admit(t); err != nil {
+		// allow() above may have released a half-open probe; a probe turned
+		// away by admission MUST still settle the breaker, or probing=true
+		// leaks forever and no later request can ever retry the keyspace.
+		// Queue-full at probe time is the common case — the breaker opened
+		// under the same saturation.
+		s.breakers.refused(gk)
 		if errors.Is(err, ErrQueueFull) && s.serveStale(w, t, "solver pool saturated") {
 			return taskResult{}, false
 		}
