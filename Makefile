@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke vet parmavet fmt figures examples obs-smoke serve-smoke chaos-smoke fuzz-smoke clean
+.PHONY: all build test race lint bench bench-smoke vet parmavet fmt figures examples obs-smoke serve-smoke chaos-smoke trace-smoke fuzz-smoke clean
 
 all: lint test race build obs-smoke
 
@@ -70,6 +70,15 @@ obs-smoke:
 # drain. See docs/serving.md.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# trace-smoke proves distributed tracing end to end in both deployment
+# shapes: a traced parmad load whose responses carry trace ids and latency
+# breakdowns and whose Chrome trace forms connected per-request span trees
+# from the HTTP handler down to the MPI ranks, then a multi-process
+# parma-mpi run whose per-rank traces merge into one connected job tree.
+# See docs/observability.md.
+trace-smoke:
+	sh scripts/trace-smoke.sh
 
 # chaos-smoke drives the resilience stack end to end: self-healing
 # formation as real TCP processes under seeded faults (bit-identical to

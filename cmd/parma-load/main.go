@@ -51,6 +51,8 @@ type result struct {
 	batch      int
 	degraded   bool
 	retryAfter string
+	timings    *serve.Timings
+	traceID    string
 	err        error
 }
 
@@ -65,7 +67,10 @@ func run(argv []string) error {
 	tol := fs.Float64("tol", 0, "recover tolerance forwarded to the server (0 = server default)")
 	deadline := fs.Int64("deadline", 0, "per-request deadline_ms forwarded to the server (0 = server default)")
 	minHitRate := fs.Float64("min-cache-hit-rate", -1, "exit 1 when the observed cache hit rate is below this (e.g. 0.5); negative disables")
-	checkMetrics := fs.Bool("check-metrics", false, "scrape /metrics afterwards and require batch-size and queue-depth series")
+	checkMetrics := fs.Bool("check-metrics", false, "scrape /metrics afterwards and require batch-size, queue-depth, stage-latency, and RED series")
+	checkTimings := fs.Bool("check-timings", false, "require every OK response's timings stages to sum to within 10% (+2ms) of its total_ms")
+	checkTraces := fs.Bool("check-traces", false, "require every OK response to carry a trace_id")
+	checkSLO := fs.Bool("check-slo", false, "require SLO burn-rate gauges in /metrics (server must run with -slo)")
 	allowShed := fs.Bool("allow-shed", false, "treat 429/503 sheds as expected backpressure instead of failures (each must carry Retry-After)")
 	expectShed := fs.Bool("expect-shed", false, "exit 1 unless at least one request was shed with Retry-After (implies -allow-shed)")
 	expectDegraded := fs.Bool("expect-degraded", false, "exit 1 unless at least one request was served degraded from the stale cache")
@@ -107,6 +112,7 @@ func run(argv []string) error {
 
 	shedOK := *allowShed || *expectShed
 	failures, hits, sheds, shedsNoHint, degraded, degradedBad := 0, 0, 0, 0, 0, 0
+	badTimings, missingTraces := 0, 0
 	for _, r := range results {
 		if r.degraded {
 			degraded++
@@ -117,6 +123,12 @@ func run(argv []string) error {
 		if r.err == nil && r.status == http.StatusOK {
 			if r.cache == "hit" {
 				hits++
+			}
+			if *checkTimings && !r.degraded && !timingsAddUp(r.timings) {
+				badTimings++
+			}
+			if *checkTraces && r.traceID == "" {
+				missingTraces++
 			}
 			continue
 		}
@@ -131,14 +143,28 @@ func run(argv []string) error {
 		failures++
 	}
 	hitRate := float64(hits) / float64(len(results))
-	if *checkMetrics {
-		if err := verifyMetrics(client, base); err != nil {
+	if *checkMetrics || *checkSLO {
+		want := []string{}
+		if *checkMetrics {
+			want = append(want, "parma_serve_batch_size", "parma_serve_queue_depth",
+				"parma_serve_stage_solve_ms", "parma_serve_red_")
+		}
+		if *checkSLO {
+			want = append(want, "parma_slo_objective_ms", "burn_rate_5m", "burn_rate_1h")
+		}
+		if err := verifyMetrics(client, base, want); err != nil {
 			return err
 		}
-		fmt.Println("metrics: batch-size and queue-depth series present")
+		fmt.Println("metrics: required series present")
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d requests failed", failures, len(results))
+	}
+	if badTimings > 0 {
+		return fmt.Errorf("%d responses had timings stages that do not sum to their total", badTimings)
+	}
+	if missingTraces > 0 {
+		return fmt.Errorf("%d OK responses carried no trace_id", missingTraces)
 	}
 	if shedsNoHint > 0 {
 		return fmt.Errorf("%d shed responses were missing the Retry-After header", shedsNoHint)
@@ -233,15 +259,18 @@ func fire(client *http.Client, url string, body []byte) result {
 	}
 	defer resp.Body.Close()
 	var meta struct {
-		Cache     string `json:"cache"`
-		BatchSize int    `json:"batch_size"`
-		Degraded  bool   `json:"degraded"`
-		Error     string `json:"error"`
+		Cache     string         `json:"cache"`
+		BatchSize int            `json:"batch_size"`
+		Degraded  bool           `json:"degraded"`
+		Timings   *serve.Timings `json:"timings"`
+		TraceID   string         `json:"trace_id"`
+		Error     string         `json:"error"`
 	}
 	dec := json.NewDecoder(resp.Body)
 	_ = dec.Decode(&meta)
 	res := result{status: resp.StatusCode, latency: time.Since(start),
 		cache: meta.Cache, batch: meta.BatchSize, degraded: meta.Degraded,
+		timings: meta.Timings, traceID: meta.TraceID,
 		retryAfter: resp.Header.Get("Retry-After")}
 	if resp.StatusCode != http.StatusOK {
 		res.err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, meta.Error)
@@ -309,9 +338,24 @@ func report(w io.Writer, items []workItem, results []result, elapsed time.Durati
 	}
 }
 
-// verifyMetrics scrapes /metrics and requires the serving pipeline's
-// batch-size and queue-depth series to be present.
-func verifyMetrics(client *http.Client, base string) error {
+// timingsAddUp checks the latency-attribution acceptance bar: the stage
+// breakdown must sum to within 10% (plus 2ms absolute slack for very fast
+// requests) of the reported total.
+func timingsAddUp(tm *serve.Timings) bool {
+	if tm == nil {
+		return false
+	}
+	sum := tm.QueueMS + tm.BatchMS + tm.FactorMS + tm.SolveMS
+	diff := tm.TotalMS - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 0.1*tm.TotalMS+2
+}
+
+// verifyMetrics scrapes /metrics and requires each of the wanted series
+// substrings to be present.
+func verifyMetrics(client *http.Client, base string, want []string) error {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return fmt.Errorf("scraping /metrics: %w", err)
@@ -324,9 +368,9 @@ func verifyMetrics(client *http.Client, base string) error {
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"parma_serve_batch_size", "parma_serve_queue_depth"} {
-		if !bytes.Contains(text, []byte(want)) {
-			return fmt.Errorf("/metrics is missing series %s", want)
+	for _, w := range want {
+		if !bytes.Contains(text, []byte(w)) {
+			return fmt.Errorf("/metrics is missing series %s", w)
 		}
 	}
 	return nil

@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"time"
 
 	"parma/internal/experiments"
 	"parma/internal/mpi"
+	"parma/internal/obs"
 )
 
 func main() {
@@ -35,16 +37,17 @@ func main() {
 	seed := flag.Int64("seed", 2022, "workload seed")
 	chaos := flag.String("chaos", "", "seeded fault schedule, e.g. seed=7,drop=0.05,dup=0.05,crash=2@10 (implies -resilient)")
 	resilient := flag.Bool("resilient", false, "use the reliable transport and self-healing formation")
+	traceDir := flag.String("trace-dir", "", "write one Chrome trace per rank (rank<N>.json) into this directory; rank 0 mints the job trace, the others adopt it from frame metadata")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *launch:
-		err = runLaunch(*ranks, *n, *seed, *chaos, *resilient)
+		err = runLaunch(*ranks, *n, *seed, *chaos, *resilient, *traceDir)
 	case *serve != "":
 		err = runServe(*serve, *ranks)
 	case *connect != "":
-		err = runRank(*connect, *rank, *ranks, *n, *seed, *chaos, *resilient)
+		err = runRank(*connect, *rank, *ranks, *n, *seed, *chaos, *resilient, *traceDir)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -89,7 +92,7 @@ func runServe(addr string, ranks int) error {
 	return co.Serve()
 }
 
-func runRank(addr string, rank, ranks, n int, seed int64, chaosSpec string, resilient bool) error {
+func runRank(addr string, rank, ranks, n int, seed int64, chaosSpec string, resilient bool, traceDir string) error {
 	if rank < 0 || rank >= ranks {
 		return fmt.Errorf("rank %d outside world of %d", rank, ranks)
 	}
@@ -106,6 +109,32 @@ func runRank(addr string, rank, ranks, n int, seed int64, chaosSpec string, resi
 		return err
 	}
 	defer closeFn()
+	if traceDir != "" {
+		// Per-rank distributed tracing: every rank seals its frames with the
+		// trace envelope. Rank 0 mints the job's trace id via its root span;
+		// the other processes adopt it from the first frame they receive, so
+		// the per-rank files merge (parma tracemerge) into one connected tree.
+		rec := obs.NewRecorder()
+		obs.Enable(rec)
+		comm.EnableTracePropagation(obs.TraceContext{})
+		var root obs.Span
+		if rank == 0 {
+			root = comm.StartRootSpan("mpi/job")
+		}
+		defer func() {
+			root.End()
+			path := filepath.Join(traceDir, fmt.Sprintf("rank%d.json", rank))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parma-mpi: rank %d trace: %v\n", rank, err)
+				return
+			}
+			if err := rec.WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "parma-mpi: rank %d trace: %v\n", rank, err)
+			}
+			f.Close()
+		}()
+	}
 	start := time.Now()
 	if reliable == nil {
 		res, err := mpi.DistributedFormation(comm, p)
@@ -138,11 +167,16 @@ func runRank(addr string, rank, ranks, n int, seed int64, chaosSpec string, resi
 	return nil
 }
 
-func runLaunch(ranks, n int, seed int64, chaosSpec string, resilient bool) error {
+func runLaunch(ranks, n int, seed int64, chaosSpec string, resilient bool, traceDir string) error {
 	// Validate up front so a bad chaos grammar fails before any process
 	// spawns rather than in every rank at once.
 	if _, _, err := chaosConfig(chaosSpec, resilient, ranks); err != nil {
 		return err
+	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return fmt.Errorf("creating -trace-dir: %w", err)
+		}
 	}
 	co, err := mpi.NewCoordinator("127.0.0.1:0", ranks)
 	if err != nil {
@@ -169,6 +203,9 @@ func runLaunch(ranks, n int, seed int64, chaosSpec string, resilient bool) error
 		}
 		if resilient {
 			args = append(args, "-resilient")
+		}
+		if traceDir != "" {
+			args = append(args, "-trace-dir", traceDir)
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stdout

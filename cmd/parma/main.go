@@ -70,6 +70,8 @@ func main() {
 		err = cmdHyper(os.Args[2:])
 	case "tracecheck":
 		err = cmdTraceCheck(os.Args[2:])
+	case "tracemerge":
+		err = cmdTraceMerge(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -99,6 +101,7 @@ commands:
   export     render a field as a PGM heatmap or an array as Graphviz DOT
   hyper      censuses of k-dimensional MEA lattices
   tracecheck validate a Chrome trace produced by -trace and summarize it
+  tracemerge join per-process Chrome traces into one timeline
 
 every command takes -trace, -metrics, -cpuprofile, -memprofile
 run 'parma <command> -h' for per-command flags`)
@@ -367,27 +370,117 @@ func cmdSolve(args []string) error {
 	})
 }
 
+// stringListFlag collects a repeatable string flag.
+type stringListFlag []string
+
+func (s *stringListFlag) String() string { return strings.Join(*s, ",") }
+func (s *stringListFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 // cmdTraceCheck validates a Chrome trace written by -trace and prints what
-// it contains — the obs-smoke make target's verifier.
+// it contains — the obs-smoke and trace-smoke make targets' verifier. With
+// -distributed it additionally checks cross-process span parenting: every
+// trace id in the (typically merged) file must form exactly one connected
+// tree, i.e. each traced request stayed one request across every rank that
+// served it.
 func cmdTraceCheck(args []string) error {
 	fs := flag.NewFlagSet("tracecheck", flag.ExitOnError)
+	distributed := fs.Bool("distributed", false, "validate cross-process span parenting (one connected tree per trace id)")
+	var require stringListFlag
+	fs.Var(&require, "require", "with -distributed: span name that must appear inside a single tree (repeatable)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: parma tracecheck <trace.json>")
+		return fmt.Errorf("usage: parma tracecheck [-distributed [-require name]...] <trace.json>")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	sum, err := obs.ValidateTrace(data)
+	if !*distributed {
+		sum, err := obs.ValidateTrace(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("valid Chrome trace: %d events on %d tracks, %d span names\n",
+			sum.Events, sum.Tracks, len(sum.Names))
+		for _, n := range sum.Names {
+			fmt.Printf("  %s\n", n)
+		}
+		return nil
+	}
+	sum, err := obs.ValidateDistributedTrace(data)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("valid Chrome trace: %d events on %d tracks, %d span names\n",
-		sum.Events, sum.Tracks, len(sum.Names))
-	for _, n := range sum.Names {
-		fmt.Printf("  %s\n", n)
+	fmt.Printf("valid distributed trace: %d connected tree(s), %d untraced span(s)\n",
+		len(sum.Trees), sum.Untraced)
+	for _, tree := range sum.Trees {
+		fmt.Printf("  trace %s root %s: %d spans across %d process(es)\n",
+			tree.Trace, tree.Root, tree.Spans, tree.Pids)
 	}
+	if len(require) > 0 {
+		// At least one tree must contain every required span name: the
+		// request's path through the stack is connected, not scattered
+		// across disjoint trees.
+		best := -1
+		for _, tree := range sum.Trees {
+			have := 0
+			for _, want := range require {
+				for _, n := range tree.Names {
+					if n == want {
+						have++
+						break
+					}
+				}
+			}
+			if have > best {
+				best = have
+			}
+			if have == len(require) {
+				fmt.Printf("  required spans %v all inside trace %s\n", []string(require), tree.Trace)
+				return nil
+			}
+		}
+		return fmt.Errorf("no single tree contains all of %v (best tree has %d of %d)",
+			[]string(require), best, len(require))
+	}
+	return nil
+}
+
+// cmdTraceMerge joins per-process Chrome trace files (one per MPI rank, or
+// daemon + ranks) into one timeline, remapping each input to its own pid so
+// the processes render side by side and cross-rank trees validate.
+func cmdTraceMerge(args []string) error {
+	fs := flag.NewFlagSet("tracemerge", flag.ExitOnError)
+	out := fs.String("o", "merged-trace.json", "output file")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: parma tracemerge [-o merged.json] <trace.json>...")
+	}
+	inputs := make([][]byte, fs.NArg())
+	names := make([]string, fs.NArg())
+	for i, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		inputs[i] = data
+		names[i] = path
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := obs.MergeChromeTraces(f, inputs, names); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d trace(s) into %s\n", len(inputs), *out)
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -55,8 +56,27 @@ func run(argv []string) error {
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/*")
 	compactEvery := fs.Duration("compact-interval", 10*time.Second, "fold span events into rollups on this interval (bounds memory)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	sloSpec := fs.String("slo", "", `latency SLO, e.g. "p99=250ms": exports per-endpoint burn-rate gauges at /metrics`)
+	traceFile := fs.String("trace", "", "write a Chrome trace of recorded spans to this file on shutdown")
+	validateRanks := fs.Int("validate-ranks", 0, "cross-check each recovery's equation census across this many in-process MPI ranks (0 = off)")
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		return err
+	}
+	obs.SetLogger(logger)
+
+	var slo *obs.SLOMonitor
+	if *sloSpec != "" {
+		obj, err := obs.ParseSLO(*sloSpec)
+		if err != nil {
+			return err
+		}
+		slo = obs.NewSLOMonitor(obj)
 	}
 
 	rec := obs.NewRecorder()
@@ -96,6 +116,8 @@ func run(argv []string) error {
 		BreakerOpenFor:   *breakerOpenFor,
 		EnablePprof:      *pprofOn,
 		Recorder:         rec,
+		SLO:              slo,
+		ValidateRanks:    *validateRanks,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -126,8 +148,9 @@ func run(argv []string) error {
 		}
 	}()
 
-	fmt.Printf("parmad: listening on %s (workers=%d queue=%d batch=%d/%s cache=%d)\n",
-		bound, *workers, *queueDepth, *maxBatch, *batchWindow, *cacheEntries)
+	logger.Info("listening", "addr", bound, "workers", *workers, "queue", *queueDepth,
+		"max_batch", *maxBatch, "batch_window", (*batchWindow).String(), "cache", *cacheEntries,
+		"slo", *sloSpec, "validate_ranks", *validateRanks)
 
 	select {
 	case err := <-errc:
@@ -137,7 +160,7 @@ func run(argv []string) error {
 
 	// Graceful drain: stop admission, let every admitted request finish,
 	// then shut the listener down so in-flight responses are delivered.
-	fmt.Println("parmad: draining")
+	logger.Info("draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
@@ -147,7 +170,21 @@ func run(argv []string) error {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("creating -trace file: %w", err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing -trace file: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		logger.Info("trace written", "file", *traceFile)
+	}
 	hits, misses := srv.Cache().Stats()
-	fmt.Printf("parmad: drained cleanly (cache: %d hits, %d misses)\n", hits, misses)
+	logger.Info("drained cleanly", "cache_hits", hits, "cache_misses", misses)
 	return nil
 }

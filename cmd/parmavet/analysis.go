@@ -58,7 +58,7 @@ type Analyzer struct {
 
 // analyzers returns the full suite in output order.
 func analyzers() []*Analyzer {
-	return []*Analyzer{spanendAnalyzer, mpierrAnalyzer, floateqAnalyzer, locksendAnalyzer, httptimeoutAnalyzer, poolsizeAnalyzer, retryboundAnalyzer}
+	return []*Analyzer{spanendAnalyzer, mpierrAnalyzer, floateqAnalyzer, locksendAnalyzer, httptimeoutAnalyzer, poolsizeAnalyzer, retryboundAnalyzer, ctxspanAnalyzer}
 }
 
 var allowRE = regexp.MustCompile(`parmavet:allow[ \t]+([a-z0-9_,]+)`)

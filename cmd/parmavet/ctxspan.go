@@ -1,0 +1,115 @@
+package main
+
+// ctxspan: in the request-path packages (serve, solver, mpi) a span started
+// with the context-blind obs.StartSpan / obs.StartOn while a
+// context.Context parameter is lexically in scope silently forks the work
+// out of its trace: the span lands on a fresh track with no parent, so the
+// request's tree shows a hole exactly where the latency attribution
+// matters. Such calls must go through obs.StartSpanCtx / obs.StartSpanIn
+// (or carry the trace explicitly with obs.StartOnTraced). The check is
+// lexical and includes enclosing functions: a func literal inherits any
+// context parameter of the function it is defined in, because the closure
+// can capture it.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var ctxspanAnalyzer = &Analyzer{
+	Name: "ctxspan",
+	Doc:  "no context-blind span starts where a context.Context is in scope; use obs.StartSpanCtx/StartSpanIn",
+	Applies: func(pkgPath string) bool {
+		switch pkgPath {
+		case "parma/internal/serve", "parma/internal/solver", mpiPath:
+			return true
+		}
+		// Fixture packages opt in by directory name.
+		return strings.Contains(pkgPath, "parmavet/testdata/")
+	},
+	Run: runCtxspan,
+}
+
+func runCtxspan(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// stack holds the ancestors of the node being visited; ast.Inspect
+		// signals the post-order pop with a nil node.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, blind := blindSpanStart(info, call); blind {
+					if ctx := contextInScope(info, stack); ctx != "" {
+						pass.Reportf(call.Pos(), "obs.%s ignores %s: the span cannot parent to the request trace; use obs.StartSpanCtx or obs.StartSpanIn, or annotate //parmavet:allow ctxspan with the reason", name, ctx)
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// blindSpanStart matches calls to the context-blind span constructors
+// obs.StartSpan and obs.StartOn (StartSpanCtx/StartSpanIn/StartOnTraced
+// are the sanctioned context-aware ones).
+func blindSpanStart(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return "", false
+	}
+	switch fn.Name() {
+	case "StartSpan", "StartOn":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// contextInScope reports the nearest named context.Context parameter of any
+// enclosing function (FuncDecl or FuncLit) on the ancestor stack, or "" when
+// none is reachable. A parameter named _ cannot be threaded from that frame,
+// so the search keeps climbing past it.
+func contextInScope(info *types.Info, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			ft = f.Type
+		default:
+			continue
+		}
+		if name := ctxParamName(info, ft); name != "" {
+			return name
+		}
+	}
+	return ""
+}
+
+func ctxParamName(info *types.Info, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil || !namedTypeIs(t, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return "the in-scope context parameter " + name.Name
+			}
+		}
+	}
+	return ""
+}

@@ -8,6 +8,8 @@
 //	httptimeout  http.Server literals must set ReadHeaderTimeout (or ReadTimeout)
 //	poolsize     no raw goroutine fan-out loops in the numerics packages;
 //	             kernel parallelism goes through mat.ParallelFor
+//	ctxspan      no context-blind span starts (obs.StartSpan/StartOn) in the
+//	             request-path packages while a context.Context is in scope
 //
 // Usage:
 //

@@ -63,7 +63,7 @@ func parseExpectations(t *testing.T, dir string) []*expectation {
 // (the //parmavet:allow cases) silent. Running all analyzers over every
 // fixture also asserts the analyzers do not fire on each other's fixtures.
 func TestAnalyzersGolden(t *testing.T) {
-	for _, name := range []string{"spanend", "mpierr", "floateq", "locksend", "httptimeout", "poolsize", "retrybound"} {
+	for _, name := range []string{"spanend", "mpierr", "floateq", "locksend", "httptimeout", "poolsize", "retrybound", "ctxspan"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			pkgs, err := load([]string{"./" + dir})

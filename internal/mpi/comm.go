@@ -79,6 +79,13 @@ type Comm struct {
 	simComm    time.Duration // accumulated simulated communication time
 	simCompute time.Duration // accumulated charged compute time
 	stats      CommStats
+
+	// Trace propagation state (see traceprop.go): the trace the rank works
+	// under — seeded by RunCtx or adopted from a peer's frame — the rank's
+	// own root span, and whether the envelope layer is installed.
+	trace    obs.TraceContext
+	rankSpan obs.SpanID
+	traceOn  bool
 }
 
 // Stats returns the traffic this rank has been charged for so far.
@@ -98,10 +105,19 @@ func (c *Comm) chargeRecv(size int) {
 	c.stats.BytesRecv += int64(size)
 }
 
-// span opens a collective-timing span on this rank's timeline track.
+// span opens a collective-timing span on this rank's timeline track,
+// parented to the rank's root span (or the originating request) when the
+// rank is working under a propagated trace.
 func (c *Comm) span(name string) obs.Span {
 	if !obs.Enabled() {
 		return obs.Span{}
+	}
+	if c.traceOn && c.trace.Valid() {
+		parent := c.rankSpan
+		if parent.IsZero() {
+			parent = c.trace.Span
+		}
+		return obs.StartOnTraced(c.track, name, c.trace.Trace, parent)
 	}
 	return obs.StartOn(c.track, name)
 }

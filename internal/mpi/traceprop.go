@@ -1,0 +1,193 @@
+package mpi
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"parma/internal/obs"
+)
+
+// Trace propagation: when enabled, every user payload leaving a Comm
+// carries a fixed 26-byte envelope naming the trace it belongs to and the
+// sender's current span, so ranks in other goroutines — or other
+// processes, over TCP — can parent their own spans to the originating
+// request. The envelope rides inside the payload, which means it passes
+// unchanged through the fault and reliable layers (their control frames
+// never cross the trace layer) and the existing traffic accounting in
+// Comm, which charges payload bytes before the envelope is added.
+//
+// The layer is strict: once installed, every rank of the world must have
+// it installed too (World.RunCtx and the parma-mpi launcher both enable it
+// globally), so a received payload without the envelope is a framing error
+// rather than a silent mis-parse.
+
+// traceEnvelope layout: [magic][flags][16-byte trace id][8-byte span id].
+const (
+	traceMagic   = 0xB7
+	traceEnvLen  = 26
+	traceFlagSet = 1
+)
+
+// traceTransport decorates the top of a rank's transport stack with the
+// trace envelope. It is installed by Comm.EnableTracePropagation and owned
+// by the Comm's goroutine.
+type traceTransport struct {
+	inner Transport
+	c     *Comm
+}
+
+// seal prepends the envelope for the comm's current trace context.
+func (t *traceTransport) seal(data []byte) []byte {
+	out := make([]byte, traceEnvLen+len(data))
+	out[0] = traceMagic
+	if tc := t.c.outgoingTrace(); tc.Valid() {
+		out[1] = traceFlagSet
+		copy(out[2:18], tc.Trace[:])
+		copy(out[18:26], tc.Span[:])
+	}
+	copy(out[traceEnvLen:], data)
+	return out
+}
+
+// open strips the envelope, adopting its trace context when the comm does
+// not have one yet (the remote-rank case: trace identity arrives with the
+// first frame from an already-traced peer).
+func (t *traceTransport) open(data []byte) ([]byte, error) {
+	if len(data) < traceEnvLen || data[0] != traceMagic {
+		return nil, fmt.Errorf("mpi: rank %d received a frame without trace envelope "+
+			"(trace propagation must be enabled on every rank)", t.c.rank)
+	}
+	if data[1]&traceFlagSet != 0 && !t.c.trace.Valid() {
+		var tc obs.TraceContext
+		copy(tc.Trace[:], data[2:18])
+		copy(tc.Span[:], data[18:26])
+		if tc.Valid() {
+			t.c.trace = tc
+		}
+	}
+	return data[traceEnvLen:], nil
+}
+
+func (t *traceTransport) Send(dst, tag int, data []byte) error {
+	return t.inner.Send(dst, tag, t.seal(data))
+}
+
+func (t *traceTransport) Recv(src, tag int) ([]byte, int, error) {
+	data, actual, err := t.inner.Recv(src, tag)
+	if err != nil {
+		return nil, actual, err
+	}
+	payload, err := t.open(data)
+	return payload, actual, err
+}
+
+func (t *traceTransport) SendNoAck(dst, tag int, data []byte) error {
+	if na, ok := t.inner.(noAckSender); ok {
+		return na.SendNoAck(dst, tag, t.seal(data))
+	}
+	return t.inner.Send(dst, tag, t.seal(data))
+}
+
+func (t *traceTransport) RecvDeadline(src, tag int, deadline time.Time) ([]byte, int, int, bool, error) {
+	dt, ok := t.inner.(deadlineTransport)
+	if !ok {
+		data, actual, err := t.Recv(src, tag)
+		return data, actual, tag, false, err
+	}
+	data, actualSrc, actualTag, timedOut, err := dt.RecvDeadline(src, tag, deadline)
+	if err != nil || timedOut {
+		return nil, actualSrc, actualTag, timedOut, err
+	}
+	payload, err := t.open(data)
+	return payload, actualSrc, actualTag, false, err
+}
+
+func (t *traceTransport) PeerIdle(rank int) time.Duration {
+	if lp, ok := t.inner.(livenessProber); ok {
+		return lp.PeerIdle(rank)
+	}
+	return 0
+}
+
+func (t *traceTransport) SuspectAfter() time.Duration {
+	if lp, ok := t.inner.(livenessProber); ok {
+		return lp.SuspectAfter()
+	}
+	return 0
+}
+
+func (t *traceTransport) DrainFor(d time.Duration) {
+	if dr, ok := t.inner.(interface{ DrainFor(time.Duration) }); ok {
+		dr.DrainFor(d)
+	}
+}
+
+func (t *traceTransport) Close() error {
+	if tc, ok := t.inner.(transportCloser); ok {
+		return tc.Close()
+	}
+	return nil
+}
+
+// EnableTracePropagation wraps the rank's transport with the trace
+// envelope layer and seeds the comm's trace context (a zero tc leaves the
+// rank to adopt the context from its first received frame). Every rank of
+// a world must enable it, or receives fail with a framing error. Calling
+// it twice is a no-op for the second seed-less call.
+func (c *Comm) EnableTracePropagation(tc obs.TraceContext) {
+	if tc.Valid() {
+		c.trace = tc
+	}
+	if c.traceOn {
+		return
+	}
+	c.traceOn = true
+	c.tr = &traceTransport{inner: c.tr, c: c}
+}
+
+// TraceContext returns the trace identity the rank is working under — its
+// seed, or the context adopted from a peer's frame; zero when untraced.
+func (c *Comm) TraceContext() obs.TraceContext { return c.trace }
+
+// outgoingTrace is the context stamped on outbound frames: the rank's own
+// root span when one is open, else the origin's span.
+func (c *Comm) outgoingTrace() obs.TraceContext {
+	if !c.trace.Valid() {
+		return obs.TraceContext{}
+	}
+	if !c.rankSpan.IsZero() {
+		return obs.TraceContext{Trace: c.trace.Trace, Span: c.rankSpan}
+	}
+	return c.trace
+}
+
+// StartRootSpan opens the rank's top-level span. Under an active trace it
+// becomes the parent of the rank's collective spans and of the context
+// propagated to peers; without one it is a plain track span. parma-mpi's
+// rank 0 calls this with no prior seed, which mints a fresh trace that the
+// other rank processes adopt through frame metadata.
+func (c *Comm) StartRootSpan(name string) obs.Span {
+	if !obs.Enabled() {
+		return obs.Span{}
+	}
+	if !c.traceOn {
+		return obs.StartOn(c.track, name)
+	}
+	if !c.trace.Valid() {
+		c.trace = obs.TraceContext{Trace: obs.NewTraceID()}
+	}
+	sp := obs.StartOnTraced(c.track, name, c.trace.Trace, c.trace.Span)
+	c.rankSpan = sp.ID()
+	return sp
+}
+
+// RunCtx is Run with a request context: each rank's fn receives a context
+// carrying its own span identity (parented to the trace on ctx, when
+// present), trace propagation is enabled on every rank, and the per-rank
+// mpi/rank spans join the originating request's tree. Cancellation is the
+// caller's concern — fn receives ctx-derived contexts but ranks are not
+// force-stopped.
+func (w *World) RunCtx(ctx context.Context, fn func(ctx context.Context, c *Comm) error) []error {
+	return w.run(ctx, fn)
+}

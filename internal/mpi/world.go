@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -94,9 +95,19 @@ func (w *World) Size() int { return w.size }
 // all return. The per-rank error slice is indexed by rank. Comms are valid
 // only within fn.
 func (w *World) Run(fn func(c *Comm) error) []error {
+	return w.run(context.Background(), func(_ context.Context, c *Comm) error { return fn(c) })
+}
+
+// run is the shared body of Run and RunCtx. When recording is enabled it
+// installs the trace-envelope layer on every rank (all or none, so the
+// strict framing check holds) and seeds each rank with the trace carried
+// by ctx; each rank's fn then receives a context naming its own mpi/rank
+// span, so solver code running inside a rank keeps parenting correctly.
+func (w *World) run(ctx context.Context, fn func(ctx context.Context, c *Comm) error) []error {
 	errs := make([]error, w.size)
 	comms := make([]*Comm, w.size)
 	observed := obs.Enabled()
+	seed, _ := obs.TraceFromContext(ctx)
 	w.faults = make([]*FaultTransport, w.size)
 	closers := make([]transportCloser, 0, w.size)
 	reliables := make([]*reliableTransport, w.size)
@@ -132,6 +143,7 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 		}
 		if observed {
 			comms[r].track = obs.NewTrack(fmt.Sprintf("rank %d", r))
+			comms[r].EnableTracePropagation(seed)
 		}
 		comms[r].simComm += w.model.RankStartup
 		wg.Add(1)
@@ -146,9 +158,13 @@ func (w *World) Run(fn func(c *Comm) error) []error {
 					}
 				}()
 				c := comms[r]
-				sp := c.span("mpi/rank")
+				sp := c.StartRootSpan("mpi/rank")
+				rankCtx := ctx
+				if !sp.Trace().IsZero() {
+					rankCtx = obs.ContextWithTrace(ctx, sp.TraceContext())
+				}
 				start := time.Now()
-				errs[r] = fn(c)
+				errs[r] = fn(rankCtx, c)
 				wall := time.Since(start)
 				sp.End(obs.I("rank", r))
 				if observed {

@@ -48,6 +48,12 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 				name, name, m.Count, name, m.Value, name, m.Min, name, m.Max); err != nil {
 				return err
 			}
+			if m.Count > 0 {
+				if _, err := fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.9\"} %g\n%s{quantile=\"0.99\"} %g\n",
+					name, m.P50, name, m.P90, name, m.P99); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	for _, ro := range r.Rollups() {

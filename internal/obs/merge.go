@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Multi-process trace assembly: each MPI rank (and the serving daemon)
+// writes its own Chrome trace file; MergeChromeTraces joins them into one
+// timeline, and ValidateDistributedTrace checks that the spans sharing a
+// trace id — wherever they were recorded — form one connected tree rooted
+// at the originating request.
+
+// MergeChromeTraces concatenates the given Chrome trace files into one.
+// Input i keeps its internal tid layout but is remapped to pid i, so each
+// process renders as its own group; a process_name metadata row labels it
+// with the given name (typically the source file or rank).
+func MergeChromeTraces(w io.Writer, inputs [][]byte, names []string) error {
+	merged := traceFile{DisplayUnit: "ns"}
+	for i, data := range inputs {
+		var tf traceFile
+		if err := json.Unmarshal(data, &tf); err != nil {
+			return fmt.Errorf("obs: merge input %d is not valid trace JSON: %w", i, err)
+		}
+		name := fmt.Sprintf("input %d", i)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		merged.TraceEvents = append(merged.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: i,
+			Args: map[string]any{"name": name},
+		})
+		for _, ev := range tf.TraceEvents {
+			ev.Pid = i
+			merged.TraceEvents = append(merged.TraceEvents, ev)
+		}
+	}
+	if len(merged.TraceEvents) == 0 {
+		return fmt.Errorf("obs: nothing to merge")
+	}
+	return json.NewEncoder(w).Encode(merged)
+}
+
+// TraceTree summarizes one request's reassembled span tree.
+type TraceTree struct {
+	Trace string   // trace id, hex
+	Root  string   // root span name
+	Spans int      // spans in the tree
+	Pids  int      // distinct processes contributing spans
+	Names []string // distinct span names, sorted
+}
+
+// DistributedSummary reports the outcome of ValidateDistributedTrace.
+type DistributedSummary struct {
+	Trees    []TraceTree // one per trace id, sorted by id
+	Untraced int         // spans with no trace identity (ignored)
+}
+
+// ValidateDistributedTrace parses a (possibly merged) Chrome trace file
+// and checks cross-process span parenting: for every trace id present, the
+// spans carrying it must form exactly one tree — a single root, every
+// parent_id resolving to a span in the same trace, no duplicate span ids,
+// and no cycles. Spans without trace identity (background work) are
+// counted but otherwise ignored.
+func ValidateDistributedTrace(data []byte) (DistributedSummary, error) {
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return DistributedSummary{}, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+
+	type node struct {
+		name   string
+		parent string
+		pid    int
+	}
+	byTrace := map[string]map[string]node{} // trace id -> span id -> node
+	sum := DistributedSummary{}
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		tid, _ := ev.Args["trace_id"].(string)
+		if tid == "" {
+			sum.Untraced++
+			continue
+		}
+		sid, _ := ev.Args["span_id"].(string)
+		if sid == "" {
+			return DistributedSummary{}, fmt.Errorf("obs: event %d (%s) has trace_id but no span_id", i, ev.Name)
+		}
+		spans := byTrace[tid]
+		if spans == nil {
+			spans = map[string]node{}
+			byTrace[tid] = spans
+		}
+		if _, dup := spans[sid]; dup {
+			return DistributedSummary{}, fmt.Errorf("obs: trace %s has duplicate span id %s", tid, sid)
+		}
+		parent, _ := ev.Args["parent_id"].(string)
+		spans[sid] = node{name: ev.Name, parent: parent, pid: ev.Pid}
+	}
+	if len(byTrace) == 0 {
+		return DistributedSummary{}, fmt.Errorf("obs: no traced spans found")
+	}
+
+	ids := make([]string, 0, len(byTrace))
+	for tid := range byTrace {
+		ids = append(ids, tid)
+	}
+	sort.Strings(ids)
+	for _, tid := range ids {
+		spans := byTrace[tid]
+		tree := TraceTree{Trace: tid, Spans: len(spans)}
+		roots := 0
+		pids := map[int]bool{}
+		names := map[string]bool{}
+		for sid, n := range spans {
+			pids[n.pid] = true
+			names[n.name] = true
+			if n.parent == "" {
+				roots++
+				tree.Root = n.name
+				continue
+			}
+			if _, ok := spans[n.parent]; !ok {
+				return sum, fmt.Errorf("obs: trace %s: span %s (%s) has parent %s not present in the trace",
+					tid, sid, n.name, n.parent)
+			}
+		}
+		if roots != 1 {
+			return sum, fmt.Errorf("obs: trace %s has %d roots, want exactly 1", tid, roots)
+		}
+		// Every span must reach the root by walking parents; with exactly one
+		// root and all parents resolved, only a cycle can break this.
+		for sid := range spans {
+			hops := 0
+			for cur := sid; spans[cur].parent != ""; cur = spans[cur].parent {
+				if hops++; hops > len(spans) {
+					return sum, fmt.Errorf("obs: trace %s has a parent cycle through span %s", tid, sid)
+				}
+			}
+		}
+		tree.Pids = len(pids)
+		for n := range names {
+			tree.Names = append(tree.Names, n)
+		}
+		sort.Strings(tree.Names)
+		sum.Trees = append(sum.Trees, tree)
+	}
+	return sum, nil
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildRankTrace records spans parented to origin on a fresh recorder and
+// returns its Chrome trace JSON.
+func buildRankTrace(t *testing.T, origin TraceContext, names ...string) []byte {
+	t.Helper()
+	r := NewRecorder()
+	Enable(r)
+	defer Disable()
+	for _, name := range names {
+		StartOnTraced(AnonTrack, name, origin.Trace, origin.Span).End()
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeAndValidateDistributedTrace(t *testing.T) {
+	// Root process: a request span with a child stage.
+	rootRec := NewRecorder()
+	Enable(rootRec)
+	ctx, root := StartSpanCtx(context.Background(), "serve/http/recover")
+	stage := StartSpanIn(ctx, "serve/queue")
+	stage.End()
+	origin := root.TraceContext()
+	root.End()
+	Disable()
+	var rootBuf bytes.Buffer
+	if err := rootRec.WriteChromeTrace(&rootBuf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	// Two "ranks" each parenting their spans to the request root.
+	rank1 := buildRankTrace(t, origin, "mpi/bcast", "mpi/reduce")
+	rank2 := buildRankTrace(t, origin, "mpi/bcast")
+
+	var merged bytes.Buffer
+	err := MergeChromeTraces(&merged, [][]byte{rootBuf.Bytes(), rank1, rank2},
+		[]string{"parmad", "rank 1", "rank 2"})
+	if err != nil {
+		t.Fatalf("MergeChromeTraces: %v", err)
+	}
+
+	sum, err := ValidateDistributedTrace(merged.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateDistributedTrace: %v", err)
+	}
+	if len(sum.Trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(sum.Trees))
+	}
+	tree := sum.Trees[0]
+	if tree.Root != "serve/http/recover" {
+		t.Fatalf("root is %q, want serve/http/recover", tree.Root)
+	}
+	if tree.Spans != 5 {
+		t.Fatalf("tree has %d spans, want 5", tree.Spans)
+	}
+	if tree.Pids != 3 {
+		t.Fatalf("tree spans %d processes, want 3", tree.Pids)
+	}
+	for _, want := range []string{"serve/queue", "mpi/bcast", "mpi/reduce"} {
+		found := false
+		for _, n := range tree.Names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("tree names %v missing %q", tree.Names, want)
+		}
+	}
+}
+
+func TestValidateDistributedTraceRejectsOrphans(t *testing.T) {
+	// A span parented to an id that never appears must fail validation.
+	orphan := buildRankTrace(t, TraceContext{Trace: NewTraceID(), Span: NewSpanID()}, "mpi/bcast")
+	if _, err := ValidateDistributedTrace(orphan); err == nil ||
+		!strings.Contains(err.Error(), "not present") {
+		t.Fatalf("orphan parent not rejected: %v", err)
+	}
+}
+
+func TestValidateDistributedTraceRejectsTwoRoots(t *testing.T) {
+	r := NewRecorder()
+	Enable(r)
+	_, a := StartSpanCtx(context.Background(), "req")
+	a.End()
+	// Second root forged under the same trace id.
+	StartOnTraced(AnonTrack, "rogue", a.Trace(), SpanID{}).End()
+	Disable()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateDistributedTrace(buf.Bytes()); err == nil ||
+		!strings.Contains(err.Error(), "roots") {
+		t.Fatalf("double root not rejected: %v", err)
+	}
+}
+
+// Chrome-trace round trip under concurrent recording: many goroutines end
+// traced and untraced spans while others snapshot the trace; the final
+// export must validate structurally and as a distributed tree. Run with
+// -race this also proves the ring buffer's locking.
+func TestChromeTraceRoundTripConcurrent(t *testing.T) {
+	r := NewRecorder()
+	r.SetSpanCap(1 << 10)
+	Enable(r)
+	defer Disable()
+
+	ctx, root := StartSpanCtx(context.Background(), "req")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := StartSpanIn(ctx, "work")
+				StartSpan("untraced").End()
+				sp.End(I("i", i))
+			}
+		}()
+	}
+	// Concurrent readers exercise Events/WriteChromeTrace against writers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var sink bytes.Buffer
+				if err := r.WriteChromeTrace(&sink); err != nil {
+					t.Errorf("concurrent WriteChromeTrace: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+	sum, err := ValidateDistributedTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ValidateDistributedTrace: %v", err)
+	}
+	if len(sum.Trees) != 1 || sum.Trees[0].Root != "req" {
+		t.Fatalf("unexpected trees: %+v", sum.Trees)
+	}
+	if sum.Untraced == 0 {
+		t.Fatal("expected untraced spans to be counted")
+	}
+}

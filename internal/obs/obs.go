@@ -64,20 +64,35 @@ func I(key string, v int) Attr { return Attr{Key: key, Num: float64(v), num: tru
 // S builds a string attribute.
 func S(key, v string) Attr { return Attr{Key: key, Str: v} }
 
-// Event is one completed span, timed relative to the recorder epoch.
+// Event is one completed span, timed relative to the recorder epoch. The
+// trace fields are zero for untraced spans; for traced ones they name the
+// request the span belongs to and its parent span, letting exporters and
+// validators rebuild the request tree.
 type Event struct {
-	Name  string
-	Track int32
-	Start time.Duration
-	Dur   time.Duration
-	Attrs []Attr
+	Name   string
+	Track  int32
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
 }
 
-// eventShard is one stripe of the append buffer.
+// eventShard is one stripe of the span buffer. Once the shard reaches its
+// cap it becomes a ring: head marks the oldest event, which the next
+// append overwrites.
 type eventShard struct {
 	mu     sync.Mutex
 	events []Event
+	head   int
 }
+
+// DefaultSpanCap bounds the buffered span count of a new recorder. A
+// long-running daemon with tracing enabled keeps at most this many events
+// in memory; older events are overwritten ring-style and counted in the
+// obs/spans_dropped counter.
+const DefaultSpanCap = 1 << 16
 
 // Recorder collects spans and hosts a metrics registry. All methods are
 // safe for concurrent use.
@@ -85,6 +100,11 @@ type Recorder struct {
 	epoch  time.Time
 	shards [eventShards]eventShard
 	reg    *Registry
+
+	// shardCap bounds each shard's event slice; 0 means unbounded. dropped
+	// counts ring overwrites (it is the obs/spans_dropped counter).
+	shardCap atomic.Int64
+	dropped  *Counter
 
 	// base holds rollups folded out of the event buffer by CompactSpans, so
 	// long-running processes keep cumulative per-span statistics without
@@ -97,14 +117,30 @@ type Recorder struct {
 	nextTrack  atomic.Int32
 }
 
-// NewRecorder creates an empty recorder whose span clock starts now.
+// NewRecorder creates an empty recorder whose span clock starts now. The
+// span buffer is bounded at DefaultSpanCap events; SetSpanCap adjusts it.
 func NewRecorder() *Recorder {
-	return &Recorder{
+	r := &Recorder{
 		epoch:      time.Now(),
 		reg:        NewRegistry(),
 		base:       map[string]*Rollup{},
 		trackNames: map[int32]string{},
 	}
+	r.dropped = r.reg.Counter("obs/spans_dropped")
+	r.SetSpanCap(DefaultSpanCap)
+	return r
+}
+
+// SetSpanCap bounds the total number of buffered span events. Once full,
+// new events overwrite the oldest in each shard and the obs/spans_dropped
+// counter increments. n <= 0 removes the bound. The cap applies to future
+// appends; it does not shrink an already larger buffer.
+func (r *Recorder) SetSpanCap(n int) {
+	if n <= 0 {
+		r.shardCap.Store(0)
+		return
+	}
+	r.shardCap.Store(int64((n + eventShards - 1) / eventShards))
 }
 
 // Registry returns the recorder's metrics registry.
@@ -131,12 +167,18 @@ func (r *Recorder) TrackName(id int32) string {
 }
 
 // Span is an open region of time. The zero Span (from a disabled recorder)
-// is inert: End on it returns immediately.
+// is inert: End on it returns immediately. Traced spans (opened through
+// the ctx-aware StartSpanCtx/StartSpanIn/StartOnTraced entry points) also
+// carry their trace identity; the id fields are fixed-size arrays, so a
+// Span never allocates.
 type Span struct {
-	r     *Recorder
-	name  string
-	track int32
-	start time.Duration
+	r      *Recorder
+	name   string
+	track  int32
+	start  time.Duration
+	trace  TraceID
+	id     SpanID
+	parent SpanID
 }
 
 // Active reports whether the span will be recorded when ended.
@@ -160,19 +202,34 @@ func (s Span) End(attrs ...Attr) {
 
 func (r *Recorder) endSpan(s Span, attrs []Attr) {
 	ev := Event{
-		Name:  s.name,
-		Track: s.track,
-		Start: s.start,
-		Dur:   time.Since(r.epoch) - s.start,
+		Name:   s.name,
+		Track:  s.track,
+		Start:  s.start,
+		Dur:    time.Since(r.epoch) - s.start,
+		Trace:  s.trace,
+		Span:   s.id,
+		Parent: s.parent,
 	}
 	if len(attrs) > 0 {
 		ev.Attrs = make([]Attr, len(attrs))
 		copy(ev.Attrs, attrs)
 	}
+	bound := int(r.shardCap.Load())
 	shard := &r.shards[int(s.start)&(eventShards-1)]
+	dropped := false
 	shard.mu.Lock()
-	shard.events = append(shard.events, ev)
+	if bound > 0 && len(shard.events) >= bound {
+		// Ring overwrite: replace the oldest buffered event in this shard.
+		shard.events[shard.head] = ev
+		shard.head = (shard.head + 1) % len(shard.events)
+		dropped = true
+	} else {
+		shard.events = append(shard.events, ev)
+	}
 	shard.mu.Unlock()
+	if dropped {
+		r.dropped.Add(1)
+	}
 }
 
 // Events returns every recorded span sorted by start time.
@@ -213,6 +270,7 @@ func (r *Recorder) CompactSpans() {
 		s.mu.Lock()
 		taken = append(taken, s.events...)
 		s.events = nil
+		s.head = 0
 		s.mu.Unlock()
 	}
 	if len(taken) == 0 {

@@ -147,6 +147,49 @@ func (h *Histogram) Max() float64 {
 	return math.Float64frombits(h.maxBits.Load())
 }
 
+// Quantile estimates the q-th quantile (0 < q < 1) from the log10 bucket
+// counts: it finds the bucket where the cumulative count crosses q·n and
+// interpolates log-linearly within that decade, clamped to the observed
+// min/max. Decade-bucket resolution is coarse but monotone, which is all
+// SLO burn-rate math and the /metrics summary lines need.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(n)
+	cum := 0.0
+	for b := 0; b < histBuckets; b++ {
+		c := float64(h.buckets[b].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lower := math.Pow(10, float64(b-histZero))
+			frac := (rank - cum) / c
+			v := lower * math.Pow(10, frac)
+			if mn := h.Min(); v < mn {
+				v = mn
+			}
+			if mx := h.Max(); v > mx {
+				v = mx
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
 // Mean returns the average observation, or 0 with none.
 func (h *Histogram) Mean() float64 {
 	n := h.Count()
@@ -244,6 +287,9 @@ type MetricSnapshot struct {
 	Value float64    `json:"value,omitempty"` // gauge value, histogram sum
 	Min   float64    `json:"min,omitempty"`
 	Max   float64    `json:"max,omitempty"`
+	P50   float64    `json:"p50,omitempty"` // histogram quantile estimates
+	P90   float64    `json:"p90,omitempty"`
+	P99   float64    `json:"p99,omitempty"`
 }
 
 // Snapshot returns every metric sorted by name (counters, then gauges,
@@ -262,6 +308,7 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		out = append(out, MetricSnapshot{
 			Name: name, Kind: KindHistogram,
 			Count: h.Count(), Value: h.Sum(), Min: h.Min(), Max: h.Max(),
+			P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLO monitoring: a latency objective ("p99=250ms") turns every request
+// into good or bad — bad when it failed or exceeded the target — and the
+// monitor tracks the bad fraction over rolling windows as a burn rate:
+// (bad/total) divided by the error budget (1 − quantile). Burn rate 1
+// means the budget is being spent exactly as provisioned; 14.4 over an
+// hour is the classic page-now threshold. Gauges are published into the
+// registry at scrape time, so /metrics carries slo/<endpoint>/burn_rate_5m
+// and _1h series alongside the RED metrics.
+
+// SLObjective is a parsed latency objective.
+type SLObjective struct {
+	Quantile float64       // e.g. 0.99
+	Target   time.Duration // e.g. 250ms
+}
+
+// ParseSLO parses "p99=250ms" / "p99.9=1s" style objectives.
+func ParseSLO(s string) (SLObjective, error) {
+	var o SLObjective
+	body, ok := strings.CutPrefix(s, "p")
+	if !ok {
+		return o, fmt.Errorf("obs: SLO %q must look like p99=250ms", s)
+	}
+	qs, ts, ok := strings.Cut(body, "=")
+	if !ok {
+		return o, fmt.Errorf("obs: SLO %q must look like p99=250ms", s)
+	}
+	pct, err := strconv.ParseFloat(qs, 64)
+	if err != nil || pct <= 0 || pct >= 100 {
+		return o, fmt.Errorf("obs: SLO quantile %q must be a percentile in (0, 100)", qs)
+	}
+	d, err := time.ParseDuration(ts)
+	if err != nil || d <= 0 {
+		return o, fmt.Errorf("obs: SLO target %q must be a positive duration", ts)
+	}
+	o.Quantile = pct / 100
+	o.Target = d
+	return o, nil
+}
+
+// sloWindows are the rolling windows burn rates are reported over. The
+// short window catches fast burns; the long one catches slow leaks.
+var sloWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// sloSeconds sizes the per-second ring to cover the longest window.
+const sloSeconds = 3600
+
+// sloSeries is one endpoint's per-second good/bad history.
+type sloSeries struct {
+	total [sloSeconds]int64
+	bad   [sloSeconds]int64
+}
+
+// SLOMonitor classifies request outcomes against one latency objective
+// and reports multi-window burn rates per endpoint. All methods are safe
+// for concurrent use.
+type SLOMonitor struct {
+	obj SLObjective
+
+	mu     sync.Mutex
+	cur    int64 // unix second the ring is advanced to
+	series map[string]*sloSeries
+	now    func() time.Time // test hook
+}
+
+// NewSLOMonitor builds a monitor for the given objective.
+func NewSLOMonitor(obj SLObjective) *SLOMonitor {
+	return &SLOMonitor{obj: obj, series: map[string]*sloSeries{}, now: time.Now}
+}
+
+// Objective returns the monitored objective.
+func (m *SLOMonitor) Objective() SLObjective { return m.obj }
+
+// advance zeroes ring slots between the last observed second and now.
+// Callers hold m.mu.
+func (m *SLOMonitor) advance(nowSec int64) {
+	if m.cur == 0 {
+		m.cur = nowSec
+		return
+	}
+	gap := nowSec - m.cur
+	if gap <= 0 {
+		return
+	}
+	if gap > sloSeconds {
+		gap = sloSeconds
+	}
+	for i := int64(1); i <= gap; i++ {
+		slot := (m.cur + i) % sloSeconds
+		for _, s := range m.series {
+			s.total[slot] = 0
+			s.bad[slot] = 0
+		}
+	}
+	m.cur = nowSec
+}
+
+// Observe records one request outcome for the endpoint. failed marks
+// server-attributed errors (5xx, load shed); a slow-but-successful request
+// also burns budget when latency exceeds the objective target.
+func (m *SLOMonitor) Observe(endpoint string, latency time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	bad := failed || latency > m.obj.Target
+	nowSec := m.now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance(nowSec)
+	s := m.series[endpoint]
+	if s == nil {
+		s = &sloSeries{}
+		m.series[endpoint] = s
+	}
+	slot := nowSec % sloSeconds
+	s.total[slot]++
+	if bad {
+		s.bad[slot]++
+	}
+}
+
+// BurnRate returns the burn rate for the endpoint over the given window:
+// badFraction / errorBudget, 0 with no traffic. Windows longer than an
+// hour are clamped to the ring size.
+func (m *SLOMonitor) BurnRate(endpoint string, window time.Duration) float64 {
+	if m == nil {
+		return 0
+	}
+	secs := int64(window / time.Second)
+	if secs <= 0 {
+		secs = 1
+	}
+	if secs > sloSeconds {
+		secs = sloSeconds
+	}
+	nowSec := m.now().Unix()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance(nowSec)
+	s := m.series[endpoint]
+	if s == nil {
+		return 0
+	}
+	var total, bad int64
+	for i := int64(0); i < secs; i++ {
+		slot := ((nowSec-i)%sloSeconds + sloSeconds) % sloSeconds
+		total += s.total[slot]
+		bad += s.bad[slot]
+	}
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - m.obj.Quantile
+	return (float64(bad) / float64(total)) / budget
+}
+
+// Endpoints returns the endpoints with recorded traffic.
+func (m *SLOMonitor) Endpoints() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.series))
+	for ep := range m.series {
+		out = append(out, ep)
+	}
+	return out
+}
+
+// fmtWindow renders a window duration compactly: 5m, 1h.
+func fmtWindow(d time.Duration) string {
+	s := d.String()
+	for _, suffix := range []string{"0s", "0m"} {
+		s = strings.TrimSuffix(s, suffix)
+	}
+	return s
+}
+
+// Publish writes the objective and per-endpoint multi-window burn-rate
+// gauges into the registry. The /metrics handler calls this at scrape
+// time, so the exported values are as fresh as the scrape.
+func (m *SLOMonitor) Publish(reg *Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.Gauge("slo/objective_ms").Set(float64(m.obj.Target) / float64(time.Millisecond))
+	reg.Gauge("slo/quantile").Set(m.obj.Quantile)
+	for _, ep := range m.Endpoints() {
+		for _, w := range sloWindows {
+			reg.Gauge("slo/" + ep + "/burn_rate_" + fmtWindow(w)).Set(m.BurnRate(ep, w))
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	o, err := ParseSLO("p99=250ms")
+	if err != nil {
+		t.Fatalf("ParseSLO: %v", err)
+	}
+	if o.Quantile != 0.99 || o.Target != 250*time.Millisecond {
+		t.Fatalf("got %+v", o)
+	}
+	if o, err = ParseSLO("p99.9=1s"); err != nil || math.Abs(o.Quantile-0.999) > 1e-12 || o.Target != time.Second {
+		t.Fatalf("p99.9=1s: %+v, %v", o, err)
+	}
+	for _, bad := range []string{"", "99=250ms", "p99", "p0=1s", "p100=1s", "p99=0s", "p99=fast"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestSLOMonitorBurnRate(t *testing.T) {
+	obj, _ := ParseSLO("p99=250ms")
+	m := NewSLOMonitor(obj)
+	now := time.Unix(1_000_000, 0)
+	m.now = func() time.Time { return now }
+
+	// 100 requests, 2 bad (one slow, one failed): bad fraction 2% against a
+	// 1% budget is a burn rate of 2.
+	for i := 0; i < 98; i++ {
+		m.Observe("recover", 10*time.Millisecond, false)
+	}
+	m.Observe("recover", 400*time.Millisecond, false)
+	m.Observe("recover", 10*time.Millisecond, true)
+
+	for _, w := range []time.Duration{5 * time.Minute, time.Hour} {
+		if got := m.BurnRate("recover", w); got < 1.99 || got > 2.01 {
+			t.Fatalf("burn rate over %v = %g, want 2", w, got)
+		}
+	}
+	if got := m.BurnRate("measure", 5*time.Minute); got != 0 {
+		t.Fatalf("idle endpoint burns %g", got)
+	}
+
+	// Six minutes later the 5m window has forgotten the burn; the 1h window
+	// still remembers it.
+	now = now.Add(6 * time.Minute)
+	if got := m.BurnRate("recover", 5*time.Minute); got != 0 {
+		t.Fatalf("5m window did not expire: %g", got)
+	}
+	if got := m.BurnRate("recover", time.Hour); got < 1.99 || got > 2.01 {
+		t.Fatalf("1h window lost the burn: %g", got)
+	}
+
+	// Past the ring horizon everything is forgotten.
+	now = now.Add(2 * time.Hour)
+	if got := m.BurnRate("recover", time.Hour); got != 0 {
+		t.Fatalf("burn survived past the ring horizon: %g", got)
+	}
+}
+
+func TestSLOPublishGauges(t *testing.T) {
+	obj, _ := ParseSLO("p95=100ms")
+	m := NewSLOMonitor(obj)
+	m.Observe("recover", 500*time.Millisecond, false) // slow: burns budget
+	reg := NewRegistry()
+	m.Publish(reg)
+
+	if v := reg.Gauge("slo/objective_ms").Value(); v != 100 {
+		t.Fatalf("objective_ms = %g", v)
+	}
+	if v := reg.Gauge("slo/quantile").Value(); v != 0.95 {
+		t.Fatalf("quantile = %g", v)
+	}
+	burn := reg.Gauge("slo/recover/burn_rate_5m").Value()
+	if burn < 19.9 || burn > 20.1 { // 100% bad / 5% budget
+		t.Fatalf("burn_rate_5m = %g, want 20", burn)
+	}
+	if reg.Gauge("slo/recover/burn_rate_1h").Value() == 0 {
+		t.Fatal("burn_rate_1h gauge missing")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 90 fast observations in the 10–100 decade, 10 slow in 100–1000.
+	for i := 0; i < 90; i++ {
+		h.Observe(20)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 10 || p50 >= 100 {
+		t.Fatalf("p50 = %g, want within the fast decade [10, 100)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 100 || p99 > 500 {
+		t.Fatalf("p99 = %g, want within the slow decade (clamped at max 500)", p99)
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("extreme quantiles should clamp to min/max")
+	}
+	if p50 > p99 {
+		t.Fatalf("quantiles not monotone: p50 %g > p99 %g", p50, p99)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile should be 0")
+	}
+}
+
+func TestPrometheusQuantileLines(t *testing.T) {
+	r := NewRecorder()
+	h := r.Registry().Histogram("serve/latency_ms")
+	for i := 0; i < 99; i++ {
+		h.Observe(15)
+	}
+	h.Observe(700)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE parma_serve_latency_ms summary",
+		"parma_serve_latency_ms_count 100",
+		`parma_serve_latency_ms{quantile="0.5"}`,
+		`parma_serve_latency_ms{quantile="0.9"}`,
+		`parma_serve_latency_ms{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// An empty histogram must not emit quantile lines (NaN-free output).
+	r2 := NewRecorder()
+	r2.Registry().Histogram("empty")
+	buf.Reset()
+	if err := r2.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `parma_empty{quantile`) {
+		t.Fatalf("empty histogram emitted quantiles:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// Structured logging: a slog.Logger whose handler stamps every record with
+// the trace and span ids carried by the log call's context, so a grep for
+// one trace id joins the daemon's log lines with the request's span tree.
+// A process-global logger (SetLogger/Log) replaces ad-hoc log.Printf use
+// in the serving and transport layers and follows the format the daemon
+// was started with.
+
+// traceHandler decorates a slog.Handler with trace-id stamping.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h traceHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if tc, ok := TraceFromContext(ctx); ok {
+		rec.AddAttrs(
+			slog.String("trace_id", tc.Trace.String()),
+			slog.String("span_id", tc.Span.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds a trace-stamping structured logger writing to w.
+// format is "json" or "text"; anything else is an error.
+func NewLogger(w io.Writer, format string, level slog.Leveler) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	var inner slog.Handler
+	switch format {
+	case "json":
+		inner = slog.NewJSONHandler(w, opts)
+	case "text":
+		inner = slog.NewTextHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want json or text)", format)
+	}
+	return slog.New(traceHandler{inner: inner}), nil
+}
+
+// logger is the process-global structured logger; nil until SetLogger,
+// after which Log returns it instead of the lazily built default.
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger installs l as the process-global logger returned by Log.
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		logger.Store(l)
+	}
+}
+
+// Log returns the process-global structured logger. Before SetLogger it
+// defaults to text format on stderr at info level, so library code can log
+// unconditionally.
+func Log() *slog.Logger {
+	if l := logger.Load(); l != nil {
+		return l
+	}
+	l, _ := NewLogger(os.Stderr, "text", slog.LevelInfo)
+	logger.CompareAndSwap(nil, l)
+	return logger.Load()
+}

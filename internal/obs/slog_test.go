@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLoggerStampsTraceIDs(t *testing.T) {
+	r := NewRecorder()
+	Enable(r)
+	defer Disable()
+
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	ctx, sp := StartSpanCtx(context.Background(), "req")
+	log.InfoContext(ctx, "batch dispatched", "size", 3)
+	sp.End()
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["trace_id"] != sp.Trace().String() {
+		t.Fatalf("trace_id %v, want %s", rec["trace_id"], sp.Trace())
+	}
+	if rec["span_id"] != sp.ID().String() {
+		t.Fatalf("span_id %v, want %s", rec["span_id"], sp.ID())
+	}
+	if rec["size"] != float64(3) || rec["msg"] != "batch dispatched" {
+		t.Fatalf("attributes lost: %v", rec)
+	}
+}
+
+func TestLoggerTextWithoutTrace(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("listening", "addr", "127.0.0.1:0")
+	out := buf.String()
+	if !strings.Contains(out, "msg=listening") || !strings.Contains(out, "addr=127.0.0.1:0") {
+		t.Fatalf("unexpected text output: %s", out)
+	}
+	if strings.Contains(out, "trace_id") {
+		t.Fatalf("untraced log line got a trace id: %s", out)
+	}
+}
+
+func TestNewLoggerRejectsUnknownFormat(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "xml", slog.LevelInfo); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestGlobalLogger(t *testing.T) {
+	if Log() == nil {
+		t.Fatal("default global logger is nil")
+	}
+	var buf bytes.Buffer
+	l, _ := NewLogger(&buf, "json", slog.LevelInfo)
+	SetLogger(l)
+	Log().Info("hello")
+	if !strings.Contains(buf.String(), `"msg":"hello"`) {
+		t.Fatalf("global logger did not route to installed sink: %s", buf.String())
+	}
+}
+
+func TestLoggerWithAttrsKeepsStamping(t *testing.T) {
+	r := NewRecorder()
+	Enable(r)
+	defer Disable()
+	var buf bytes.Buffer
+	base, _ := NewLogger(&buf, "json", slog.LevelInfo)
+	log := base.With("component", "serve")
+	ctx, sp := StartSpanCtx(context.Background(), "req")
+	log.InfoContext(ctx, "queued")
+	sp.End()
+	out := buf.String()
+	if !strings.Contains(out, `"component":"serve"`) || !strings.Contains(out, `"trace_id"`) {
+		t.Fatalf("WithAttrs lost stamping: %s", out)
+	}
+}

@@ -80,13 +80,22 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Ts:  float64(ev.Start) / float64(time.Microsecond),
 			Dur: float64(ev.Dur) / float64(time.Microsecond),
 		}
-		if len(ev.Attrs) > 0 {
-			te.Args = make(map[string]any, len(ev.Attrs))
+		if len(ev.Attrs) > 0 || !ev.Trace.IsZero() {
+			te.Args = make(map[string]any, len(ev.Attrs)+3)
 			for _, a := range ev.Attrs {
 				if a.num {
 					te.Args[a.Key] = a.Num
 				} else {
 					te.Args[a.Key] = a.Str
+				}
+			}
+			// Trace identity rides in args so merged multi-process files can
+			// rebuild each request's span tree (see ValidateDistributedTrace).
+			if !ev.Trace.IsZero() {
+				te.Args["trace_id"] = ev.Trace.String()
+				te.Args["span_id"] = ev.Span.String()
+				if !ev.Parent.IsZero() {
+					te.Args["parent_id"] = ev.Parent.String()
 				}
 			}
 		}

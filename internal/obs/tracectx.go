@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand/v2"
+)
+
+// Trace context: request-scoped identity carried on context.Context and on
+// the wire, W3C trace-context style. A TraceID names one logical request
+// end to end; every span opened under it gets a fresh SpanID and records
+// the SpanID of its parent, so spans recorded by different goroutines,
+// ranks, or processes can be re-joined into one tree after the fact.
+//
+// The wire encoding is the traceparent header format:
+//
+//	00-<32 hex trace-id>-<16 hex span-id>-01
+//
+// which lets external load generators and proxies participate without any
+// Parma-specific framing.
+
+// TraceID identifies one end-to-end request. The zero value means "no
+// trace": untraced spans carry it and are ignored by tree validation.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. Zero means "no parent" when
+// used as a parent reference (i.e. the span is a trace root).
+type SpanID [8]byte
+
+// IsZero reports whether the id is the absent-trace sentinel.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is the no-parent sentinel.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID draws a random non-zero trace id. The process-global PRNG is
+// randomly seeded, so ids are unique across ranks for any realistic load.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[0:8], mrand.Uint64())
+		putUint64(t[8:16], mrand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID draws a random non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		putUint64(s[0:8], mrand.Uint64())
+	}
+	return s
+}
+
+func putUint64(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// TraceContext is the propagated pair: which trace a unit of work belongs
+// to, and which span is its parent there.
+type TraceContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a trace.
+func (tc TraceContext) Valid() bool { return !tc.Trace.IsZero() }
+
+// Traceparent encodes the context in the W3C traceparent header format.
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-01", tc.Trace, tc.Span)
+}
+
+// ParseTraceparent decodes a traceparent header. Only version 00 with a
+// non-zero trace id is accepted; the sampled flag is ignored (Parma's
+// sampling decision is the recorder being enabled).
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("obs: malformed traceparent %q", s)
+	}
+	if _, err := hex.Decode(tc.Trace[:], []byte(s[3:35])); err != nil {
+		return tc, fmt.Errorf("obs: bad trace id in %q: %w", s, err)
+	}
+	if _, err := hex.Decode(tc.Span[:], []byte(s[36:52])); err != nil {
+		return tc, fmt.Errorf("obs: bad span id in %q: %w", s, err)
+	}
+	if tc.Trace.IsZero() {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q has all-zero trace id", s)
+	}
+	return tc, nil
+}
+
+// traceCtxKey keys the TraceContext stored in a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a child context carrying tc. A zero tc returns
+// ctx unchanged.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context, if any, from ctx.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// StartSpanCtx opens a span as a child of the trace carried by ctx (or as
+// a fresh trace root when ctx carries none) and returns a derived context
+// under which further StartSpanCtx/StartSpanIn calls parent to the new
+// span. When recording is disabled it returns ctx unchanged and an inert
+// span, costing one atomic load and zero allocations.
+func StartSpanCtx(ctx context.Context, name string) (context.Context, Span) {
+	r := def.Load()
+	if r == nil {
+		return ctx, Span{}
+	}
+	tc, ok := TraceFromContext(ctx)
+	if !ok {
+		tc = TraceContext{Trace: NewTraceID()} // fresh trace, span is its root
+	}
+	sp := r.startTraced(AnonTrack, name, tc)
+	return ContextWithTrace(ctx, TraceContext{Trace: sp.trace, Span: sp.id}), sp
+}
+
+// StartSpanIn opens a span parented to the trace carried by ctx without
+// deriving a new context: siblings started with StartSpanIn all attach to
+// the same parent. With no trace on ctx it behaves like StartSpan; when
+// recording is disabled it is free.
+func StartSpanIn(ctx context.Context, name string) Span {
+	r := def.Load()
+	if r == nil {
+		return Span{}
+	}
+	tc, _ := TraceFromContext(ctx)
+	if !tc.Valid() {
+		return r.StartSpan(name)
+	}
+	return r.startTraced(AnonTrack, name, tc)
+}
+
+// StartOnTraced opens a span on an explicit track under the given trace
+// and parent. A zero parent makes the span a root of the trace. MPI ranks
+// use this to parent their spans to the originating request after the
+// trace context arrives in frame metadata.
+func StartOnTraced(track int32, name string, trace TraceID, parent SpanID) Span {
+	r := def.Load()
+	if r == nil {
+		return Span{}
+	}
+	return r.startTraced(track, name, TraceContext{Trace: trace, Span: parent})
+}
+
+// startTraced opens a span under tc; a zero tc falls back to an untraced
+// span so one code path serves both modes.
+func (r *Recorder) startTraced(track int32, name string, tc TraceContext) Span {
+	sp := r.StartOn(track, name)
+	if tc.Valid() {
+		sp.trace = tc.Trace
+		sp.parent = tc.Span
+		sp.id = NewSpanID()
+	}
+	return sp
+}
+
+// Trace returns the span's trace id (zero when untraced).
+func (s Span) Trace() TraceID { return s.trace }
+
+// ID returns the span's own id (zero when untraced).
+func (s Span) ID() SpanID { return s.id }
+
+// TraceContext returns the pair a child of this span would propagate.
+func (s Span) TraceContext() TraceContext {
+	return TraceContext{Trace: s.trace, Span: s.id}
+}

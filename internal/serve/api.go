@@ -39,6 +39,22 @@ type RecoverRequest struct {
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
+// Timings is the per-request latency attribution breakdown: where one
+// request's wall time went, stage by stage. queue_ms is admission to
+// dispatcher dequeue, batch_ms is the batching-window wait until a worker
+// picked the task up, factor_ms is time spent factorizing grounded
+// Laplacians inside the solve, and solve_ms is the remaining solver time.
+// The four stages sum to within jitter of total_ms, so a client (or an SLO
+// dashboard) can see at a glance whether a slow request burned its budget
+// queueing, batching, or computing.
+type Timings struct {
+	QueueMS  float64 `json:"queue_ms"`
+	BatchMS  float64 `json:"batch_ms"`
+	FactorMS float64 `json:"factor_ms"`
+	SolveMS  float64 `json:"solve_ms"`
+	TotalMS  float64 `json:"total_ms"`
+}
+
 // RecoverResponse is the POST /v1/recover reply.
 type RecoverResponse struct {
 	R          [][]float64 `json:"r"`
@@ -48,6 +64,14 @@ type RecoverResponse struct {
 	BatchSize  int         `json:"batch_size"`
 	QueuedMS   float64     `json:"queued_ms"`
 	SolveMS    float64     `json:"solve_ms"`
+	// Timings attributes the request's latency across pipeline stages; it
+	// is omitted on degraded (stale-cache) replies, which never entered the
+	// pipeline.
+	Timings *Timings `json:"timings,omitempty"`
+	// TraceID echoes the request's distributed trace so clients can join
+	// their own telemetry to the server's span tree (also exposed as a
+	// traceparent response header).
+	TraceID string `json:"trace_id,omitempty"`
 	// Degraded marks a stale-cache answer served because the live pipeline
 	// could not run this request (saturation, deadline, or an open circuit
 	// breaker). R is then the last good recovery for this geometry, not a
@@ -72,6 +96,12 @@ type MeasureResponse struct {
 	BatchSize int         `json:"batch_size"`
 	QueuedMS  float64     `json:"queued_ms"`
 	SolveMS   float64     `json:"solve_ms"`
+	// Timings attributes the request's latency across pipeline stages (see
+	// RecoverResponse.Timings); factor_ms is the Laplacian factorization —
+	// near zero on a factorization-cache hit.
+	Timings *Timings `json:"timings,omitempty"`
+	// TraceID echoes the request's distributed trace.
+	TraceID string `json:"trace_id,omitempty"`
 	// Degraded marks a stale-cache answer: the last measured Z for this
 	// geometry, which may correspond to a different R than the one
 	// submitted.

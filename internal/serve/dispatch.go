@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"parma/internal/grid"
+	"parma/internal/kirchhoff"
+	"parma/internal/mpi"
 	"parma/internal/obs"
 	"parma/internal/solver"
 )
@@ -41,7 +43,17 @@ type task struct {
 	maxIter int
 	warm    bool
 	enq     time.Time
+	deq     time.Time       // set by the dispatcher when the task leaves the intake queue
+	run     time.Time       // set by the worker when execution starts
 	done    chan taskResult // buffered(1): workers never block on a gone handler
+
+	// Stage spans attribute pipeline latency inside the request's trace:
+	// queueSpan covers admission → dispatcher dequeue, batchSpan covers the
+	// batching-window wait until a worker starts the task. Each is written
+	// strictly before the task crosses the channel to the goroutine that
+	// ends it, so the channel send orders the handoff.
+	queueSpan obs.Span
+	batchSpan obs.Span
 }
 
 // taskResult is the worker's reply to the handler.
@@ -53,12 +65,39 @@ type taskResult struct {
 	batchSize  int
 	queued     time.Duration
 	solve      time.Duration
-	status     int // HTTP status when err != nil
+	factor     time.Duration // Laplacian factorization share of solve
+	timings    *Timings      // stage attribution; nil when the task never ran
+	status     int           // HTTP status when err != nil
 	err        error
 }
 
+// ms converts a duration to float milliseconds without truncating
+// sub-millisecond stages to zero.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 func (t *task) finish(res taskResult) {
 	res.queued = time.Since(t.enq) - res.solve
+	if !t.run.IsZero() {
+		deq := t.deq
+		if deq.IsZero() {
+			deq = t.run
+		}
+		solve := res.solve - res.factor
+		if solve < 0 {
+			solve = 0
+		}
+		res.timings = &Timings{
+			QueueMS:  ms(deq.Sub(t.enq)),
+			BatchMS:  ms(t.run.Sub(deq)),
+			FactorMS: ms(res.factor),
+			SolveMS:  ms(solve),
+			TotalMS:  ms(time.Since(t.enq)),
+		}
+		obs.Observe("serve/stage/queue_ms", res.timings.QueueMS)
+		obs.Observe("serve/stage/batch_ms", res.timings.BatchMS)
+		obs.Observe("serve/stage/factor_ms", res.timings.FactorMS)
+		obs.Observe("serve/stage/solve_ms", res.timings.SolveMS)
+	}
 	t.done <- res
 }
 
@@ -131,6 +170,9 @@ func (s *Server) dispatch() {
 				}
 				return
 			}
+			t.deq = time.Now()
+			t.queueSpan.End()
+			t.batchSpan = obs.StartSpanIn(t.ctx, "serve/batchwait")
 			b := buckets[t.key]
 			if b == nil {
 				b = &bucket{flushAt: time.Now().Add(s.cfg.BatchWindow)}
@@ -162,6 +204,7 @@ func (s *Server) worker() {
 // result (the queue-depth decrement lives in finish's caller, admitDone).
 func (s *Server) runTask(t *task, batchSize int) {
 	defer s.admitDone()
+	t.batchSpan.End(obs.I("batch", batchSize))
 	obs.Observe("serve/queue_wait_ms", float64(time.Since(t.enq).Milliseconds()))
 	if err := t.ctx.Err(); err != nil {
 		obs.Add("serve/abandoned_in_queue", 1)
@@ -169,7 +212,7 @@ func (s *Server) runTask(t *task, batchSize int) {
 			err: fmt.Errorf("abandoned while queued: %w", err), batchSize: batchSize})
 		return
 	}
-	start := time.Now()
+	t.run = time.Now()
 	var res taskResult
 	switch t.kind {
 	case kindRecover:
@@ -178,8 +221,19 @@ func (s *Server) runTask(t *task, batchSize int) {
 		res = s.runMeasure(t)
 	}
 	res.batchSize = batchSize
-	res.solve = time.Since(start)
+	res.solve = time.Since(t.run)
 	obs.Observe("serve/latency_"+t.kind.String()+"_ms", float64(time.Since(t.enq).Milliseconds()))
+	if obs.Enabled() {
+		// Per-geometry-keyspace RED: the same rate/error/duration triple the
+		// endpoints export, cut by geometry so a single hot keyspace is
+		// visible. Guarded so the disabled hot path never concatenates names.
+		gk := geomKey(t.arr)
+		obs.Add("serve/red/geom/"+gk+"/requests", 1)
+		if res.err != nil {
+			obs.Add("serve/red/geom/"+gk+"/errors", 1)
+		}
+		obs.Observe("serve/red/geom/"+gk+"/latency_ms", ms(time.Since(t.enq)))
+	}
 	t.finish(res)
 }
 
@@ -188,8 +242,14 @@ func (s *Server) runTask(t *task, batchSize int) {
 // retry: a stale seed from different traffic must not fail a request the
 // cold path would have served.
 func (s *Server) runRecover(t *task) taskResult {
-	sp := obs.StartSpan("serve/recover")
+	ctx, sp := obs.StartSpanCtx(t.ctx, "serve/recover")
 	defer sp.End(obs.S("key", t.key))
+	if s.cfg.ValidateRanks > 0 {
+		if err := s.validateFormation(ctx, t); err != nil {
+			return taskResult{status: http.StatusInternalServerError,
+				err: fmt.Errorf("rank validation failed: %w", err)}
+		}
+	}
 	opts := solver.RecoverOptions{Tol: t.tol, MaxIter: t.maxIter}
 	warmUsed := false
 	if t.warm {
@@ -198,39 +258,81 @@ func (s *Server) runRecover(t *task) taskResult {
 			warmUsed = true
 		}
 	}
-	res, err := solver.Recover(t.ctx, t.arr, t.field, opts)
+	res, err := solver.Recover(ctx, t.arr, t.field, opts)
+	factor := res.FactorTime
 	if err != nil && warmUsed && errors.Is(err, solver.ErrDiverged) {
 		obs.Add("serve/warm_retries", 1)
 		opts.Initial = nil
-		res, err = solver.Recover(t.ctx, t.arr, t.field, opts)
+		res, err = solver.Recover(ctx, t.arr, t.field, opts)
+		factor += res.FactorTime
 	}
 	if err != nil {
 		if errors.Is(err, solver.ErrCanceled) {
-			return taskResult{status: http.StatusServiceUnavailable,
+			return taskResult{status: http.StatusServiceUnavailable, factor: factor,
 				err: fmt.Errorf("recovery cancelled: %w", err)}
 		}
-		return taskResult{status: http.StatusUnprocessableEntity,
+		return taskResult{status: http.StatusUnprocessableEntity, factor: factor,
 			err: fmt.Errorf("recovery failed: %w", err)}
 	}
 	s.cache.StoreWarmStart(t.arr, res.R)
 	return taskResult{field: res.R, iterations: res.Iterations,
-		residual: res.Residual, cacheHit: warmUsed}
+		residual: res.Residual, cacheHit: warmUsed, factor: factor}
 }
+
+// validateFormation cross-checks the request geometry's equation census
+// against an actual distributed formation across cfg.ValidateRanks
+// in-process MPI ranks. It runs under the request's context, so every
+// rank's spans parent into the request trace — this is the paranoia knob
+// for deployments that want each recovery's constraint system witnessed by
+// the parallel formation path, and the natural producer of cross-rank
+// traces for parma tracecheck -distributed.
+func (s *Server) validateFormation(ctx context.Context, t *task) error {
+	p, err := kirchhoff.NewProblem(t.arr, t.field, validateSourceU)
+	if err != nil {
+		return fmt.Errorf("building validation problem: %w", err)
+	}
+	want := kirchhoff.SystemCensus(t.arr).Equations
+	totals := make([]int, s.cfg.ValidateRanks)
+	errs := mpi.NewWorld(s.cfg.ValidateRanks, mpi.CostModel{}).RunCtx(ctx,
+		func(_ context.Context, c *mpi.Comm) error {
+			fr, err := mpi.DistributedFormation(c, p)
+			if err != nil {
+				return err
+			}
+			totals[c.Rank()] = fr.TotalEquations
+			return nil
+		})
+	if err := mpi.FirstError(errs); err != nil {
+		return fmt.Errorf("distributed formation: %w", err)
+	}
+	for r, total := range totals {
+		if total != want {
+			return fmt.Errorf("rank %d saw %d equations, census says %d", r, total, want)
+		}
+	}
+	return nil
+}
+
+// validateSourceU is the applied voltage for validation formations (the
+// paper's 5 V); the equation count being checked is voltage-independent.
+const validateSourceU = 5
 
 // runMeasure runs the forward simulator over a (possibly cached)
 // factorization, honouring cancellation between rows.
 func (s *Server) runMeasure(t *task) taskResult {
-	sp := obs.StartSpan("serve/measure")
+	sp := obs.StartSpanIn(t.ctx, "serve/measure")
 	defer sp.End(obs.S("key", t.key))
+	f0 := time.Now()
 	sol, hit, err := s.cache.Solver(t.arr, t.field)
+	factor := time.Since(f0)
 	if err != nil {
-		return taskResult{status: http.StatusUnprocessableEntity,
+		return taskResult{status: http.StatusUnprocessableEntity, factor: factor,
 			err: fmt.Errorf("forward model rejected the field: %w", err)}
 	}
 	z := grid.NewFieldFor(t.arr)
 	for i := 0; i < t.arr.Rows(); i++ {
 		if err := t.ctx.Err(); err != nil {
-			return taskResult{status: http.StatusServiceUnavailable,
+			return taskResult{status: http.StatusServiceUnavailable, factor: factor,
 				err: fmt.Errorf("measurement cancelled: %w", err)}
 		}
 		for j := 0; j < t.arr.Cols(); j++ {
@@ -238,5 +340,5 @@ func (s *Server) runMeasure(t *task) taskResult {
 		}
 	}
 	s.cache.StoreLastZ(t.arr, z)
-	return taskResult{field: z, cacheHit: hit}
+	return taskResult{field: z, cacheHit: hit, factor: factor}
 }

@@ -59,6 +59,15 @@ type Config struct {
 	// Recorder, when set, is served by GET /metrics. (Installing it as the
 	// global obs recorder is the caller's choice; see cmd/parmad.)
 	Recorder *obs.Recorder
+	// SLO, when set, tracks per-endpoint burn rates against a latency
+	// objective; /metrics publishes the multi-window gauges at scrape time.
+	SLO *obs.SLOMonitor
+	// ValidateRanks, when positive, cross-checks every recover request's
+	// constraint system by running a distributed formation across that many
+	// in-process MPI ranks (under the request's trace) and comparing the
+	// equation total against the analytic census. A mismatch fails the
+	// request with 500. Zero disables the check.
+	ValidateRanks int
 }
 
 func (c Config) withDefaults() Config {
@@ -228,16 +237,84 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /debug/pprof/*   runtime profiles (when Config.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/recover", s.handleRecover)
-	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/recover", s.instrument("recover", "serve/http/recover", s.handleRecover))
+	mux.HandleFunc("POST /v1/measure", s.instrument("measure", "serve/http/measure", s.handleMeasure))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", "serve/http/healthz", s.handleHealthz))
 	if s.cfg.Recorder != nil {
-		mux.Handle("GET /metrics", obs.MetricsHandler(s.cfg.Recorder))
+		metrics := obs.MetricsHandler(s.cfg.Recorder)
+		mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Burn rates are computed at scrape time so the gauges are as
+			// fresh as the scrape, not as stale as the last request.
+			s.cfg.SLO.Publish(s.cfg.Recorder.Registry())
+			metrics.ServeHTTP(w, r)
+		}))
 	}
 	if s.cfg.EnablePprof {
 		mux.Handle("/debug/pprof/", obs.PprofMux())
 	}
 	return mux
+}
+
+// redNames precomputes one endpoint's rate/error/duration metric names so
+// the instrumented request path never concatenates strings.
+type redNames struct {
+	requests, errors, latency string
+}
+
+// statusWriter captures the response status for RED and SLO accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with the observability stack: traceparent
+// adoption (or a fresh trace), a request-scoped span the whole pipeline
+// parents under, RED metrics, and SLO burn accounting. A request counts as
+// failed for error-rate and SLO purposes when it was shed (429) or the
+// server broke (5xx) — client-data 4xxes are the client's problem, not
+// budget burn. With recording disabled and no SLO configured the wrapper
+// is two loads and a nil check: the hot path allocates nothing.
+func (s *Server) instrument(endpoint, spanName string, h http.HandlerFunc) http.HandlerFunc {
+	names := redNames{
+		requests: "serve/red/" + endpoint + "/requests",
+		errors:   "serve/red/" + endpoint + "/errors",
+		latency:  "serve/red/" + endpoint + "/latency_ms",
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !obs.Enabled() && s.cfg.SLO == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		ctx := r.Context()
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if tc, err := obs.ParseTraceparent(tp); err == nil {
+				ctx = obs.ContextWithTrace(ctx, tc)
+			}
+		}
+		ctx, sp := obs.StartSpanCtx(ctx, spanName)
+		if !sp.Trace().IsZero() {
+			w.Header().Set("traceparent", sp.TraceContext().Traceparent())
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		sp.End(obs.I("status", sw.status))
+		failed := sw.status >= 500 || sw.status == http.StatusTooManyRequests
+		obs.Add(names.requests, 1)
+		if failed {
+			obs.Add(names.errors, 1)
+		}
+		obs.Observe(names.latency, float64(elapsed)/float64(time.Millisecond))
+		if s.cfg.SLO != nil {
+			s.cfg.SLO.Observe(endpoint, elapsed, failed)
+		}
+	}
 }
 
 // maxBodyBytes bounds request bodies: a 64x64 float64 matrix in JSON is
@@ -326,7 +403,9 @@ func (s *Server) runViaQueue(w http.ResponseWriter, t *task, cancel context.Canc
 			fmt.Errorf("serve: circuit breaker open for geometry %s", gk))
 		return taskResult{}, false
 	}
+	t.queueSpan = obs.StartSpanIn(t.ctx, "serve/queue")
 	if err := s.admit(t); err != nil {
+		t.queueSpan.End()
 		// allow() above may have released a half-open probe; a probe turned
 		// away by admission MUST still settle the breaker, or probing=true
 		// leaks forever and no later request can ever retry the keyspace.
@@ -409,6 +488,8 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		BatchSize:  res.batchSize,
 		QueuedMS:   float64(res.queued) / float64(time.Millisecond),
 		SolveMS:    float64(res.solve) / float64(time.Millisecond),
+		Timings:    res.timings,
+		TraceID:    traceIDFor(r),
 	})
 }
 
@@ -446,7 +527,18 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		BatchSize: res.batchSize,
 		QueuedMS:  float64(res.queued) / float64(time.Millisecond),
 		SolveMS:   float64(res.solve) / float64(time.Millisecond),
+		Timings:   res.timings,
+		TraceID:   traceIDFor(r),
 	})
+}
+
+// traceIDFor reads the request's trace identity (set by instrument) for
+// echoing in response bodies; empty when tracing is off.
+func traceIDFor(r *http.Request) string {
+	if tc, ok := obs.TraceFromContext(r.Context()); ok {
+		return tc.Trace.String()
+	}
+	return ""
 }
 
 func cacheLabel(hit bool) string {

@@ -73,7 +73,7 @@ func NewtonSolve(ctx context.Context, f func(mat.Vector) mat.Vector, jac func(ma
 		if err := canceled(ctx); err != nil {
 			return x, iter, err
 		}
-		spIter := obs.StartSpan("solver/newton_iter")
+		spIter := obs.StartSpanIn(ctx, "solver/newton_iter")
 		j := jac(x)
 		step, err := mat.Solve(j, res)
 		if err != nil {

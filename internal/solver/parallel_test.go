@@ -46,7 +46,7 @@ func TestParallelJacobianMatchesSerial(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		prev := mat.Parallelism(workers)
 		got := mat.NewMatrix(m*n, m*n)
-		assembleJacobian(got, fwd, r)
+		assembleJacobian(context.Background(), got, fwd, r)
 		mat.Parallelism(prev)
 		if !got.ApproxEqual(want, 1e-12) {
 			t.Errorf("workers=%d: parallel Jacobian differs from serial reference", workers)
@@ -145,7 +145,7 @@ func TestConcurrentRecoverSharedSolver(t *testing.T) {
 		defer wg.Done()
 		jac := mat.NewMatrix(25, 25)
 		for rep := 0; rep < 3; rep++ {
-			assembleJacobian(jac, shared, r)
+			assembleJacobian(context.Background(), jac, shared, r)
 		}
 	}()
 	wg.Wait()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"parma/internal/circuit"
 	"parma/internal/grid"
@@ -27,6 +28,11 @@ type RecoverResult struct {
 	R          *grid.Field // the recovered resistance field
 	Iterations int
 	Residual   float64 // final relative residual
+	// FactorTime is the cumulative time spent factorizing grounded
+	// Laplacians (circuit.NewSolver) across every forward solve, the
+	// dominant per-iteration cost the serving layer attributes separately
+	// from the rest of the solve.
+	FactorTime time.Duration
 }
 
 // Recover estimates the resistance field from a measured Z matrix by
@@ -55,7 +61,7 @@ type RecoverResult struct {
 // ErrCanceled; the best iterate so far is still returned in the result, so
 // a serving layer can stop burning CPU on abandoned requests without
 // losing the partial estimate.
-func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptions) (RecoverResult, error) {
+func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptions) (result RecoverResult, err error) {
 	if z.Rows() != a.Rows() || z.Cols() != a.Cols() {
 		return RecoverResult{}, fmt.Errorf("solver: Z is %dx%d but array is %dx%d",
 			z.Rows(), z.Cols(), a.Rows(), a.Cols())
@@ -99,8 +105,11 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 	// per-pair residuals, fanning the m·n independent pair solves across the
 	// shared kernel pool (the factorization is read-only after NewSolver, so
 	// pair solves are free to run concurrently).
+	var factorTime time.Duration
 	residualInto := func(field *grid.Field, dst mat.Vector) (*circuit.Solver, error) {
+		t0 := time.Now()
 		s, err := circuit.NewSolver(a, field)
+		factorTime += time.Since(t0)
 		if err != nil {
 			return nil, err
 		}
@@ -134,8 +143,9 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 	trial := grid.NewField(m, n)
 	trialRes := mat.NewVector(m * n)
 
-	result := RecoverResult{R: r}
-	spRecover := obs.StartSpan("solver/recover")
+	result.R = r
+	defer func() { result.FactorTime = factorTime }()
+	ctx, spRecover := obs.StartSpanCtx(ctx, "solver/recover")
 	defer func() {
 		if spRecover.Active() {
 			spRecover.End(obs.I("iterations", result.Iterations), obs.F("residual", result.Residual))
@@ -150,8 +160,8 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 		if err := canceled(ctx); err != nil {
 			return result, err
 		}
-		spIter := obs.StartSpan("solver/newton_iter")
-		assembleJacobian(jac, fwd, r)
+		spIter := obs.StartSpanIn(ctx, "solver/newton_iter")
+		assembleJacobian(ctx, jac, fwd, r)
 		jac.ATAInto(jtj)
 		jac.MulTVecTo(jtr, res)
 
@@ -229,9 +239,9 @@ const pairGrain = 4
 // workers write disjoint memory and need no locks; fwd is immutable after
 // construction (pinned under -race in internal/circuit), which is what
 // makes the concurrent solves sound.
-func assembleJacobian(jac *mat.Matrix, fwd *circuit.Solver, r *grid.Field) {
+func assembleJacobian(ctx context.Context, jac *mat.Matrix, fwd *circuit.Solver, r *grid.Field) {
 	m, n := r.Rows(), r.Cols()
-	sp := obs.StartSpan("solver/jacobian")
+	sp := obs.StartSpanIn(ctx, "solver/jacobian")
 	rv := r.Values()
 	mat.ParallelFor(m*n, 1, func(lo, hi int) {
 		for pq := lo; pq < hi; pq++ {
