@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke vet parmavet fmt figures examples obs-smoke serve-smoke chaos-smoke trace-smoke fuzz-smoke clean
+.PHONY: all build test race lint bench bench-smoke vet parmavet vet-fixtures fmt figures examples obs-smoke serve-smoke chaos-smoke trace-smoke fuzz-smoke clean
 
 all: lint test race build obs-smoke
 
@@ -42,10 +42,22 @@ vet:
 	$(GO) vet ./...
 
 # parmavet runs the project-specific analyzers (span lifetimes, dropped MPI
-# errors, float equality, locks across blocking calls). See
-# docs/static-analysis.md.
+# errors, float equality, locks across blocking calls, determinism, context
+# propagation, atomic/plain mixes). See docs/static-analysis.md.
 parmavet:
 	$(GO) run ./cmd/parmavet ./...
+
+# vet-fixtures proves the suite still bites: parmavet over every fixture
+# package must exit 1 (findings present). The glob picks up new fixture
+# directories automatically — no hand-maintained list to forget to extend.
+vet-fixtures:
+	@dirs=$$(find ./cmd/parmavet/testdata/src -mindepth 1 -maxdepth 1 -type d | sort); \
+	[ -n "$$dirs" ] || { echo "no fixture directories under cmd/parmavet/testdata/src"; exit 1; }; \
+	$(GO) run ./cmd/parmavet $$dirs; code=$$?; \
+	if [ "$$code" -ne 1 ]; then \
+		echo "parmavet exited $$code on fixtures, want 1 (the suite has gone blind)"; exit 1; \
+	fi; \
+	echo "vet-fixtures: suite still flags every fixture package"
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,100 @@
+package main
+
+// The -allows mode: instead of running analyzers, inventory every
+// `//parmavet:allow` suppression in the loaded packages together with its
+// `--`-separated justification. Suppressions are load-bearing — each one
+// is a finding the suite would otherwise report — so CI archives the
+// inventory as an artifact and the exit status enforces that none goes
+// unjustified.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// AllowSite is one //parmavet:allow comment.
+type AllowSite struct {
+	File          string   `json:"file"`
+	Line          int      `json:"line"`
+	Analyzers     []string `json:"analyzers"`
+	Justification string   `json:"justification"` // empty when the comment has no "--" clause
+}
+
+// collectAllows gathers every allow site in pkgs, sorted by
+// file/line.
+func collectAllows(pkgs []*Package) []AllowSite {
+	var sites []AllowSite
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					var names []string
+					for _, name := range strings.Split(m[1], ",") {
+						names = append(names, strings.TrimSpace(name))
+					}
+					just := ""
+					if _, after, found := strings.Cut(c.Text, "--"); found {
+						just = strings.TrimSpace(after)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					sites = append(sites, AllowSite{
+						File:          pos.Filename,
+						Line:          pos.Line,
+						Analyzers:     names,
+						Justification: just,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].File != sites[j].File {
+			return sites[i].File < sites[j].File
+		}
+		return sites[i].Line < sites[j].Line
+	})
+	return sites
+}
+
+// runAllows prints the suppression inventory and returns the exit code:
+// 0 when every site carries a justification, 1 otherwise.
+func runAllows(pkgs []*Package, jsonOut bool) int {
+	sites := collectAllows(pkgs)
+	missing := 0
+	for _, s := range sites {
+		if s.Justification == "" {
+			missing++
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if sites == nil {
+			sites = []AllowSite{}
+		}
+		if err := enc.Encode(sites); err != nil {
+			fmt.Fprintf(os.Stderr, "parmavet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, s := range sites {
+			just := s.Justification
+			if just == "" {
+				just = "(no justification)"
+			}
+			fmt.Printf("%s:%d: %s: %s\n", s.File, s.Line, strings.Join(s.Analyzers, ","), just)
+		}
+		fmt.Fprintf(os.Stderr, "parmavet: %d allow site(s), %d without justification\n", len(sites), missing)
+	}
+	if missing > 0 {
+		return 1
+	}
+	return 0
+}

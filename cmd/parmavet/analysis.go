@@ -28,10 +28,15 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// Pass carries one package through one analyzer.
+// Pass carries one package through one analyzer. Prog is the shared
+// whole-program call graph built once per run; analyzers that only need
+// the current package may ignore it, and it is nil-safe to query (a nil
+// Prog simply resolves nothing, degrading interprocedural checks to
+// their lexical behavior).
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 	findings *[]Finding
 }
 
@@ -58,10 +63,14 @@ type Analyzer struct {
 
 // analyzers returns the full suite in output order.
 func analyzers() []*Analyzer {
-	return []*Analyzer{spanendAnalyzer, mpierrAnalyzer, floateqAnalyzer, locksendAnalyzer, httptimeoutAnalyzer, poolsizeAnalyzer, retryboundAnalyzer, ctxspanAnalyzer}
+	return []*Analyzer{spanendAnalyzer, mpierrAnalyzer, floateqAnalyzer, locksendAnalyzer, httptimeoutAnalyzer, poolsizeAnalyzer, retryboundAnalyzer, ctxspanAnalyzer, determinismAnalyzer, ctxflowAnalyzer, atomicmixAnalyzer}
 }
 
-var allowRE = regexp.MustCompile(`parmavet:allow[ \t]+([a-z0-9_,]+)`)
+// allowRE matches the directive form only — the comment must BEGIN with
+// `//parmavet:allow` (no space, like //go: directives), so prose that
+// merely mentions the directive neither suppresses nor shows up in the
+// -allows inventory.
+var allowRE = regexp.MustCompile(`^//parmavet:allow[ \t]+([a-z0-9_,]+)`)
 
 // allowedLines maps analyzer name -> file -> suppressed line set, built
 // from //parmavet:allow comments. A comment suppresses its own line and
@@ -95,9 +104,11 @@ func allowedLines(pkg *Package) map[string]map[string]map[int]bool {
 	return out
 }
 
-// runAnalyzers executes every selected analyzer over every package and
-// returns the surviving findings sorted by position.
+// runAnalyzers builds the whole-program call graph once, executes every
+// selected analyzer over every package, and returns the surviving
+// findings in deterministic file/line/col/analyzer order.
 func runAnalyzers(pkgs []*Package, selected []*Analyzer) []Finding {
+	prog := buildProgram(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		allowed := allowedLines(pkg)
@@ -106,7 +117,7 @@ func runAnalyzers(pkgs []*Package, selected []*Analyzer) []Finding {
 				continue
 			}
 			var raw []Finding
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &raw})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Prog: prog, findings: &raw})
 			for _, f := range raw {
 				if allowed[a.Name][f.File][f.Line] {
 					continue
@@ -115,6 +126,13 @@ func runAnalyzers(pkgs []*Package, selected []*Analyzer) []Finding {
 			}
 		}
 	}
+	sortFindings(findings)
+	return findings
+}
+
+// sortFindings orders findings by file, line, column, then analyzer, so
+// both the text and -json outputs are deterministic run to run.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -126,9 +144,11 @@ func runAnalyzers(pkgs []*Package, selected []*Analyzer) []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings
 }
 
 // Shared type-resolution helpers. Types are identified by package path and

@@ -1,0 +1,151 @@
+package main
+
+// atomicmix: a struct field accessed both through sync/atomic functions
+// (atomic.AddInt64(&s.n, 1)) and plainly (s.n++, x := s.n) anywhere in
+// the program is a data race the race detector only catches if both
+// access patterns happen to collide during a test run. The typed
+// atomic.Int64-style fields cannot be misused this way — the raw value is
+// unexported — which is why the codebase prefers them; this check guards
+// the old-style pattern, where nothing stops a "quick read" from
+// bypassing the atomics.
+//
+// The analysis is whole-program and runs once per invocation: pass 1
+// collects every field passed by address to a sync/atomic function, pass
+// 2 collects every other (plain) use of exactly those fields, and the
+// mixes are reported at the plain sites, each naming one atomic site as
+// the counterpart. Field identity is the types.Object, so accesses from
+// different packages to the same field line up.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var atomicmixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "no struct field accessed both via sync/atomic and plainly anywhere in the program",
+	Run:  runAtomicmix,
+}
+
+// atomicMix is one plain access to a field that is elsewhere accessed
+// atomically.
+type atomicMix struct {
+	field     *types.Var
+	plainPos  token.Pos
+	pkg       *Package // package containing the plain access
+	atomicPos token.Position
+}
+
+func runAtomicmix(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	for _, mix := range pass.Prog.atomicMixResults() {
+		if mix.pkg != pass.Pkg {
+			continue // reported by the pass of the package that contains it
+		}
+		pass.Reportf(mix.plainPos, "field %s is accessed atomically at %s:%d but plainly here: the mix is a data race — every access must go through sync/atomic, or the field should migrate to the typed atomic.Int64-style API that makes plain access impossible",
+			mix.field.Name(), shortPath(mix.atomicPos.Filename), mix.atomicPos.Line)
+	}
+}
+
+// shortPath trims a filename to its last two path elements for message
+// brevity; full paths remain in the finding's File.
+func shortPath(name string) string {
+	parts := strings.Split(name, "/")
+	if len(parts) <= 2 {
+		return name
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}
+
+// atomicMixResults computes (once) the program-wide set of mixed-access
+// fields.
+func (p *Program) atomicMixResults() []atomicMix {
+	if p.atomicDone {
+		return p.atomicMixes
+	}
+	p.atomicDone = true
+
+	// Pass 1: fields reaching sync/atomic by address, and the selector
+	// nodes consumed that way (so pass 2 does not double-count them).
+	atomicSites := map[*types.Var]token.Pos{}
+	atomicSels := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCallee(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, okU := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !okU || un.Op != token.AND {
+						continue
+					}
+					sel, okS := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !okS {
+						continue
+					}
+					if field := fieldVar(pkg.Info, sel); field != nil {
+						if _, seen := atomicSites[field]; !seen {
+							atomicSites[field] = sel.Pos()
+						}
+						atomicSels[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicSites) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those fields is a plain access.
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSels[sel] {
+					return true
+				}
+				field := fieldVar(pkg.Info, sel)
+				if field == nil {
+					return true
+				}
+				atomicPos, mixed := atomicSites[field]
+				if !mixed {
+					return true
+				}
+				p.atomicMixes = append(p.atomicMixes, atomicMix{
+					field:     field,
+					plainPos:  sel.Pos(),
+					pkg:       pkg,
+					atomicPos: pkg.Fset.Position(atomicPos),
+				})
+				return true
+			})
+		}
+	}
+	return p.atomicMixes
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil when sel
+// is not a field selection.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	if v, okV := selection.Obj().(*types.Var); okV && v.IsField() {
+		return v
+	}
+	return nil
+}

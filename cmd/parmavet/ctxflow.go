@@ -1,0 +1,104 @@
+package main
+
+// ctxflow: the interprocedural generalization of ctxspan. A request's
+// context.Context carries its deadline, cancellation, and trace identity;
+// the serving invariants (429/503 shedding before the deadline burns,
+// ErrCanceled surfacing mid-recovery, connected span trees) only hold if
+// the ctx is threaded through every hop. Two shapes break the chain:
+//
+//   - a function holding a ctx calls a callee through its context-blind
+//     variant when a context-accepting sibling exists — e.g. calling
+//     World.Run when World.RunCtx is right there, or Recover when
+//     RecoverContext exists. The callee then runs with no deadline and no
+//     trace, and nothing downstream can tell;
+//   - a function holding a ctx manufactures a fresh
+//     context.Background()/TODO(): everything below that point detaches
+//     from the request — cancellation never propagates and the span tree
+//     shows an orphaned subtree.
+//
+// Sibling resolution goes through the call-graph engine's ctxSiblingOf
+// (<Name>Context / <Name>Ctx in the same package, or on the same receiver
+// type for methods). The canonical wrapper pattern — RunCtx itself calling
+// Run with the ctx captured in a closure — is exempt: a call is not
+// flagged when the enclosing function *is* the callee's ctx sibling.
+// Calls into internal/obs are ctxspan's territory and skipped here.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var ctxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "a held context.Context must be threaded: no ctx-blind calls with a ctx sibling, no context.Background/TODO on the request path",
+	Applies: func(pkgPath string) bool {
+		switch pkgPath {
+		case "parma/internal/serve", "parma/internal/solver", mpiPath:
+			return true
+		}
+		return strings.HasSuffix(pkgPath, "parmavet/testdata/src/ctxflow") ||
+			strings.Contains(pkgPath, "parmavet/testdata/src/xchain")
+	},
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCtxflowCall(pass, info, stack, call)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+func checkCtxflowCall(pass *Pass, info *types.Info, stack []ast.Node, call *ast.CallExpr) {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	ctx := contextInScope(info, stack)
+	if ctx == "" {
+		return
+	}
+	if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+		pass.Reportf(call.Pos(), "context.%s manufactures a fresh context while %s is held: the deadline, cancellation, and trace identity all detach here; thread the held ctx (derive with context.WithTimeout/WithCancel if a different lifetime is needed)", fn.Name(), ctx)
+		return
+	}
+	if fn.Pkg().Path() == obsPath {
+		return // span starts are ctxspan's check
+	}
+	sib := ctxSiblingOf(fn)
+	if sib == nil {
+		return
+	}
+	if encl := enclosingFuncObj(info, stack); encl != nil && (encl == sib || encl == fn) {
+		return // the wrapper itself (RunCtx calling Run), or recursion
+	}
+	pass.Reportf(call.Pos(), "%s ignores %s but has the context-accepting sibling %s: the deadline and cancellation chain breaks at this hop; call %s and pass the ctx", fn.Name(), ctx, sib.Name(), sib.Name())
+}
+
+// enclosingFuncObj returns the *types.Func of the nearest enclosing
+// function declaration on the ancestor stack. Func literals are climbed
+// past: a closure inside RunCtx is still "inside RunCtx" for the wrapper
+// exemption.
+func enclosingFuncObj(info *types.Info, stack []ast.Node) *types.Func {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if f, ok := stack[i].(*ast.FuncDecl); ok {
+			if fn, okF := info.Defs[f.Name].(*types.Func); okF {
+				return fn
+			}
+			return nil
+		}
+	}
+	return nil
+}

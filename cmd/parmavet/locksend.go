@@ -9,8 +9,20 @@ package main
 // Lock/RLock → Unlock/RUnlock pairing path-sensitively inside each
 // function; `defer mu.Unlock()` keeps the lock held until every exit, so
 // every blocking call after it is flagged.
+//
+// With the call-graph engine (pass.Prog) the check is interprocedural: a
+// call made under the lock to any function whose bottom-up summary says
+// it may park in an MPI primitive — through any chain of resolved calls,
+// across packages — is flagged with the witness chain. The original
+// lexical check only saw Comm/World/Transport methods named at the call
+// site itself, so wrapping the Send in a one-line helper silenced it;
+// TestLocksendLexicalMiss pins that exact blind spot. A `go f()` spawn is
+// not flagged even when f blocks: the spawned goroutine does not hold
+// this goroutine's locks (its argument expressions, which do evaluate
+// synchronously, are still scanned).
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -102,8 +114,17 @@ func (c *locksendClient) scan(st flowState, node ast.Node) {
 		return
 	}
 	ast.Inspect(node, func(n ast.Node) bool {
-		if _, isLit := n.(*ast.FuncLit); isLit {
+		switch v := n.(type) {
+		case *ast.FuncLit:
 			return false // closures run elsewhere; analyzed separately
+		case *ast.GoStmt:
+			// The spawn returns immediately and the new goroutine does not
+			// hold this goroutine's locks; only the synchronously evaluated
+			// arguments are scanned.
+			for _, arg := range v.Call.Args {
+				c.scan(st, arg)
+			}
+			return false
 		}
 		call, isCall := n.(*ast.CallExpr)
 		if !isCall {
@@ -120,20 +141,35 @@ func (c *locksendClient) scan(st flowState, node ast.Node) {
 			return true
 		}
 		if name, ok := c.blockingCall(call); ok {
-			for key, v := range st {
-				if v != lockHeld {
-					continue
-				}
-				ks, isStr := key.(string)
-				if !isStr {
-					continue
-				}
-				lockLine := c.pass.Pkg.Fset.Position(c.lockPos[ks]).Line
-				c.pass.Reportf(call.Pos(), "%s may block while %s is held (locked at line %d); a rank waiting here deadlocks every goroutine contending for that lock", name, ks[len("lock:"):], lockLine)
+			c.flagHeld(st, call, func(lock string, lockLine int) string {
+				return fmt.Sprintf("%s may block while %s is held (locked at line %d); a rank waiting here deadlocks every goroutine contending for that lock", name, lock, lockLine)
+			})
+			return true
+		}
+		if fn := staticCallee(c.info, call); fn != nil {
+			if chain := c.pass.Prog.BlockChain(fn); chain != "" {
+				c.flagHeld(st, call, func(lock string, lockLine int) string {
+					return fmt.Sprintf("%s may transitively block in an MPI call (via %s) while %s is held (locked at line %d); a rank parked down that chain deadlocks every goroutine contending for that lock", fn.Name(), chain, lock, lockLine)
+				})
 			}
 		}
 		return true
 	})
+}
+
+// flagHeld reports one finding at call for every lock currently held.
+func (c *locksendClient) flagHeld(st flowState, call *ast.CallExpr, msg func(lock string, lockLine int) string) {
+	for key, v := range st {
+		if v != lockHeld {
+			continue
+		}
+		ks, isStr := key.(string)
+		if !isStr {
+			continue
+		}
+		lockLine := c.pass.Pkg.Fset.Position(c.lockPos[ks]).Line
+		c.pass.Reportf(call.Pos(), "%s", msg(ks[len("lock:"):], lockLine))
+	}
 }
 
 func (c *locksendClient) refine(st flowState, cond ast.Expr, val bool) flowState { return st }

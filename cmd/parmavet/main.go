@@ -4,22 +4,41 @@
 //	spanend      obs.StartSpan/StartOn results must reach End on every path
 //	mpierr       errors from mpi.Comm/World calls may not be discarded
 //	floateq      no ==/!= on floats in the numerics packages
-//	locksend     no blocking MPI call while a sync.Mutex/RWMutex is held
+//	locksend     no blocking MPI call — direct or through any resolved call
+//	             chain — while a sync.Mutex/RWMutex is held
 //	httptimeout  http.Server literals must set ReadHeaderTimeout (or ReadTimeout)
 //	poolsize     no raw goroutine fan-out loops in the numerics packages;
 //	             kernel parallelism goes through mat.ParallelFor
+//	retrybound   retry loops that sleep must also terminate
 //	ctxspan      no context-blind span starts (obs.StartSpan/StartOn) in the
 //	             request-path packages while a context.Context is in scope
+//	determinism  no map-iteration-ordered results, unseeded math/rand, or
+//	             wall-clock values in the deterministic packages
+//	ctxflow      a held context.Context must be threaded: no ctx-blind calls
+//	             when a ctx-accepting sibling exists, no context.Background/
+//	             TODO on the request path
+//	atomicmix    no struct field accessed both via sync/atomic and plainly
+//	             anywhere in the program
+//
+// The interprocedural checks run over a whole-program call graph built
+// from the loaded packages (see callgraph.go): static and method calls
+// resolve across packages, and per-function summaries (blocks-on-MPI,
+// accepts-ctx, ctx sibling, order-sensitive iteration) propagate
+// bottom-up to a fixpoint. Function values and interface calls are
+// approximated conservatively and documented in docs/static-analysis.md.
 //
 // Usage:
 //
-//	parmavet [-json] [-run spanend,mpierr] [packages...]
+//	parmavet [-json] [-run spanend,mpierr] [-allows] [packages...]
 //
 // Packages default to ./... . Findings print as file:line:col diagnostics
-// (or a JSON array with -json); the exit status is 1 when findings exist,
-// 2 on loading or usage errors, 0 on a clean tree. Suppress an intentional
+// (or a JSON array with -json), deterministically ordered by
+// file/line/col/analyzer; the exit status is 1 when findings exist, 2 on
+// loading or usage errors, 0 on a clean tree. Suppress an intentional
 // finding with a `//parmavet:allow <analyzer>` comment on the same line or
-// the line above, ideally with a trailing justification.
+// the line above, with a `--`-separated justification. -allows inventories
+// every suppression site with its justification (exit 1 when any site has
+// none), so the allow list stays auditable in CI artifacts.
 //
 // The implementation is dependency-free: packages are loaded via `go list
 // -json`, parsed with go/parser, and type-checked with go/types, so the
@@ -43,6 +62,7 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	only := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	allows := fs.Bool("allows", false, "inventory //parmavet:allow sites instead of running analyzers; exit 1 if any lacks a justification")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,7 +70,7 @@ func run(args []string) int {
 	suite := analyzers()
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -83,6 +103,9 @@ func run(args []string) int {
 	if len(pkgs) == 0 {
 		fmt.Fprintln(os.Stderr, "parmavet: no packages matched")
 		return 2
+	}
+	if *allows {
+		return runAllows(pkgs, *jsonOut)
 	}
 
 	findings := runAnalyzers(pkgs, selected)

@@ -57,26 +57,53 @@ func parseExpectations(t *testing.T, dir string) []*expectation {
 	return wants
 }
 
-// TestAnalyzersGolden runs the full suite over each fixture package and
+// goldenCases lists every fixture entry: the subtest name and the
+// fixture directories loaded together (multi-directory entries exercise
+// cross-package resolution).
+var goldenCases = []struct {
+	name string
+	dirs []string
+}{
+	{"spanend", []string{"spanend"}},
+	{"mpierr", []string{"mpierr"}},
+	{"floateq", []string{"floateq"}},
+	{"locksend", []string{"locksend"}},
+	{"httptimeout", []string{"httptimeout"}},
+	{"poolsize", []string{"poolsize"}},
+	{"retrybound", []string{"retrybound"}},
+	{"ctxspan", []string{"ctxspan"}},
+	{"determinism", []string{"determinism"}},
+	{"ctxflow", []string{"ctxflow"}},
+	{"atomicmix", []string{"atomicmix"}},
+	{"xchain", []string{"xchain", "xchain/inner"}},
+}
+
+// TestAnalyzersGolden runs the full suite over each fixture entry and
 // requires the findings to match the `// want` annotations exactly: every
 // annotation hit, no unexpected findings, and annotated-but-allowed lines
 // (the //parmavet:allow cases) silent. Running all analyzers over every
 // fixture also asserts the analyzers do not fire on each other's fixtures.
 func TestAnalyzersGolden(t *testing.T) {
-	for _, name := range []string{"spanend", "mpierr", "floateq", "locksend", "httptimeout", "poolsize", "retrybound", "ctxspan"} {
-		t.Run(name, func(t *testing.T) {
-			dir := filepath.Join("testdata", "src", name)
-			pkgs, err := load([]string{"./" + dir})
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var patterns []string
+			for _, d := range tc.dirs {
+				patterns = append(patterns, "./"+filepath.Join("testdata", "src", d))
+			}
+			pkgs, err := load(patterns)
 			if err != nil {
 				t.Fatalf("loading fixture: %v", err)
 			}
-			if len(pkgs) != 1 {
-				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			if len(pkgs) != len(tc.dirs) {
+				t.Fatalf("loaded %d packages, want %d", len(pkgs), len(tc.dirs))
 			}
 			findings := runAnalyzers(pkgs, analyzers())
-			wants := parseExpectations(t, dir)
+			var wants []*expectation
+			for _, d := range tc.dirs {
+				wants = append(wants, parseExpectations(t, filepath.Join("testdata", "src", d))...)
+			}
 			if len(wants) == 0 {
-				t.Fatalf("fixture %s has no // want annotations", dir)
+				t.Fatalf("fixture %s has no // want annotations", tc.name)
 			}
 			for _, f := range findings {
 				base := filepath.Base(f.File)
@@ -136,7 +163,8 @@ func findingsByAnalyzer(fs []Finding, name string) []Finding {
 }
 
 // TestRunExitCodes covers the command-line contract: findings exit 1,
-// usage and loader failures exit 2, -list exits 0.
+// usage and loader failures exit 2, -list and a justified -allows
+// inventory exit 0.
 func TestRunExitCodes(t *testing.T) {
 	if got := run([]string{"-list"}); got != 0 {
 		t.Errorf("-list exited %d, want 0", got)
@@ -149,6 +177,114 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	if got := run([]string{"-json", "./testdata/src/floateq"}); got != 1 {
 		t.Errorf("fixture -json run exited %d, want 1", got)
+	}
+	if got := run([]string{"-allows", "./testdata/src/locksend"}); got != 0 {
+		t.Errorf("-allows over justified fixture exited %d, want 0", got)
+	}
+}
+
+// TestLocksendLexicalMiss pins the blind spot the call-graph engine
+// closed: with a nil Program the analyzer degrades to its pre-upgrade
+// lexical behavior, and the transitive fixture shapes (a Barrier wrapped
+// in a one-line helper, called under a lock) go unreported. With the
+// program they are all caught.
+func TestLocksendLexicalMiss(t *testing.T) {
+	pkgs, err := load([]string{"./testdata/src/locksend"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lexical []Finding
+	locksendAnalyzer.Run(&Pass{Analyzer: locksendAnalyzer, Pkg: pkgs[0], Prog: nil, findings: &lexical})
+	if len(lexical) == 0 {
+		t.Fatal("lexical mode reported nothing; the direct cases should still fire")
+	}
+	for _, f := range lexical {
+		if strings.Contains(f.Message, "transitively") {
+			t.Errorf("lexical mode reported a transitive finding it cannot see: %s", f)
+		}
+	}
+
+	prog := buildProgram(pkgs)
+	var full []Finding
+	locksendAnalyzer.Run(&Pass{Analyzer: locksendAnalyzer, Pkg: pkgs[0], Prog: prog, findings: &full})
+	transitive := 0
+	for _, f := range full {
+		if strings.Contains(f.Message, "transitively") {
+			transitive++
+		}
+	}
+	// hiddenDeadlock, deepDeadlock, allowedTransitive (suppression happens
+	// later, in runAnalyzers) — and nothing for spawnIsClean/copyThenCall.
+	if transitive != 3 {
+		t.Errorf("interprocedural mode reported %d transitive findings, want 3:\n%v", transitive, full)
+	}
+	if len(full) <= len(lexical) {
+		t.Errorf("interprocedural mode found %d findings, lexical %d; expected strictly more", len(full), len(lexical))
+	}
+}
+
+// TestSuiteCleanOnSelf pins that parmavet analyzes its own source
+// cleanly: the cmd/parmavet package is part of every `./...` run (and of
+// make lint), so a finding here would fail CI with no way to tell it
+// apart from a regression in the analyzed tree.
+func TestSuiteCleanOnSelf(t *testing.T) {
+	pkgs, err := load([]string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "parma/cmd/parmavet" {
+		t.Fatalf("expected to load exactly parma/cmd/parmavet, got %d package(s)", len(pkgs))
+	}
+	for _, f := range runAnalyzers(pkgs, analyzers()) {
+		t.Errorf("parmavet is not clean on itself: %s", f)
+	}
+}
+
+// TestAllowsInventory covers collectAllows: sites are found with their
+// justifications, sorted by position, and a site without a "--" clause
+// is reported as unjustified.
+func TestAllowsInventory(t *testing.T) {
+	pkgs, err := load([]string{"./testdata/src/locksend"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := collectAllows(pkgs)
+	if len(sites) < 2 {
+		t.Fatalf("want at least 2 allow sites in the locksend fixture, got %d", len(sites))
+	}
+	for i, s := range sites {
+		if len(s.Analyzers) == 0 || s.Analyzers[0] != "locksend" {
+			t.Errorf("site %d: analyzers = %v, want [locksend]", i, s.Analyzers)
+		}
+		if s.Justification == "" {
+			t.Errorf("site %s:%d has no justification", s.File, s.Line)
+		}
+		if i > 0 && (sites[i-1].File > s.File || (sites[i-1].File == s.File && sites[i-1].Line > s.Line)) {
+			t.Errorf("sites out of order: %v before %v", sites[i-1], s)
+		}
+	}
+}
+
+// TestSortFindingsDeterministic pins the ordering contract behind the
+// -json output: file, then line, then column, then analyzer, then
+// message.
+func TestSortFindingsDeterministic(t *testing.T) {
+	want := []Finding{
+		{File: "a.go", Line: 1, Col: 1, Analyzer: "mpierr", Message: "x"},
+		{File: "a.go", Line: 1, Col: 1, Analyzer: "spanend", Message: "a"},
+		{File: "a.go", Line: 1, Col: 1, Analyzer: "spanend", Message: "b"},
+		{File: "a.go", Line: 2, Col: 9, Analyzer: "floateq", Message: "y"},
+		{File: "b.go", Line: 1, Col: 2, Analyzer: "floateq", Message: "z"},
+	}
+	got := make([]Finding, len(want))
+	for i := range want {
+		got[i] = want[len(want)-1-i]
+	}
+	sortFindings(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }
 

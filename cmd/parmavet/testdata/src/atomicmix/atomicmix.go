@@ -1,0 +1,41 @@
+// Package atomicmix exercises the atomicmix analyzer: a struct field
+// accessed both through sync/atomic functions and plainly is a data race
+// the race detector only catches when the two access patterns collide
+// during a test run.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	clean int64
+	plain int64
+}
+
+// incr is the atomic side of the mix.
+func (c *counter) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read bypasses the atomics: flagged at the plain site.
+func (c *counter) read() int64 {
+	return c.hits // want "field hits is accessed atomically at"
+}
+
+// bump writes plainly to the same field: flagged too.
+func (c *counter) bump() {
+	c.hits++ // want "field hits is accessed atomically at"
+}
+
+// incrClean/readClean use atomics consistently: clean.
+func (c *counter) incrClean()       { atomic.AddInt64(&c.clean, 1) }
+func (c *counter) readClean() int64 { return atomic.LoadInt64(&c.clean) }
+
+// bumpPlain never uses atomics on its field: clean (guarding it is the
+// race detector's job, not this analyzer's).
+func (c *counter) bumpPlain() { c.plain++ }
+
+// readRacy demonstrates suppression for a justified single-writer read.
+func (c *counter) readRacy() int64 {
+	return c.hits //parmavet:allow atomicmix -- fixture: suppression path under test
+}

@@ -1,0 +1,73 @@
+// Package ctxflow exercises the ctxflow analyzer: a function holding a
+// context.Context may not call a callee's context-blind variant when a
+// ctx-accepting sibling (<Name>Context / <Name>Ctx) exists, and may not
+// manufacture context.Background()/TODO() — either shape silently breaks
+// the deadline, cancellation, and trace chain at that hop.
+package ctxflow
+
+import "context"
+
+type runner struct{ n int }
+
+func (r *runner) Run() error                       { r.n++; return nil }
+func (r *runner) RunCtx(ctx context.Context) error { r.n++; return ctx.Err() }
+
+func work() error { return nil }
+
+// workContext is the ctx-accepting sibling of work; calling work from
+// inside it is the canonical wrapper pattern and exempt.
+func workContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return work()
+}
+
+// dropsCtx holds a ctx but calls the blind variant.
+func dropsCtx(ctx context.Context) error {
+	return work() // want "work ignores the in-scope context parameter ctx but has the context-accepting sibling workContext"
+}
+
+// dropsCtxMethod is the method-sibling case.
+func dropsCtxMethod(ctx context.Context, r *runner) error {
+	return r.Run() // want "Run ignores the in-scope context parameter ctx but has the context-accepting sibling RunCtx"
+}
+
+// closureDrops: a func literal inherits the enclosing ctx, because the
+// closure could capture and thread it.
+func closureDrops(ctx context.Context) func() error {
+	return func() error {
+		return work() // want "work ignores the in-scope context parameter ctx"
+	}
+}
+
+// manufactures a fresh context while holding the request's.
+func manufactures(ctx context.Context) error {
+	return workContext(context.Background()) // want "context.Background manufactures a fresh context while the in-scope context parameter ctx is held"
+}
+
+// todoOnPath: TODO is no better than Background.
+func todoOnPath(ctx context.Context) error {
+	return workContext(context.TODO()) // want "context.TODO manufactures a fresh context"
+}
+
+// threads is the clean shape: the ctx reaches every hop.
+func threads(ctx context.Context, r *runner) error {
+	if err := workContext(ctx); err != nil {
+		return err
+	}
+	return r.RunCtx(ctx)
+}
+
+// entryPoint holds no ctx, so Background is legitimate here.
+func entryPoint() error {
+	return workContext(context.Background())
+}
+
+// blindParam cannot thread a _ parameter; the frame is skipped.
+func blindParam(_ context.Context) error { return work() }
+
+// allowedDetach demonstrates suppression for a justified detachment.
+func allowedDetach(ctx context.Context) error {
+	return workContext(context.Background()) //parmavet:allow ctxflow -- fixture: suppression path under test
+}

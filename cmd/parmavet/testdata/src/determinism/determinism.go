@@ -1,0 +1,120 @@
+// Package determinism exercises the determinism analyzer: in the
+// deterministic packages (mat, solver, kirchhoff, sparse, mpi) results
+// may not depend on map iteration order, the shared math/rand global
+// source, or the wall clock — any of the three silently breaks the
+// bit-identical formation/recovery proofs.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"parma/internal/mpi"
+)
+
+// sumWeights accumulates floats in map order: FP addition is not
+// associative, so the sum differs run to run.
+func sumWeights(w map[int]float64) float64 {
+	var total float64
+	for _, v := range w {
+		total += v // want "floating-point accumulation into total ordered by map iteration"
+	}
+	return total
+}
+
+// sumWeightsSpelled is the same bug written as x = x + v.
+func sumWeightsSpelled(w map[int]float64) float64 {
+	var total float64
+	for _, v := range w {
+		total = total + v // want "floating-point accumulation into total ordered by map iteration"
+	}
+	return total
+}
+
+// collectIDs appends in map order and never sorts: the slice order — and
+// anything derived from it — is random per run.
+func collectIDs(set map[int]bool) []int {
+	var ids []int
+	for id := range set {
+		ids = append(ids, id) // want "append to ids ordered by map iteration"
+	}
+	return ids
+}
+
+// sortedIDs is the sanctioned shape: collect, then sort.
+func sortedIDs(set map[int]bool) []int {
+	var ids []int
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// broadcastAll issues wire traffic in map order: peers observe a
+// different message sequence every run.
+func broadcastAll(c *mpi.Comm, blocks map[int][]byte) error {
+	for rank, payload := range blocks {
+		if err := c.Send(rank, 1, payload); err != nil { // want "MPI traffic \(Comm.Send\) issued in map-iteration order"
+			return err
+		}
+	}
+	return nil
+}
+
+// notifyPeers hides the Send one hop down; the call graph resolves it.
+func notifyPeers(c *mpi.Comm, peers map[int]bool) error {
+	for p := range peers {
+		if err := ping(c, p); err != nil { // want "call to ping issues MPI traffic \(via Comm.Send\) in map-iteration order"
+			return err
+		}
+	}
+	return nil
+}
+
+func ping(c *mpi.Comm, rank int) error { return c.Send(rank, 2, nil) }
+
+// jitter draws from the global source: the value depends on every other
+// draw in the process.
+func jitter() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the shared global source"
+}
+
+// seededJitter threads an explicit seeded source: deterministic.
+func seededJitter(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+// stamp turns the wall clock into a value.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now\(\).UnixNano turns the wall clock into a value"
+}
+
+// elapsed uses the clock for a duration, which is sanctioned.
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// countTrue accumulates an int in map order: integer addition commutes
+// exactly, so the count is deterministic and clean.
+func countTrue(set map[int]bool) int {
+	n := 0
+	for _, v := range set {
+		if v {
+			n += 1
+		}
+	}
+	return n
+}
+
+// scaleLocal only touches loop-local state: clean.
+func scaleLocal(w map[int]float64) {
+	for _, v := range w {
+		scaled := v * 2
+		_ = scaled
+	}
+}
+
+// allowedStamp demonstrates suppression for a justified wall-clock value.
+func allowedStamp() int64 {
+	return time.Now().Unix() //parmavet:allow determinism -- fixture: suppression path under test
+}

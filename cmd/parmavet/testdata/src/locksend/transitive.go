@@ -1,0 +1,64 @@
+// The transitive locksend cases: the deadlock shapes the original
+// lexical check provably missed. Before the call-graph engine, locksend
+// only saw Comm/World/Transport methods named at the call site itself —
+// wrapping the Barrier in a one-line helper (exactly `helper` below)
+// silenced it. TestLocksendLexicalMiss runs the pre-upgrade logic (a nil
+// Program degrades the analyzer to its old lexical behavior) over this
+// file and asserts these shapes go unreported, then confirms the
+// interprocedural pass catches them.
+package locksend
+
+import "parma/internal/mpi"
+
+// helper wraps the collective one call away from the lock.
+func helper(c *mpi.Comm) error { return c.Barrier() }
+
+// relay adds a second hop.
+func relay(c *mpi.Comm) error { return helper(c) }
+
+// hiddenDeadlock is the shape the lexical check missed: the blocking
+// call is one frame down.
+func hiddenDeadlock(c *mpi.Comm, s *shared) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return helper(c) // want "helper may transitively block in an MPI call \(via Comm.Barrier\) while s.mu is held"
+}
+
+// deepDeadlock pushes the Barrier two frames down; the witness chain
+// names every hop.
+func deepDeadlock(c *mpi.Comm, s *shared) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return relay(c) // want "relay may transitively block in an MPI call \(via helper → Comm.Barrier\) while s.mu is held"
+}
+
+// spawnIsClean: the spawned goroutine does not hold this goroutine's
+// lock, so `go` of a blocking function is not a deadlock here.
+func spawnIsClean(c *mpi.Comm, s *shared) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go logBarrier(c)
+}
+
+func logBarrier(c *mpi.Comm) {
+	if err := c.Barrier(); err != nil {
+		panic(err)
+	}
+}
+
+// copyThenCall is the clean shape: the lock is released before the
+// transitive block.
+func copyThenCall(c *mpi.Comm, s *shared) error {
+	s.mu.Lock()
+	n := len(s.vals)
+	s.mu.Unlock()
+	_ = n
+	return helper(c)
+}
+
+// allowedTransitive demonstrates suppression of a justified hold.
+func allowedTransitive(c *mpi.Comm, s *shared) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return helper(c) //parmavet:allow locksend -- fixture: transitive suppression path under test
+}

@@ -1,0 +1,35 @@
+// Package inner is the callee side of the cross-package call-graph
+// fixtures: the outer xchain package locks across Exchange, reads Gauge
+// plainly, and drops its ctx calling Fetch — every detection requires an
+// edge or a summary that crosses the package boundary.
+package inner
+
+import (
+	"context"
+	"sync/atomic"
+
+	"parma/internal/mpi"
+)
+
+// Gauge carries a field updated atomically here and — the bug under test
+// — read plainly from the outer package.
+type Gauge struct {
+	Value int64
+}
+
+// Bump is the atomic side of the cross-package mix.
+func Bump(g *Gauge) {
+	atomic.AddInt64(&g.Value, 1)
+}
+
+// Exchange parks in a collective: a caller holding a lock deadlocks, no
+// matter which package the caller lives in.
+func Exchange(c *mpi.Comm) error {
+	return c.Barrier()
+}
+
+// Fetch is the context-blind variant …
+func Fetch() error { return nil }
+
+// … and FetchContext its ctx-accepting sibling.
+func FetchContext(ctx context.Context) error { return ctx.Err() }

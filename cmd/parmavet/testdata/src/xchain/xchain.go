@@ -1,0 +1,63 @@
+// Package xchain exercises the cross-package half of the call-graph
+// engine: every finding in this file depends on an edge or a summary
+// resolved from the sibling inner package. The callgraph unit tests also
+// assert the edges and summary propagation directly over these two
+// packages.
+package xchain
+
+import (
+	"context"
+	"sync"
+
+	"parma/cmd/parmavet/testdata/src/xchain/inner"
+	"parma/internal/mpi"
+)
+
+type state struct {
+	mu sync.Mutex
+}
+
+// relay adds a local hop before the cross-package one.
+func relay(c *mpi.Comm) error { return inner.Exchange(c) }
+
+// lockedExchange holds the lock across a call that blocks one package
+// away.
+func lockedExchange(c *mpi.Comm, s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return inner.Exchange(c) // want "Exchange may transitively block in an MPI call \(via Comm.Barrier\) while s.mu is held"
+}
+
+// twoHopDeadlock: local relay, then the cross-package hop; the witness
+// chain names both.
+func twoHopDeadlock(c *mpi.Comm, s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return relay(c) // want "relay may transitively block in an MPI call \(via Exchange → Comm.Barrier\) while s.mu is held"
+}
+
+// readsPlainly reads the atomically-updated gauge without atomics: the
+// atomic side lives in inner.
+func readsPlainly(g *inner.Gauge) int64 {
+	inner.Bump(g)
+	return g.Value // want "field Value is accessed atomically at"
+}
+
+// dropsCtx calls the blind variant across packages.
+func dropsCtx(ctx context.Context) error {
+	return inner.Fetch() // want "Fetch ignores the in-scope context parameter ctx but has the context-accepting sibling FetchContext"
+}
+
+// threaded is the clean cross-package shape.
+func threaded(ctx context.Context) error { return inner.FetchContext(ctx) }
+
+// unlockedExchange blocks with no lock held: clean.
+func unlockedExchange(c *mpi.Comm) error { return inner.Exchange(c) }
+
+// allowedExchange demonstrates suppression of a justified cross-package
+// hold.
+func allowedExchange(c *mpi.Comm, s *state) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return inner.Exchange(c) //parmavet:allow locksend -- fixture: cross-package suppression path under test
+}
