@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke vet parmavet vet-fixtures fmt figures examples obs-smoke serve-smoke chaos-smoke trace-smoke fuzz-smoke clean
+.PHONY: all build test race lint bench bench-smoke vet parmavet vet-fixtures fmt figures examples obs-smoke serve-smoke chaos-smoke trace-smoke fleet-smoke fuzz-smoke clean
 
 all: lint test race build obs-smoke
 
@@ -91,6 +91,14 @@ serve-smoke:
 # See docs/observability.md.
 trace-smoke:
 	sh scripts/trace-smoke.sh
+
+# fleet-smoke boots three parmad workers behind parma-router and proves
+# the sharding claims: geometry-affinity pinning, lossless failover when
+# a worker is SIGKILLed mid-load (keys re-home to their ring successors),
+# connected router->worker->solver span trees, and a strictly better
+# cache hit rate under affinity than round-robin. See docs/fleet.md.
+fleet-smoke:
+	sh scripts/fleet-smoke.sh
 
 # chaos-smoke drives the resilience stack end to end: self-healing
 # formation as real TCP processes under seeded faults (bit-identical to

@@ -7,8 +7,14 @@
 //	parmad -addr 127.0.0.1:8321 &
 //	parma-load -addr 127.0.0.1:8321 -n 200 -qps 100 -geoms 4x4,5x5,6x6
 //
+// Repeatable -target flags spread load over several addresses (workers or
+// routers); when a parma-router answers, its X-Parma-Backend header feeds
+// the per-backend response distribution in the report, and
+// -expect-affinity asserts each geometry stays pinned to one worker.
+//
 // The exit status is the assertion surface for smoke tests: nonzero when
-// any request fails or when -min-cache-hit-rate is not met.
+// any request fails or when -min-cache-hit-rate (or -expect-affinity, or
+// the other -expect-* flags) is not met.
 package main
 
 import (
@@ -53,12 +59,23 @@ type result struct {
 	retryAfter string
 	timings    *serve.Timings
 	traceID    string
+	backend    string
 	err        error
 }
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("parma-load", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:8321", "parmad address (host:port)")
+	addr := fs.String("addr", "127.0.0.1:8321", "parmad address (host:port); ignored when -target is given")
+	var targets []string
+	fs.Func("target", "target address (repeatable; comma lists allowed); requests round-robin across targets",
+		func(v string) error {
+			for _, one := range strings.Split(v, ",") {
+				if one = strings.TrimSpace(one); one != "" {
+					targets = append(targets, one)
+				}
+			}
+			return nil
+		})
 	n := fs.Int("n", 200, "total requests to send")
 	qps := fs.Float64("qps", 100, "target send rate (requests/second)")
 	geoms := fs.String("geoms", "4x4,5x5,6x6", "comma-separated square geometries, e.g. 4x4,6x6")
@@ -71,6 +88,7 @@ func run(argv []string) error {
 	checkTimings := fs.Bool("check-timings", false, "require every OK response's timings stages to sum to within 10% (+2ms) of its total_ms")
 	checkTraces := fs.Bool("check-traces", false, "require every OK response to carry a trace_id")
 	checkSLO := fs.Bool("check-slo", false, "require SLO burn-rate gauges in /metrics (server must run with -slo)")
+	expectAffinity := fs.Bool("expect-affinity", false, "exit 1 unless responses span >=2 backends overall while each geometry stays pinned (<=2 backends, majority on one); needs a router setting X-Parma-Backend")
 	allowShed := fs.Bool("allow-shed", false, "treat 429/503 sheds as expected backpressure instead of failures (each must carry Retry-After)")
 	expectShed := fs.Bool("expect-shed", false, "exit 1 unless at least one request was shed with Retry-After (implies -allow-shed)")
 	expectDegraded := fs.Bool("expect-degraded", false, "exit 1 unless at least one request was served degraded from the stale cache")
@@ -86,11 +104,22 @@ func run(argv []string) error {
 		return err
 	}
 
-	base := "http://" + *addr
+	if len(targets) == 0 {
+		targets = []string{*addr}
+	}
+	bases := make([]string, len(targets))
+	for i, t := range targets {
+		if strings.Contains(t, "://") {
+			bases[i] = strings.TrimRight(t, "/")
+		} else {
+			bases[i] = "http://" + t
+		}
+	}
 	client := &http.Client{Timeout: 2 * time.Minute}
 
 	// Open loop: send on the tick regardless of completions, so the server's
-	// queue — not the client — absorbs bursts.
+	// queue — not the client — absorbs bursts. Multiple -target addresses
+	// are rotated per request.
 	interval := time.Duration(float64(time.Second) / *qps)
 	results := make([]result, len(items))
 	var wg sync.WaitGroup
@@ -100,10 +129,10 @@ func run(argv []string) error {
 			time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
 		}
 		wg.Add(1)
-		go func(i int, it workItem) {
+		go func(i int, it workItem, base string) {
 			defer wg.Done()
-			results[i] = fire(client, base+it.path, it.body)
-		}(i, it)
+			results[i] = fire(client, base, it.path, it.body)
+		}(i, it, bases[i%len(bases)])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -152,10 +181,16 @@ func run(argv []string) error {
 		if *checkSLO {
 			want = append(want, "parma_slo_objective_ms", "burn_rate_5m", "burn_rate_1h")
 		}
-		if err := verifyMetrics(client, base, want); err != nil {
+		if err := verifyMetrics(client, bases[0], want); err != nil {
 			return err
 		}
 		fmt.Println("metrics: required series present")
+	}
+	if *expectAffinity {
+		if err := checkAffinity(items, results); err != nil {
+			return err
+		}
+		fmt.Println("affinity: per-geometry pinning confirmed")
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d requests failed", failures, len(results))
@@ -251,11 +286,11 @@ func fieldRows(f *parma.Field) [][]float64 {
 	return out
 }
 
-func fire(client *http.Client, url string, body []byte) result {
+func fire(client *http.Client, base, path string, body []byte) result {
 	start := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return result{err: err, latency: time.Since(start)}
+		return result{err: err, latency: time.Since(start), backend: base}
 	}
 	defer resp.Body.Close()
 	var meta struct {
@@ -268,9 +303,16 @@ func fire(client *http.Client, url string, body []byte) result {
 	}
 	dec := json.NewDecoder(resp.Body)
 	_ = dec.Decode(&meta)
+	// X-Parma-Backend identifies which fleet worker answered when a
+	// parma-router is in front; direct parmad targets fall back to the
+	// target address itself.
+	backend := resp.Header.Get("X-Parma-Backend")
+	if backend == "" {
+		backend = base
+	}
 	res := result{status: resp.StatusCode, latency: time.Since(start),
 		cache: meta.Cache, batch: meta.BatchSize, degraded: meta.Degraded,
-		timings: meta.Timings, traceID: meta.TraceID,
+		timings: meta.Timings, traceID: meta.TraceID, backend: backend,
 		retryAfter: resp.Header.Get("Retry-After")}
 	if resp.StatusCode != http.StatusOK {
 		res.err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, meta.Error)
@@ -329,6 +371,32 @@ func report(w io.Writer, items []workItem, results []result, elapsed time.Durati
 		q(0.99).Round(time.Microsecond), q(1.0).Round(time.Microsecond))
 	fmt.Fprintf(w, "cache:      %d/%d hits (%.0f%%)\n", hits, len(results),
 		100*float64(hits)/float64(len(results)))
+	// Per-backend response distribution with per-backend cache hit rate:
+	// the observable difference between affinity routing (each geometry hot
+	// on one worker) and round-robin (every worker lukewarm on everything).
+	perBackend, backendHits := map[string]int{}, map[string]int{}
+	for _, r := range results {
+		if r.backend == "" {
+			continue
+		}
+		perBackend[r.backend]++
+		if r.status == http.StatusOK && r.cache == "hit" {
+			backendHits[r.backend]++
+		}
+	}
+	if len(perBackend) > 0 {
+		names := make([]string, 0, len(perBackend))
+		for b := range perBackend {
+			names = append(names, b)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, b := range names {
+			parts = append(parts, fmt.Sprintf("%s:%d(hit %.0f%%)", b, perBackend[b],
+				100*float64(backendHits[b])/float64(perBackend[b])))
+		}
+		fmt.Fprintf(w, "backends:   %s\n", strings.Join(parts, " "))
+	}
 	if batchN > 0 {
 		fmt.Fprintf(w, "batching:   mean batch size %.2f over %d ok requests\n",
 			float64(batchSum)/float64(batchN), batchN)
@@ -336,6 +404,49 @@ func report(w io.Writer, items []workItem, results []result, elapsed time.Durati
 	if sheds > 0 || degraded > 0 {
 		fmt.Fprintf(w, "resilience: %d shed (429/503), %d served degraded from stale cache\n", sheds, degraded)
 	}
+}
+
+// checkAffinity asserts the response distribution looks like geometry-
+// affinity routing: work spread over at least two backends overall, but
+// each geometry's OK responses pinned — at most two distinct backends
+// (the owner plus one spill/failover target) with a strict majority on
+// one of them. Round-robin over three or more workers fails both ways.
+func checkAffinity(items []workItem, results []result) error {
+	perGeom := map[string]map[string]int{}
+	overall := map[string]bool{}
+	for i, r := range results {
+		if r.err != nil || r.status != http.StatusOK || r.backend == "" {
+			continue
+		}
+		g := items[i].geom
+		if perGeom[g] == nil {
+			perGeom[g] = map[string]int{}
+		}
+		perGeom[g][r.backend]++
+		overall[r.backend] = true
+	}
+	if len(perGeom) == 0 {
+		return fmt.Errorf("affinity check: no OK responses carried a backend label")
+	}
+	if len(overall) < 2 {
+		return fmt.Errorf("affinity check: all traffic landed on %d backend(s); fleet is not spreading geometries", len(overall))
+	}
+	for g, counts := range perGeom {
+		if len(counts) > 2 {
+			return fmt.Errorf("affinity check: geometry %s answered by %d backends, want <= 2", g, len(counts))
+		}
+		total, top := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > top {
+				top = c
+			}
+		}
+		if 2*top < total {
+			return fmt.Errorf("affinity check: geometry %s has no majority backend (%v)", g, counts)
+		}
+	}
+	return nil
 }
 
 // timingsAddUp checks the latency-attribution acceptance bar: the stage

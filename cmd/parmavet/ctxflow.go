@@ -34,7 +34,7 @@ var ctxflowAnalyzer = &Analyzer{
 	Doc:  "a held context.Context must be threaded: no ctx-blind calls with a ctx sibling, no context.Background/TODO on the request path",
 	Applies: func(pkgPath string) bool {
 		switch pkgPath {
-		case "parma/internal/serve", "parma/internal/solver", mpiPath:
+		case "parma/internal/serve", "parma/internal/solver", "parma/internal/fleet", mpiPath:
 			return true
 		}
 		return strings.HasSuffix(pkgPath, "parmavet/testdata/src/ctxflow") ||

@@ -22,7 +22,7 @@ var ctxspanAnalyzer = &Analyzer{
 	Doc:  "no context-blind span starts where a context.Context is in scope; use obs.StartSpanCtx/StartSpanIn",
 	Applies: func(pkgPath string) bool {
 		switch pkgPath {
-		case "parma/internal/serve", "parma/internal/solver", mpiPath:
+		case "parma/internal/serve", "parma/internal/solver", "parma/internal/fleet", mpiPath:
 			return true
 		}
 		// Fixture packages opt in by directory name.

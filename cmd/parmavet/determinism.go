@@ -34,7 +34,7 @@ var determinismAnalyzer = &Analyzer{
 	Doc:  "no map-iteration-ordered results, unseeded math/rand, or wall-clock values in the deterministic packages",
 	Applies: func(pkgPath string) bool {
 		switch pkgPath {
-		case "parma/internal/mat", "parma/internal/solver", "parma/internal/kirchhoff", "parma/internal/sparse", mpiPath:
+		case "parma/internal/mat", "parma/internal/solver", "parma/internal/kirchhoff", "parma/internal/sparse", "parma/internal/fleet", mpiPath:
 			return true
 		}
 		return strings.HasSuffix(pkgPath, "parmavet/testdata/src/determinism")

@@ -5,6 +5,7 @@
 package httptimeout
 
 import (
+	"context"
 	"net/http"
 	"time"
 )
@@ -51,4 +52,53 @@ func otherLiterals() *http.Transport {
 func allowed() *http.Server {
 	//parmavet:allow httptimeout -- localhost-only test server, torn down by the harness
 	return &http.Server{Addr: "127.0.0.1:0"}
+}
+
+// clientBare is the outbound core finding: the zero Timeout waits on a
+// wedged peer forever.
+func clientBare() *http.Client {
+	return &http.Client{} // want "http.Client literal without Timeout"
+}
+
+// clientValueLiteral is flagged the same as the pointer form.
+func clientValueLiteral() http.Client {
+	return http.Client{Transport: http.DefaultTransport} // want "http.Client literal without Timeout"
+}
+
+// clientWithTimeout is the recommended shape and is not flagged.
+func clientWithTimeout() *http.Client {
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// defaultClientHelpers route through the timeout-less DefaultClient with
+// no context, so each is flagged.
+func defaultClientHelpers() {
+	_, _ = http.Get("http://example.com")                     // want "http.Get uses the timeout-less DefaultClient"
+	_, _ = http.Post("http://example.com", "text/plain", nil) // want "http.Post uses the timeout-less DefaultClient"
+	_, _ = http.Head("http://example.com")                    // want "http.Head uses the timeout-less DefaultClient"
+	_, _ = http.PostForm("http://example.com", nil)           // want "http.PostForm uses the timeout-less DefaultClient"
+}
+
+// methodCalls on a timeout-bearing client are the sanctioned alternative
+// and must not be confused with the package-level helpers.
+func methodCalls() {
+	c := clientWithTimeout()
+	_, _ = c.Get("http://example.com")
+	_, _ = c.Head("http://example.com")
+}
+
+// contextlessRequest cannot carry a per-attempt deadline.
+func contextlessRequest() (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, "http://example.com", nil) // want "http.NewRequest carries no context"
+}
+
+// contextRequest is the sanctioned constructor.
+func contextRequest(ctx context.Context) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, "http://example.com", nil)
+}
+
+// allowedClient suppresses with an annotation and a justification.
+func allowedClient() *http.Client {
+	//parmavet:allow httptimeout -- lifetime bounded by the enclosing test binary
+	return &http.Client{}
 }

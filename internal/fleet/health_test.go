@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parma/internal/serve"
+)
+
+// fakeWorker is a stub parmad /healthz endpoint whose behaviour can be
+// flipped at runtime.
+type fakeWorker struct {
+	srv      *httptest.Server
+	draining atomic.Bool
+	failing  atomic.Bool
+	depth    atomic.Int64
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	w := &fakeWorker{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		if w.failing.Load() {
+			http.Error(rw, "boom", http.StatusInternalServerError)
+			return
+		}
+		h := serve.HealthResponse{
+			Status:     "ok",
+			QueueDepth: w.depth.Load(),
+			Workers:    1,
+		}
+		code := http.StatusOK
+		if w.draining.Load() {
+			h.Status = "draining"
+			h.Draining = true
+			code = http.StatusServiceUnavailable
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(code)
+		_ = json.NewEncoder(rw).Encode(h)
+	})
+	w.srv = httptest.NewServer(mux)
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+func fastProbe() ProberConfig {
+	return ProberConfig{
+		Every:        10 * time.Millisecond,
+		SuspectAfter: 40 * time.Millisecond,
+		Timeout:      50 * time.Millisecond,
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", msg)
+}
+
+func TestProberEjectsAndReadmits(t *testing.T) {
+	w := newFakeWorker(t)
+	b := NewBackend("w0", w.srv.URL)
+	p := NewProber([]*Backend{b}, fastProbe())
+	p.Start(context.Background())
+	defer p.Close()
+
+	waitFor(t, 2*time.Second, func() bool {
+		ps := b.Probe()
+		return ps.Alive && !ps.LastOK.IsZero() && ps.Failures == 0
+	}, "initial healthy probe")
+
+	// Worker starts failing: after the suspect window it must be ejected.
+	w.failing.Store(true)
+	waitFor(t, 2*time.Second, func() bool { return !b.Probe().Alive }, "ejection")
+	if b.Routable() {
+		t.Fatal("ejected backend still routable")
+	}
+
+	// Recovery: the first successful probe readmits it.
+	w.failing.Store(false)
+	waitFor(t, 2*time.Second, func() bool { return b.Probe().Alive }, "readmission")
+	if !b.Routable() {
+		t.Fatal("readmitted backend not routable")
+	}
+}
+
+func TestProberSuspectWindowToleratesBlips(t *testing.T) {
+	w := newFakeWorker(t)
+	b := NewBackend("w0", w.srv.URL)
+	cfg := fastProbe()
+	cfg.SuspectAfter = time.Hour // effectively never eject
+	p := NewProber([]*Backend{b}, cfg)
+	p.Start(context.Background())
+	defer p.Close()
+
+	waitFor(t, 2*time.Second, func() bool { return b.Probe().Failures == 0 && b.Probe().Alive }, "healthy")
+	w.failing.Store(true)
+	waitFor(t, 2*time.Second, func() bool { return b.Probe().Failures > 0 }, "failures counted")
+	if !b.Probe().Alive {
+		t.Fatal("backend ejected inside the suspect window")
+	}
+}
+
+func TestProberDrainingIsAliveNotRoutable(t *testing.T) {
+	w := newFakeWorker(t)
+	w.draining.Store(true)
+	b := NewBackend("w0", w.srv.URL)
+	p := NewProber([]*Backend{b}, fastProbe())
+	p.Start(context.Background())
+	defer p.Close()
+
+	waitFor(t, 2*time.Second, func() bool { return b.Probe().Draining }, "draining observed")
+	ps := b.Probe()
+	if !ps.Alive {
+		t.Fatal("draining worker must stay alive (it answered)")
+	}
+	if b.Routable() {
+		t.Fatal("draining worker must not be routable")
+	}
+	if ps.Failures != 0 {
+		t.Fatalf("draining 503 counted as probe failure: %+v", ps)
+	}
+}
+
+func TestProberPublishesQueueDepth(t *testing.T) {
+	w := newFakeWorker(t)
+	w.depth.Store(17)
+	b := NewBackend("w0", w.srv.URL)
+	p := NewProber([]*Backend{b}, fastProbe())
+	p.Start(context.Background())
+	defer p.Close()
+
+	waitFor(t, 2*time.Second, func() bool { return b.Probe().QueueDepth == 17 }, "queue depth propagated")
+	if got := b.Load(); got != 17 {
+		t.Fatalf("Load() = %d, want probed depth 17", got)
+	}
+}
+
+func TestProberCloseStops(t *testing.T) {
+	w := newFakeWorker(t)
+	b := NewBackend("w0", w.srv.URL)
+	p := NewProber([]*Backend{b}, fastProbe())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.Start(ctx)
+	p.Close() // must not hang, and double-close must be safe
+	p.once.Do(func() { t.Fatal("stop channel not closed") })
+}

@@ -1,0 +1,544 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"parma/internal/obs"
+	"parma/internal/serve"
+)
+
+// Config tunes the router. The zero value of every field selects a
+// sensible default, so Config{Backends: ...} is a working configuration.
+type Config struct {
+	// Backends is the fleet membership (required, fixed for the router's
+	// lifetime; liveness is dynamic, membership is configuration).
+	Backends []*Backend
+	// Policy is one of PolicyRoundRobin, PolicyLeastLoaded,
+	// PolicyAffinity. Empty selects round-robin.
+	Policy string
+	// Vnodes is the ring's virtual-node count per backend (affinity
+	// policy and /fleet ownership reporting). Zero selects DefaultVnodes.
+	Vnodes int
+	// SpillFactor is the bounded-load constant c for affinity spill:
+	// a request spills off its owner when the owner's load exceeds
+	// ceil(c × (total+1) / n). Values <= 1 select 1.25.
+	SpillFactor float64
+	// Attempts bounds how many backends one request may try. Zero selects
+	// min(3, len(Backends)).
+	Attempts int
+	// AttemptTimeout is the per-attempt deadline (context deadline on the
+	// outbound request). Zero selects 30s.
+	AttemptTimeout time.Duration
+	// Probe configures the health loop.
+	Probe ProberConfig
+	// BreakerThreshold consecutive transport/503 failures open a
+	// backend's circuit breaker; zero selects 5. BreakerOpenFor is the
+	// shed window before a half-open probe; zero selects 2s.
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// RetryAfter is the backoff hint attached to router-generated sheds
+	// (no live backend, every candidate refused). Zero selects 1s.
+	RetryAfter time.Duration
+	// MaxBody bounds proxied request bodies. Zero selects 8 MiB (the
+	// serving tier's own bound).
+	MaxBody int64
+	// Recorder, when set, is served by GET /metrics.
+	Recorder *obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = PolicyRoundRobin
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Attempts > len(c.Backends) {
+		c.Attempts = len(c.Backends)
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 30 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+	return c
+}
+
+// Router fronts a parmad fleet: it owns the ring, the policy, the health
+// prober, and one circuit breaker per backend, and proxies the compute
+// endpoints with candidate failover. Create with New, serve via Handler,
+// launch the health loop with Start, stop with Close.
+type Router struct {
+	cfg      Config
+	backends []*Backend
+	ring     *Ring
+	policy   Policy
+	breakers *serve.BreakerSet
+	prober   *Prober
+	client   *http.Client
+	start    time.Time
+}
+
+// New validates cfg and builds the router (health loop not yet running;
+// call Start).
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("fleet: no backends configured")
+	}
+	names := make([]string, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		names[i] = b.Name
+	}
+	ring := NewRing(names, cfg.Vnodes)
+	if ring.Len() != len(cfg.Backends) {
+		return nil, fmt.Errorf("fleet: backend names must be unique")
+	}
+	policy, err := NewPolicy(cfg.Policy, ring, cfg.SpillFactor)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:      cfg,
+		backends: cfg.Backends,
+		ring:     ring,
+		policy:   policy,
+		breakers: serve.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerOpenFor, "fleet"),
+		prober:   NewProber(cfg.Backends, cfg.Probe),
+		// The client timeout backstops the per-attempt context deadline:
+		// both are always set, so a wedged worker can pin neither an
+		// attempt nor the connection pool.
+		client: &http.Client{Timeout: cfg.AttemptTimeout + 5*time.Second},
+		start:  time.Now(),
+	}
+	rt.publishRingShares()
+	return rt, nil
+}
+
+// Start launches the health prober under ctx.
+func (rt *Router) Start(ctx context.Context) { rt.prober.Start(ctx) }
+
+// Close stops the health prober.
+func (rt *Router) Close() { rt.prober.Close() }
+
+// Ring exposes the ownership ring (for /fleet and tests).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// publishRingShares exports each backend's hash-space share as a gauge;
+// the ring is immutable, so once at construction is enough.
+func (rt *Router) publishRingShares() {
+	shares := rt.ring.OwnedShare()
+	for i, name := range rt.ring.Backends() {
+		obs.SetGauge("fleet/ring/share/"+name, shares[i])
+	}
+}
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /v1/recover      proxied to a worker chosen by the policy
+//	POST /v1/measure      proxied likewise
+//	GET  /healthz         fleet liveness + per-backend detail
+//	GET  /fleet           ring ownership + backend states
+//	GET  /metrics         Prometheus text (when Config.Recorder is set)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recover", rt.instrument("recover", rt.proxy))
+	mux.HandleFunc("POST /v1/measure", rt.instrument("measure", rt.proxy))
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /fleet", rt.handleFleet)
+	if rt.cfg.Recorder != nil {
+		mux.Handle("GET /metrics", obs.MetricsHandler(rt.cfg.Recorder))
+	}
+	return mux
+}
+
+// redNames is one endpoint's precomputed RED metric names.
+type redNames struct {
+	requests, errors, latency string
+}
+
+// statusWriter captures the response status for RED accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointHandler is a proxied endpoint: the route name plus the request.
+type endpointHandler func(w http.ResponseWriter, r *http.Request, endpoint string)
+
+// instrument wraps an endpoint with traceparent adoption, a fleet-level
+// request span, and RED metrics — the same shape as the serving tier's
+// wrapper, one layer up. With recording disabled the wrapper is one load
+// and a closure call.
+func (rt *Router) instrument(endpoint string, h endpointHandler) http.HandlerFunc {
+	names := redNames{
+		requests: "fleet/red/" + endpoint + "/requests",
+		errors:   "fleet/red/" + endpoint + "/errors",
+		latency:  "fleet/red/" + endpoint + "/latency_ms",
+	}
+	spanName := "fleet/http/" + endpoint
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !obs.Enabled() {
+			h(w, r, endpoint)
+			return
+		}
+		start := time.Now()
+		ctx := r.Context()
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if tc, err := obs.ParseTraceparent(tp); err == nil {
+				ctx = obs.ContextWithTrace(ctx, tc)
+			}
+		}
+		ctx, sp := obs.StartSpanCtx(ctx, spanName)
+		if !sp.Trace().IsZero() {
+			w.Header().Set("traceparent", sp.TraceContext().Traceparent())
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx), endpoint)
+		elapsed := time.Since(start)
+		sp.End(obs.I("status", sw.status))
+		obs.Add(names.requests, 1)
+		if sw.status >= 500 || sw.status == http.StatusTooManyRequests {
+			obs.Add(names.errors, 1)
+		}
+		obs.Observe(names.latency, float64(elapsed)/float64(time.Millisecond))
+	}
+}
+
+// geomProbe is the fragment of a compute request the router decodes: the
+// geometry key is all routing needs, so the body is never fully parsed.
+type geomProbe struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+}
+
+// routable snapshots the currently routable backends in member order.
+func (rt *Router) routable() []*Backend {
+	out := make([]*Backend, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		if b.Routable() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// proxy forwards one compute request. Both compute endpoints are
+// idempotent — a recovery or measurement is a pure function of the
+// request body — so a failed attempt (connect error, mid-response crash,
+// or a 503 shed) retries on the policy's next candidate. The body was
+// fully buffered before the first attempt, so replays are byte-identical.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	var g geomProbe
+	if err := json.Unmarshal(body, &g); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if g.Rows < 1 || g.Cols < 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid geometry %dx%d", g.Rows, g.Cols))
+		return
+	}
+	key := strconv.Itoa(g.Rows) + "x" + strconv.Itoa(g.Cols)
+
+	candidates := rt.policy.Candidates(key, rt.routable())
+	if len(candidates) > rt.cfg.Attempts {
+		candidates = candidates[:rt.cfg.Attempts]
+	}
+	if len(candidates) == 0 {
+		obs.Add("fleet/no_backend_total", 1)
+		rt.shed(w, http.StatusServiceUnavailable,
+			fmt.Errorf("fleet: no live backend for geometry %s", key))
+		return
+	}
+
+	ctx := r.Context()
+	attempts := 0
+	var last *attemptResult
+	for _, b := range candidates {
+		if !rt.breakers.Allow(b.Name) {
+			obs.Add("fleet/breaker_skip_total", 1)
+			continue
+		}
+		attempts++
+		if attempts > 1 {
+			obs.Add("fleet/failover_total", 1)
+		}
+		res := rt.attempt(ctx, b, r.URL.Path, body)
+		if res.err != nil {
+			rt.breakers.Failure(b.Name)
+			obs.Add(b.mErrors, 1)
+			obs.Log().Warn("fleet: attempt failed",
+				"backend", b.Name, "endpoint", endpoint, "err", res.err.Error())
+			if ctx.Err() != nil {
+				break // the client is gone; stop burning backends
+			}
+			continue
+		}
+		if res.status == http.StatusServiceUnavailable {
+			// A shed: the worker is alive but cannot take this request now.
+			// Feed the breaker and try the next candidate; keep the reply so
+			// an all-shed fleet relays the worker's own Retry-After rather
+			// than inventing a router error.
+			rt.breakers.Failure(b.Name)
+			obs.Add(b.mErrors, 1)
+			last = res
+			continue
+		}
+		rt.breakers.Success(b.Name)
+		rt.relay(w, res, attempts)
+		return
+	}
+	if last != nil {
+		rt.relay(w, last, attempts)
+		return
+	}
+	obs.Add("fleet/exhausted_total", 1)
+	rt.shed(w, http.StatusServiceUnavailable,
+		fmt.Errorf("fleet: all %d candidate backend(s) for geometry %s failed", attempts, key))
+}
+
+// attemptResult is one backend's reply (or transport failure).
+type attemptResult struct {
+	backend    *Backend
+	status     int
+	body       []byte
+	header     http.Header
+	durationMS float64
+	err        error
+}
+
+// attempt forwards the buffered body to one backend under a per-attempt
+// context deadline, recording a fleet/proxy span (backend, status,
+// duration) inside the request trace and injecting that span's
+// traceparent into the outbound request — which is what stitches the
+// worker's own span tree under the router's.
+func (rt *Router) attempt(ctx context.Context, b *Backend, path string, body []byte) *attemptResult {
+	attemptCtx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	sp := obs.StartSpanIn(ctx, "fleet/proxy")
+	start := time.Now()
+	res := &attemptResult{backend: b}
+	defer func() {
+		res.durationMS = float64(time.Since(start)) / float64(time.Millisecond)
+		status := res.status
+		if res.err != nil {
+			status = -1
+		}
+		sp.End(obs.S("backend", b.Name), obs.I("status", status))
+		obs.Add(b.mRequests, 1)
+		obs.Observe(b.mLatency, res.durationMS)
+	}()
+
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, b.URL+path, bytes.NewReader(body))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sp.Active() && !sp.Trace().IsZero() {
+		req.Header.Set("traceparent", sp.TraceContext().Traceparent())
+	}
+
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer resp.Body.Close()
+	// Buffer the reply while the attempt context is still alive: a worker
+	// crashing mid-body surfaces here as a read error, which the caller
+	// retries on the next candidate — nothing has been written to the
+	// client yet.
+	replyBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBody+1))
+	if err != nil {
+		res.err = fmt.Errorf("reading backend response: %w", err)
+		return res
+	}
+	res.status = resp.StatusCode
+	res.body = replyBody
+	res.header = resp.Header
+	return res
+}
+
+// relay writes one backend reply to the client, labelling which backend
+// answered and how many attempts the request took.
+func (rt *Router) relay(w http.ResponseWriter, res *attemptResult, attempts int) {
+	h := w.Header()
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		h.Set("Retry-After", ra)
+	}
+	h.Set("X-Parma-Backend", res.backend.Name)
+	h.Set("X-Parma-Attempts", strconv.Itoa(attempts))
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// shed refuses a request with backpressure semantics, mirroring the
+// serving tier: Retry-After tells well-behaved clients when to come back.
+func (rt *Router) shed(w http.ResponseWriter, status int, err error) {
+	secs := int(math.Ceil(rt.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	obs.Add("fleet/shed_total", 1)
+	writeErr(w, status, err)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, serve.ErrorResponse{Error: err.Error()})
+}
+
+// BackendHealth is one backend's row in the router's /healthz and /fleet
+// replies.
+type BackendHealth struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Alive    bool   `json:"alive"`
+	Draining bool   `json:"draining"`
+	// QueueDepth/InFlight/QueueCapacity are the worker's last-probed
+	// numbers; RouterInFlight is this router's own outstanding count.
+	QueueDepth     int64   `json:"queue_depth"`
+	InFlight       int64   `json:"in_flight"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	RouterInFlight int64   `json:"router_in_flight"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	Breaker        string  `json:"breaker"` // "closed", "open", or "half-open"
+	ProbeFailures  int     `json:"probe_failures,omitempty"`
+	LastErr        string  `json:"last_err,omitempty"`
+	LastOKAgoMS    float64 `json:"last_ok_ago_ms"`
+	RingShare      float64 `json:"ring_share"`
+}
+
+// FleetHealth is the router's GET /healthz (and /fleet) reply.
+type FleetHealth struct {
+	// Status is "ok" (every backend routable), "degraded" (some but not
+	// all routable), or "down" (none routable; the reply is then 503).
+	Status   string          `json:"status"`
+	Policy   string          `json:"policy"`
+	UptimeS  float64         `json:"uptime_s"`
+	Alive    int             `json:"alive"`
+	Total    int             `json:"total"`
+	Vnodes   int             `json:"vnodes"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+// health assembles the fleet snapshot shared by /healthz and /fleet.
+func (rt *Router) health() FleetHealth {
+	shares := rt.ring.OwnedShare()
+	shareOf := make(map[string]float64, len(shares))
+	for i, name := range rt.ring.Backends() {
+		shareOf[name] = shares[i]
+	}
+	fh := FleetHealth{
+		Policy:  rt.policy.Name(),
+		UptimeS: time.Since(rt.start).Seconds(),
+		Total:   len(rt.backends),
+		Vnodes:  rt.ring.vnodes,
+	}
+	routable := 0
+	for _, b := range rt.backends {
+		p := b.Probe()
+		if p.Alive {
+			fh.Alive++
+		}
+		if p.Alive && !p.Draining {
+			routable++
+		}
+		fh.Backends = append(fh.Backends, BackendHealth{
+			Name:           b.Name,
+			URL:            b.URL,
+			Alive:          p.Alive,
+			Draining:       p.Draining,
+			QueueDepth:     p.QueueDepth,
+			InFlight:       p.InFlight,
+			QueueCapacity:  p.QueueCapacity,
+			RouterInFlight: b.InFlight(),
+			CacheHits:      p.CacheHits,
+			CacheMisses:    p.CacheMisses,
+			Breaker:        rt.breakers.State(b.Name),
+			ProbeFailures:  p.Failures,
+			LastErr:        p.LastErr,
+			LastOKAgoMS:    float64(time.Since(p.LastOK)) / float64(time.Millisecond),
+			RingShare:      shareOf[b.Name],
+		})
+	}
+	switch {
+	case routable == len(rt.backends):
+		fh.Status = "ok"
+	case routable > 0:
+		fh.Status = "degraded"
+	default:
+		fh.Status = "down"
+	}
+	return fh
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fh := rt.health()
+	status := http.StatusOK
+	if fh.Status == "down" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, fh)
+}
+
+// handleFleet reports the same snapshot as /healthz plus the ring's
+// ownership of a key when ?key=RxC is given — the operator's "where does
+// this geometry live" probe.
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	type fleetReply struct {
+		FleetHealth
+		Key    string   `json:"key,omitempty"`
+		Owner  string   `json:"owner,omitempty"`
+		Chain  []string `json:"chain,omitempty"`
+		Shares []string `json:"-"`
+	}
+	reply := fleetReply{FleetHealth: rt.health()}
+	if key := r.URL.Query().Get("key"); key != "" {
+		reply.Key = key
+		reply.Owner = rt.ring.Owner(key)
+		reply.Chain = rt.ring.Successors(key, rt.ring.Len())
+	}
+	writeJSON(w, http.StatusOK, reply)
+}

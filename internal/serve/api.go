@@ -114,11 +114,31 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse is the GET /healthz reply.
+// HealthResponse is the GET /healthz reply: liveness plus a cheap,
+// machine-readable load probe. A fleet router polls this on its heartbeat
+// interval, so every field must be readable without touching the request
+// pipeline — queue depth and in-flight are atomics, the cache and breaker
+// snapshots each take one mutex.
 type HealthResponse struct {
-	Status     string  `json:"status"` // "ok" or "draining"
-	UptimeS    float64 `json:"uptime_s"`
-	QueueDepth int64   `json:"queue_depth"`
+	Status  string  `json:"status"` // "ok" or "draining"
+	UptimeS float64 `json:"uptime_s"`
+	// QueueDepth counts admitted-but-unfinished requests (queued, batched,
+	// or running); QueueCapacity is the admission bound behind 429s.
+	QueueDepth    int64 `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	// InFlight counts requests a worker is executing right now — the
+	// subset of QueueDepth that is past the batching stage.
+	InFlight int64 `json:"in_flight"`
+	Workers  int   `json:"workers"`
+	Draining bool  `json:"draining"`
+	// CacheHits/CacheMisses are the lifetime factorization/warm-start
+	// cache counters, so a driver can compute fleet-wide hit rates without
+	// parsing the Prometheus exposition.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Breakers lists geometry keyspaces whose circuit breaker has recorded
+	// failures; absence means closed and healthy.
+	Breakers []BreakerStatus `json:"breakers,omitempty"`
 }
 
 // fieldFromRows validates a row-major JSON matrix and converts it to a

@@ -213,6 +213,8 @@ func (s *Server) runTask(t *task, batchSize int) {
 		return
 	}
 	t.run = time.Now()
+	s.running.Add(1)
+	defer s.running.Add(-1)
 	var res taskResult
 	switch t.kind {
 	case kindRecover:

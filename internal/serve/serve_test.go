@@ -348,6 +348,31 @@ func TestHealthzAndMetrics(t *testing.T) {
 	postJSON(t, hs.Client(), hs.URL+"/v1/measure", MeasureRequest{Rows: 4, Cols: 4, R: rowsFromField(truth)})
 	postJSON(t, hs.Client(), hs.URL+"/v1/measure", MeasureRequest{Rows: 4, Cols: 4, R: rowsFromField(truth)})
 
+	// The machine-readable load fields are the fleet router's probe
+	// surface: queue depth, in-flight, capacity, and cache counters must
+	// be present without parsing Prometheus text.
+	_, body = getURL(t, hs.Client(), hs.URL+"/healthz")
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.QueueCapacity <= 0 || h.Workers != 1 {
+		t.Errorf("healthz capacity/workers = %d/%d, want >0/1", h.QueueCapacity, h.Workers)
+	}
+	if h.QueueDepth != 0 || h.InFlight != 0 {
+		t.Errorf("idle healthz queue/in-flight = %d/%d, want 0/0", h.QueueDepth, h.InFlight)
+	}
+	if h.Draining {
+		t.Error("healthz draining on a live server")
+	}
+	if h.CacheMisses < 1 || h.CacheHits < 1 {
+		t.Errorf("healthz cache hits/misses = %d/%d after a repeat request, want >=1/>=1", h.CacheHits, h.CacheMisses)
+	}
+	for _, b := range h.Breakers {
+		if b.State != "closed" {
+			t.Errorf("healthz breaker %s = %q, want closed", b.Key, b.State)
+		}
+	}
+
 	resp, body = getURL(t, hs.Client(), hs.URL+"/metrics")
 	if resp.StatusCode != 200 {
 		t.Fatalf("metrics: %d", resp.StatusCode)

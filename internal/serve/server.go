@@ -118,7 +118,7 @@ var (
 type Server struct {
 	cfg      Config
 	cache    *FactorCache
-	breakers *breakerSet
+	breakers *BreakerSet
 	start    time.Time
 
 	intake chan *task
@@ -127,6 +127,12 @@ type Server struct {
 	admitMu  sync.RWMutex
 	draining bool
 	depth    atomic.Int64
+	// running counts tasks a worker is actively executing right now, as
+	// opposed to depth, which also includes tasks still queued or waiting
+	// in a batch bucket. Both are exported through /healthz so a fleet
+	// router's least-loaded policy can read live load without scraping and
+	// parsing the full Prometheus exposition.
+	running atomic.Int64
 
 	dispatcherDone chan struct{}
 	workersWG      sync.WaitGroup
@@ -147,7 +153,7 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:            cfg,
 		cache:          NewFactorCache(cfg.CacheEntries),
-		breakers:       newBreakerSet(cfg.BreakerThreshold, cfg.BreakerOpenFor),
+		breakers:       NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerOpenFor, "serve"),
 		start:          time.Now(),
 		intake:         make(chan *task, cfg.QueueDepth),
 		work:           make(chan []*task),
@@ -169,6 +175,13 @@ func (s *Server) Cache() *FactorCache { return s.cache }
 
 // QueueDepth returns the number of admitted, unfinished requests.
 func (s *Server) QueueDepth() int64 { return s.depth.Load() }
+
+// InFlight returns the number of requests a worker is executing right now.
+func (s *Server) InFlight() int64 { return s.running.Load() }
+
+// Breakers exposes the per-geometry circuit breakers (for /healthz and
+// tests).
+func (s *Server) Breakers() *BreakerSet { return s.breakers }
 
 // admit enqueues t or reports why it cannot. The depth gauge counts
 // admitted-but-unfinished tasks (queued, batched, or running), so
@@ -394,7 +407,7 @@ func (s *Server) serveStale(w http.ResponseWriter, t *task, reason string) bool 
 func (s *Server) runViaQueue(w http.ResponseWriter, t *task, cancel context.CancelFunc) (taskResult, bool) {
 	defer cancel()
 	gk := geomKey(t.arr)
-	if !s.breakers.allow(gk) {
+	if !s.breakers.Allow(gk) {
 		obs.Add("serve/breaker_shed", 1)
 		if s.serveStale(w, t, "circuit breaker open for geometry "+gk) {
 			return taskResult{}, false
@@ -411,7 +424,7 @@ func (s *Server) runViaQueue(w http.ResponseWriter, t *task, cancel context.Canc
 		// leaks forever and no later request can ever retry the keyspace.
 		// Queue-full at probe time is the common case — the breaker opened
 		// under the same saturation.
-		s.breakers.refused(gk)
+		s.breakers.Refused(gk)
 		if errors.Is(err, ErrQueueFull) && s.serveStale(w, t, "solver pool saturated") {
 			return taskResult{}, false
 		}
@@ -425,7 +438,7 @@ func (s *Server) runViaQueue(w http.ResponseWriter, t *task, cancel context.Canc
 	if res.err != nil && res.status == http.StatusServiceUnavailable {
 		// Saturation-class failure: deadline burned in the queue or the
 		// solve was cancelled. Feed the breaker, then degrade if possible.
-		s.breakers.failure(gk)
+		s.breakers.Failure(gk)
 		if s.serveStale(w, t, res.err.Error()) {
 			return taskResult{}, false
 		}
@@ -434,7 +447,7 @@ func (s *Server) runViaQueue(w http.ResponseWriter, t *task, cancel context.Canc
 	}
 	// Any other completed outcome — success or a client-data 4xx — proves
 	// the keyspace's pipeline is healthy.
-	s.breakers.success(gk)
+	s.breakers.Success(gk)
 	if res.err != nil {
 		writeErr(w, res.status, res.err)
 		return taskResult{}, false
@@ -548,14 +561,27 @@ func cacheLabel(hit bool) string {
 	return "miss"
 }
 
+// handleHealthz is the machine-readable load and liveness probe. It is
+// deliberately cheap — atomic loads, one cache-stats mutex, one breaker
+// mutex — because a fleet router polls it on its heartbeat interval and
+// feeds the numbers straight into least-loaded routing and bounded-load
+// spill decisions. See docs/serving.md for the field contract.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.admitMu.RLock()
 	draining := s.draining
 	s.admitMu.RUnlock()
+	hits, misses := s.cache.Stats()
 	h := HealthResponse{
-		Status:     "ok",
-		UptimeS:    time.Since(s.start).Seconds(),
-		QueueDepth: s.depth.Load(),
+		Status:        "ok",
+		UptimeS:       time.Since(s.start).Seconds(),
+		QueueDepth:    s.depth.Load(),
+		QueueCapacity: s.cfg.QueueDepth,
+		InFlight:      s.running.Load(),
+		Workers:       s.cfg.Workers,
+		Draining:      draining,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		Breakers:      s.breakers.States(),
 	}
 	status := http.StatusOK
 	if draining {

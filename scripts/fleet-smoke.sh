@@ -1,0 +1,160 @@
+#!/bin/sh
+# fleet-smoke: the sharded-fleet claims, end to end. Boot three parmad
+# workers behind parma-router with the geometry-affinity policy and
+# assert, in order:
+#
+#   1. Affinity pins each geometry to its ring owner (parma-load
+#      -expect-affinity over the X-Parma-Backend labels).
+#   2. SIGKILL one worker mid-load: zero availability loss beyond
+#      shed-with-Retry-After responses, failovers counted on /metrics,
+#      the dead worker ejected by the health prober, and its keys
+#      re-homed to their ring successors (the worker that owned nothing
+#      before the kill starts answering, the dead one never does).
+#   3. The router preserves distributed tracing: merged router + worker
+#      traces form connected router -> worker -> solver span trees.
+#   4. On fresh fleets, affinity strictly beats round-robin on cache hit
+#      rate — the reason the policy exists.
+#
+# The geometry set 6x6..11x11 is chosen deterministically: with backends
+# named w0,w1,w2 the ring assigns 7x7 and 10x10 to w0, the rest to w2,
+# and nothing to w1 — so killing w0 makes w1's first response the
+# re-homing witness. Run via `make fleet-smoke`.
+set -eu
+
+tmp=$(mktemp -d fleet-smoke.XXXXXX)
+pids=""
+cleanup() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/parmad" ./cmd/parmad
+go build -o "$tmp/parma-router" ./cmd/parma-router
+go build -o "$tmp/parma-load" ./cmd/parma-load
+go build -o "$tmp/parma" ./cmd/parma
+
+GEOMS="6x6,7x7,8x8,9x9,10x10,11x11"
+
+# wait_addr <file> <what>: wait for a daemon to publish its bound address.
+wait_addr() {
+	for _ in $(seq 1 50); do
+		[ -s "$1" ] && break
+		sleep 0.1
+	done
+	[ -s "$1" ] || { echo "fleet-smoke: $2 never published its address"; exit 1; }
+	head -n 1 "$1"
+}
+
+# start_worker <name> [extra flags...]: boot one parmad on a random port.
+start_worker() {
+	name=$1; shift
+	"$tmp/parmad" -addr 127.0.0.1:0 -addr-file "$tmp/$name.addr" -log-format json \
+		"$@" >"$tmp/$name.log" 2>&1 &
+	eval "${name}_pid=$!"
+	pids="$pids $!"
+}
+
+# --- Phase 1+2+3: affinity, failover under SIGKILL, tracing ---------------
+
+start_worker w0 -trace "$tmp/w0-trace.json" -compact-interval 1h
+start_worker w1 -trace "$tmp/w1-trace.json" -compact-interval 1h
+start_worker w2 -trace "$tmp/w2-trace.json" -compact-interval 1h
+a0=$(wait_addr "$tmp/w0.addr" w0)
+a1=$(wait_addr "$tmp/w1.addr" w1)
+a2=$(wait_addr "$tmp/w2.addr" w2)
+
+"$tmp/parma-router" -addr 127.0.0.1:0 -addr-file "$tmp/router.addr" \
+	-policy affinity -backend "w0=$a0,w1=$a1,w2=$a2" \
+	-probe-every 50ms -suspect-after 300ms -breaker-threshold 3 \
+	-trace "$tmp/router-trace.json" -compact-interval 1h -log-format json \
+	>"$tmp/router.log" 2>&1 &
+router_pid=$!
+pids="$pids $router_pid"
+router=$(wait_addr "$tmp/router.addr" parma-router)
+
+# Healthy fleet: every request OK and every geometry pinned to one worker.
+"$tmp/parma-load" -target "$router" -n 120 -qps 200 -geoms "$GEOMS" \
+	-expect-affinity >"$tmp/load1.out"
+grep "w0:" "$tmp/load1.out" >/dev/null || {
+	echo "fleet-smoke: w0 served nothing before the kill"; cat "$tmp/load1.out"; exit 1; }
+
+# SIGKILL w0 mid-load. Every request must still succeed (failover replays
+# the buffered body on the ring successor) or be shed with Retry-After —
+# -allow-shed treats only those as acceptable, anything else fails the run.
+"$tmp/parma-load" -target "$router" -n 200 -qps 300 -geoms "$GEOMS" \
+	-allow-shed >"$tmp/load2.out" &
+load_pid=$!
+sleep 0.2
+kill -9 "$w0_pid"
+wait "$load_pid" || { echo "fleet-smoke: availability lost during worker kill"; cat "$tmp/load2.out"; exit 1; }
+
+# The router must have failed over (counted on /metrics) and the prober
+# must have ejected the dead worker.
+metrics=$(curl -sf "http://$router/metrics")
+echo "$metrics" | awk '$1 == "parma_fleet_failover_total" && $2+0 >= 1 {found=1} END {exit !found}' || {
+	echo "fleet-smoke: no failovers counted after SIGKILL"; echo "$metrics" | grep ^parma_fleet || true; exit 1; }
+echo "$metrics" | awk '$1 == "parma_fleet_ejected_total" && $2+0 >= 1 {found=1} END {exit !found}' || {
+	echo "fleet-smoke: dead worker never ejected"; exit 1; }
+
+# Keys re-home to ring successors: w0's geometries (7x7, 10x10) now land
+# on w1, which owned nothing before; w0 never answers again; and the
+# shrunken fleet still satisfies the affinity pinning contract.
+"$tmp/parma-load" -target "$router" -n 120 -qps 200 -geoms "$GEOMS" \
+	-expect-affinity >"$tmp/load3.out"
+grep "backends:" "$tmp/load3.out" | grep -q "w1:" || {
+	echo "fleet-smoke: orphaned keys did not re-home to the ring successor"; cat "$tmp/load3.out"; exit 1; }
+grep "backends:" "$tmp/load3.out" | grep -q "w0:" && {
+	echo "fleet-smoke: ejected worker still receiving traffic"; cat "$tmp/load3.out"; exit 1; }
+
+# Graceful shutdown, then the tracing claim: merged router + surviving
+# worker traces must form connected span trees that reach from the
+# router's HTTP handler through its proxy attempt into the worker's
+# handler and down to the solver.
+kill -TERM "$router_pid"
+wait "$router_pid" || { echo "fleet-smoke: router exited nonzero on SIGTERM"; cat "$tmp/router.log"; exit 1; }
+kill -TERM "$w1_pid" "$w2_pid"
+wait "$w1_pid" || { echo "fleet-smoke: w1 exited nonzero on SIGTERM"; cat "$tmp/w1.log"; exit 1; }
+wait "$w2_pid" || { echo "fleet-smoke: w2 exited nonzero on SIGTERM"; cat "$tmp/w2.log"; exit 1; }
+pids=""
+
+"$tmp/parma" tracemerge -o "$tmp/fleet-trace.json" \
+	"$tmp/router-trace.json" "$tmp/w1-trace.json" "$tmp/w2-trace.json"
+"$tmp/parma" tracecheck -distributed \
+	-require fleet/http/recover -require fleet/proxy \
+	-require serve/http/recover -require serve/recover -require solver/recover \
+	"$tmp/fleet-trace.json"
+
+# --- Phase 4: affinity strictly beats round-robin on cache hit rate -------
+# Fresh workers per policy: caches must start cold both times.
+
+run_policy() {
+	policy=$1 tag=$2
+	start_worker "${tag}0"
+	start_worker "${tag}1"
+	start_worker "${tag}2"
+	b0=$(wait_addr "$tmp/${tag}0.addr" "${tag}0")
+	b1=$(wait_addr "$tmp/${tag}1.addr" "${tag}1")
+	b2=$(wait_addr "$tmp/${tag}2.addr" "${tag}2")
+	"$tmp/parma-router" -addr 127.0.0.1:0 -addr-file "$tmp/${tag}router.addr" \
+		-policy "$policy" -backend "w0=$b0,w1=$b1,w2=$b2" \
+		>"$tmp/${tag}router.log" 2>&1 &
+	rpid=$!
+	pids="$pids $rpid"
+	raddr=$(wait_addr "$tmp/${tag}router.addr" "${tag}router")
+	# Moderate rate: concurrent first-misses for one geometry blur the
+	# policy difference, so keep enough spacing that repeat traffic
+	# dominates.
+	"$tmp/parma-load" -target "$raddr" -n 240 -qps 150 -geoms "$GEOMS" \
+		>"$tmp/$tag.out"
+	awk '/^cache:/ {split($2, a, "/"); print a[1]}' "$tmp/$tag.out"
+}
+
+rr_hits=$(run_policy roundrobin rr)
+aff_hits=$(run_policy affinity aff)
+[ "$aff_hits" -gt "$rr_hits" ] || {
+	echo "fleet-smoke: affinity hit count $aff_hits not strictly above round-robin $rr_hits"
+	cat "$tmp/rr.out" "$tmp/aff.out"; exit 1; }
+
+echo "fleet-smoke: affinity pinned, SIGKILL failover lossless, keys re-homed, traces connected, affinity $aff_hits vs round-robin $rr_hits cache hits"
