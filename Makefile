@@ -25,8 +25,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-smoke runs the recover benchmark at a small size and checks the JSON
-# report is well formed. The committed trajectory lives in BENCH_recover.json;
-# see docs/performance.md for how to read and extend it.
+# report is well formed, then runs the dense/sparse n-sweep at {16,32} — the
+# sweep itself asserts residual parity between the two backends at every size
+# both ran. The committed trajectory lives in BENCH_recover.json; see
+# docs/performance.md for how to read and extend it.
 bench-smoke:
 	@rm -f bench-smoke.tmp.json
 	$(GO) run ./cmd/parma-bench recover -size 8 -runs 1 -json bench-smoke.tmp.json
@@ -36,7 +38,13 @@ bench-smoke:
 	@grep -c '"schema"' bench-smoke.tmp.json | grep -qx 2 || \
 		{ echo "second run did not append to the trajectory"; exit 1; }
 	@rm -f bench-smoke.tmp.json
-	@echo "bench-smoke: recover benchmark report checks out"
+	$(GO) run ./cmd/parma-bench recover -sizes 16,32 -runs 1 -json bench-smoke.tmp.json
+	@grep -q '"method": "sparse"' bench-smoke.tmp.json || \
+		{ echo "n-sweep trajectory is missing a sparse record"; exit 1; }
+	@grep -q '"method": "dense"' bench-smoke.tmp.json || \
+		{ echo "n-sweep trajectory is missing a dense record"; exit 1; }
+	@rm -f bench-smoke.tmp.json
+	@echo "bench-smoke: recover benchmark report and n-sweep parity check out"
 
 vet:
 	$(GO) vet ./...

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"parma/internal/solver"
 )
 
 func TestParseInts(t *testing.T) {
@@ -28,12 +30,15 @@ func TestParseInts(t *testing.T) {
 // the report: sane fields, the determinism invariants the tool enforces, and
 // that appendTrajectory round-trips through a file twice.
 func TestRecoverBenchReport(t *testing.T) {
-	rep, err := recoverBench(5, 7, 1e-8, 40, 1)
+	rep, err := recoverBench(5, 7, 1e-8, 40, 1, solver.MethodAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Schema != recoverSchema {
 		t.Fatalf("schema = %q, want %q", rep.Schema, recoverSchema)
+	}
+	if rep.Method != "dense" {
+		t.Fatalf("method = %q, want %q (auto resolves dense at 5x5)", rep.Method, "dense")
 	}
 	if rep.SerialMS <= 0 || rep.ParallelMS <= 0 {
 		t.Fatalf("non-positive timings: serial=%v parallel=%v", rep.SerialMS, rep.ParallelMS)
@@ -70,5 +75,38 @@ func TestRecoverBenchReport(t *testing.T) {
 	}
 	if err := appendTrajectory(path, rep); err == nil {
 		t.Fatal("appendTrajectory accepted a corrupt trajectory file")
+	}
+}
+
+// TestRecoverBenchSparse forces the sparse backend at a tiny size and checks
+// the sparse-only report fields are populated.
+func TestRecoverBenchSparse(t *testing.T) {
+	rep, err := recoverBench(5, 7, 1e-8, 40, 1, solver.MethodSparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "sparse" {
+		t.Fatalf("method = %q, want %q", rep.Method, "sparse")
+	}
+	if rep.CGIters <= 0 || rep.NNZ <= 0 {
+		t.Fatalf("sparse counters missing: cg_iters=%d nnz=%d", rep.CGIters, rep.NNZ)
+	}
+	if rep.Residual > 1e-8 {
+		t.Fatalf("sparse recovery did not converge: residual=%g", rep.Residual)
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("16, 32 ,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 16 || got[2] != 64 {
+		t.Fatalf("parseSizes = %v", got)
+	}
+	for _, bad := range []string{"", "  ,  ", "16,x", "1,16"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Fatalf("parseSizes(%q) accepted", bad)
+		}
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"parma/internal/circuit"
@@ -54,6 +56,14 @@ type recoverReport struct {
 	// ResidualDelta is |serial − parallel| converged residual; the kernels
 	// are deterministic, so anything above 1e-10 fails the run.
 	ResidualDelta float64 `json:"residual_delta"`
+	// Method is the Gauss-Newton backend that ran ("dense" or "sparse").
+	// Absent on records predating the sparse path (those ran dense).
+	Method string `json:"method,omitempty"`
+	// CGIters is the cumulative inner CG iteration count of the parallel
+	// run (sparse method only).
+	CGIters int `json:"cg_iters,omitempty"`
+	// NNZ is the sparse Jacobian's stored entry count (sparse method only).
+	NNZ int `json:"nnz,omitempty"`
 }
 
 const recoverSchema = "parma-bench/recover/v1"
@@ -61,16 +71,26 @@ const recoverSchema = "parma-bench/recover/v1"
 func runRecoverBench(args []string) int {
 	fs := flag.NewFlagSet("parma-bench recover", flag.ContinueOnError)
 	size := fs.Int("size", 16, "array side length (size x size recovery)")
+	sizes := fs.String("sizes", "", "comma-separated n-sweep (e.g. 16,32,64,128): one record per size and method; overrides -size and -method")
 	seed := fs.Int64("seed", 2022, "workload seed")
 	tol := fs.Float64("tol", 1e-8, "recovery residual tolerance")
 	maxIter := fs.Int("maxiter", 60, "recovery iteration cap")
 	runs := fs.Int("runs", 3, "timed repetitions; best is reported")
+	method := fs.String("method", "auto", "Gauss-Newton backend: auto, dense, or sparse")
+	denseMax := fs.Int("dense-max", 64, "largest size the sweep runs the dense method at (O(n⁶) per iteration; larger sizes go sparse-only)")
 	label := fs.String("label", "", "label recorded with the report in a trajectory file")
 	jsonPath := fs.String("json", "", "append the report to this trajectory file (default: print to stdout)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	rep, err := recoverBench(*size, *seed, *tol, *maxIter, *runs)
+	m, err := solver.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	if *sizes != "" {
+		return runRecoverSweep(*sizes, *seed, *tol, *maxIter, *runs, *denseMax, *label, *jsonPath)
+	}
+	rep, err := recoverBench(*size, *seed, *tol, *maxIter, *runs, m)
 	if err != nil {
 		fatal(err)
 	}
@@ -79,8 +99,8 @@ func runRecoverBench(args []string) int {
 		if err := appendTrajectory(*jsonPath, rep); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("recover bench: size=%d serial=%.1fms parallel=%.1fms speedup=%.2fx (report: %s)\n",
-			rep.Size, rep.SerialMS, rep.ParallelMS, rep.Speedup, *jsonPath)
+		fmt.Printf("recover bench: size=%d method=%s serial=%.1fms parallel=%.1fms speedup=%.2fx (report: %s)\n",
+			rep.Size, rep.Method, rep.SerialMS, rep.ParallelMS, rep.Speedup, *jsonPath)
 		return 0
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -89,6 +109,75 @@ func runRecoverBench(args []string) int {
 	}
 	os.Stdout.Write(append(data, '\n'))
 	return 0
+}
+
+// runRecoverSweep is the n-sweep behind the dense/sparse crossover table:
+// at every size it runs the sparse backend, and the dense backend up to
+// denseMax (dense cost grows as n⁶ per iteration, so large sizes are
+// unmeasurable dense — the cap keeps the sweep finite). When both backends
+// run at a size their converged residuals must both meet the tolerance:
+// the sparse path's pruning may change the trajectory but never where it
+// lands. Each report appends to the trajectory file individually, so a
+// sweep interrupted midway still leaves its finished records.
+func runRecoverSweep(sizes string, seed int64, tol float64, maxIter, runs, denseMax int, label, jsonPath string) int {
+	sizeList, err := parseSizes(sizes)
+	if err != nil {
+		fatal(err)
+	}
+	for _, size := range sizeList {
+		methods := []solver.Method{solver.MethodSparse}
+		if size <= denseMax {
+			methods = append([]solver.Method{solver.MethodDense}, methods...)
+		} else {
+			fmt.Printf("recover sweep: size=%d dense skipped (above -dense-max %d)\n", size, denseMax)
+		}
+		var got []recoverReport
+		for _, m := range methods {
+			rep, err := recoverBench(size, seed, tol, maxIter, runs, m)
+			if err != nil {
+				fatal(fmt.Errorf("size %d method %s: %w", size, m, err))
+			}
+			rep.Label = label
+			got = append(got, rep)
+			if jsonPath != "" {
+				if err := appendTrajectory(jsonPath, rep); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Printf("recover sweep: size=%d method=%s parallel=%.1fms iters=%d residual=%.3g cg_iters=%d nnz=%d\n",
+				rep.Size, rep.Method, rep.ParallelMS, rep.Iterations, rep.Residual, rep.CGIters, rep.NNZ)
+		}
+		if len(got) == 2 {
+			d, s := got[0], got[1]
+			if d.Residual > tol || s.Residual > tol {
+				fatal(fmt.Errorf("size %d: residual parity failed: dense %g, sparse %g (tol %g)",
+					size, d.Residual, s.Residual, tol))
+			}
+			fmt.Printf("recover sweep: size=%d parity ok (dense %.3g, sparse %.3g); sparse/dense time %.2fx\n",
+				size, d.Residual, s.Residual, d.ParallelMS/s.ParallelMS)
+		}
+	}
+	return 0
+}
+
+// parseSizes parses the -sizes list.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid -sizes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sizes is empty")
+	}
+	return out, nil
 }
 
 // appendTrajectory appends rep to the JSON array at path, creating the file
@@ -110,7 +199,7 @@ func appendTrajectory(path string, rep recoverReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func recoverBench(size int, seed int64, tol float64, maxIter, runs int) (recoverReport, error) {
+func recoverBench(size int, seed int64, tol float64, maxIter, runs int, method solver.Method) (recoverReport, error) {
 	if runs < 1 {
 		runs = 1
 	}
@@ -124,7 +213,7 @@ func recoverBench(size int, seed int64, tol float64, maxIter, runs int) (recover
 	if err != nil {
 		return recoverReport{}, err
 	}
-	opts := solver.RecoverOptions{Tol: tol, MaxIter: maxIter}
+	opts := solver.RecoverOptions{Tol: tol, MaxIter: maxIter, Method: method}
 
 	timeAt := func(workers int) (time.Duration, time.Duration, solver.RecoverResult, error) {
 		prev := mat.Parallelism(workers)
@@ -188,5 +277,8 @@ func recoverBench(size int, seed int64, tol float64, maxIter, runs int) (recover
 		Iterations:        parRes.Iterations,
 		Residual:          parRes.Residual,
 		ResidualDelta:     delta,
+		Method:            parRes.Method.String(),
+		CGIters:           parRes.CGIterations,
+		NNZ:               parRes.NNZ,
 	}, nil
 }

@@ -19,6 +19,8 @@
 //	             TODO on the request path
 //	atomicmix    no struct field accessed both via sync/atomic and plainly
 //	             anywhere in the program
+//	densealloc   no CSR.Dense() densification in the serve-path packages;
+//	             the sparse recovery path must stay on the CSR kernels
 //
 // The interprocedural checks run over a whole-program call graph built
 // from the loaded packages (see callgraph.go): static and method calls

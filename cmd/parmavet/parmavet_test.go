@@ -75,6 +75,7 @@ var goldenCases = []struct {
 	{"determinism", []string{"determinism"}},
 	{"ctxflow", []string{"ctxflow"}},
 	{"atomicmix", []string{"atomicmix"}},
+	{"densealloc", []string{"densealloc"}},
 	{"xchain", []string{"xchain", "xchain/inner"}},
 }
 

@@ -1,7 +1,7 @@
 package main
 
 // poolsize: a `go` statement lexically inside a for/range loop in the
-// numerics hot path (mat, solver) is a raw fan-out — one goroutine per
+// numerics hot path (mat, solver, sparse) is a raw fan-out — one goroutine per
 // item, width bounded only by the data. Kernel parallelism must instead go
 // through the shared worker pool (mat.ParallelFor), which sizes itself
 // from GOMAXPROCS and the Parallelism override so it composes with
@@ -21,7 +21,7 @@ var poolsizeAnalyzer = &Analyzer{
 	Doc:  "no raw goroutine fan-out loops in the numerics packages; use mat.ParallelFor",
 	Applies: func(pkgPath string) bool {
 		switch pkgPath {
-		case "parma/internal/mat", "parma/internal/solver":
+		case "parma/internal/mat", "parma/internal/solver", "parma/internal/sparse":
 			return true
 		}
 		// Fixture packages opt in by directory name.

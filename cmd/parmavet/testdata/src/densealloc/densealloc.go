@@ -1,0 +1,58 @@
+// Package densealloc exercises the densealloc analyzer: CSR.Dense() on
+// the serve path materializes the full dense matrix and must not appear
+// outside tests and annotated small-problem sites.
+package densealloc
+
+// CSR stands in for sparse.CSR: the analyzer matches the named type.
+type CSR struct {
+	rows, cols int
+}
+
+// Dense is the densification under test.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.rows)
+	for i := range out {
+		out[i] = make([]float64, m.cols)
+	}
+	return out
+}
+
+// NNZ is a sparse accessor; calls to it are never findings.
+func (m *CSR) NNZ() int { return 0 }
+
+// Grid is an unrelated type that happens to have a Dense method; the
+// analyzer keys on the CSR type, not the method name alone.
+type Grid struct{}
+
+func (Grid) Dense() int { return 0 }
+
+// direct is the core finding: densifying a CSR on the serve path.
+func direct(m *CSR) [][]float64 {
+	return m.Dense() // want "on the serve path materializes"
+}
+
+// throughLocal: aliasing through a local does not hide the receiver type.
+func throughLocal(m *CSR) [][]float64 {
+	alias := m
+	return alias.Dense() // want "on the serve path materializes"
+}
+
+// valueReceiver: a dereferenced value densifies just the same.
+func valueReceiver(m CSR) [][]float64 {
+	return m.Dense() // want "on the serve path materializes"
+}
+
+// otherDense: Grid.Dense is not a CSR densification, nothing to flag.
+func otherDense(g Grid) int {
+	return g.Dense()
+}
+
+// sparseOps: staying on the sparse accessors is the sanctioned shape.
+func sparseOps(m *CSR) int {
+	return m.NNZ()
+}
+
+// sanctioned: a justified, annotated small-problem densification.
+func sanctioned(m *CSR) [][]float64 {
+	return m.Dense() //parmavet:allow densealloc -- fixture stand-in for a test-only comparison bounded to n<=8
+}

@@ -102,6 +102,17 @@ func (s *Solver) potentials(u, v int) mat.Vector {
 	return x
 }
 
+// Potentials returns the full node-potential vector x (one entry per wire,
+// horizontal wires first) for a unit current injected at horizontal wire i
+// and extracted at vertical wire j, with the ground node at 0. It is the
+// primitive under EffectiveResistance and Sensitivity: the drop across
+// resistor (k, l) is x[WireVertex(true,k)] − x[WireVertex(false,l)], which
+// lets a sparse Jacobian assembly evaluate exactly the sensitivity entries
+// its pattern keeps instead of materializing a full field per pair.
+func (s *Solver) Potentials(i, j int) mat.Vector {
+	return s.potentials(s.arr.WireVertex(true, i), s.arr.WireVertex(false, j))
+}
+
 // EffectiveResistance returns Z between horizontal wire i and vertical wire
 // j: the potential difference produced by a unit current injection.
 func (s *Solver) EffectiveResistance(i, j int) float64 {

@@ -10,6 +10,7 @@ import (
 	"parma/internal/circuit"
 	"parma/internal/grid"
 	"parma/internal/obs"
+	"parma/internal/solver"
 )
 
 // FactorCache is the serving layer's amortization store: one bounded LRU
@@ -150,6 +151,23 @@ func (c *FactorCache) StoreWarmStart(a grid.Array, r *grid.Field) {
 		return
 	}
 	c.put("warm|"+geomKey(a), r.Clone())
+}
+
+// SparsePlan returns the symbolic sparse-recovery structure for a's
+// geometry, building and caching it on first use. A solver.Plan is
+// immutable and safe for concurrent use, so the cached instance is shared
+// directly (no clone) by every concurrent sparse recovery of that shape:
+// the cross pattern, transpose permutation, and the preconditioner's
+// normal-matrix pattern are pure geometry, the most reusable artifacts the
+// serving layer holds.
+func (c *FactorCache) SparsePlan(a grid.Array) *solver.Plan {
+	key := "plan|" + geomKey(a)
+	if v, ok := c.get(key); ok {
+		return v.(*solver.Plan)
+	}
+	p := solver.NewPlan(a.Rows(), a.Cols())
+	c.put(key, p)
+	return p
 }
 
 // LastZ returns a copy of the most recent measured Z for a's geometry, if

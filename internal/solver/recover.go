@@ -21,7 +21,38 @@ type RecoverOptions struct {
 	// Initial optionally seeds the iteration; nil derives a uniform guess
 	// from the mean measurement.
 	Initial *grid.Field
+	// Method selects the Gauss-Newton linear-algebra backend. MethodAuto
+	// (the zero value) picks dense or sparse from the geometry via the
+	// measured crossover model; see resolveMethod.
+	Method Method
+	// SparseDropTol is the sparse path's Jacobian pruning threshold relative
+	// to each row's largest sensitivity. Zero selects the measured default
+	// (1e-2); negative keeps every nonzero entry — the dense-equivalent
+	// reference mode (quadratic pattern, for verification only).
+	SparseDropTol float64
+	// SparseCGTol is the relative residual target of each inner CG solve on
+	// the damped normal equations. Zero selects 1e-10.
+	SparseCGTol float64
+	// SparsePrecond selects the inner CG preconditioner. PrecondAuto (the
+	// zero value) means IC(0) with Jacobi fallback on breakdown.
+	SparsePrecond SparsePrecond
+	// Plan optionally supplies the cached symbolic structure for the sparse
+	// path (serve keeps one per geometry). Nil builds one; a plan for a
+	// different geometry is ignored.
+	Plan *Plan
 }
+
+// SparsePrecond selects the preconditioner of the sparse path's inner CG.
+type SparsePrecond uint8
+
+const (
+	// PrecondAuto resolves to IC(0) with Jacobi fallback on breakdown.
+	PrecondAuto SparsePrecond = iota
+	// PrecondIC0 forces incomplete Cholesky on the pattern-restricted JᵀJ.
+	PrecondIC0
+	// PrecondJacobi forces diagonal preconditioning.
+	PrecondJacobi
+)
 
 // RecoverResult reports a recovery run.
 type RecoverResult struct {
@@ -33,6 +64,13 @@ type RecoverResult struct {
 	// dominant per-iteration cost the serving layer attributes separately
 	// from the rest of the solve.
 	FactorTime time.Duration
+	// Method is the backend that actually ran (never MethodAuto).
+	Method Method
+	// CGIterations is the cumulative inner CG iteration count across the
+	// recovery (sparse method only; zero for dense).
+	CGIterations int
+	// NNZ is the sparse Jacobian's entry count (sparse method only).
+	NNZ int
 }
 
 // Recover estimates the resistance field from a measured Z matrix by
@@ -42,9 +80,11 @@ type RecoverResult struct {
 // 2,000–11,000 kΩ dynamic range.
 //
 // Each iteration costs one grounded-Laplacian factorization plus one
-// adjoint solve per wire pair, and a dense (mn)² normal-equation solve, so
-// the method is intended for arrays up to a few tens of wires per side —
-// enough to close the loop on anomaly detection end to end.
+// adjoint solve per wire pair, and a damped normal-equation solve whose
+// backend opts.Method selects: dense (materialized JᵀJ, Cholesky) for small
+// arrays, sparse (pruned CSR Jacobian, matrix-free preconditioned CG) for
+// large ones, or auto — the default — which picks per geometry from the
+// measured crossover (docs/performance.md tabulates it).
 //
 // The hot path runs on the parallel kernel layer in internal/mat: the m·n
 // sensitivity solves fan out across the shared worker pool (each pair owns
@@ -130,21 +170,26 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 	cost := res.Norm2()
 	lambda := 1e-3
 
-	// Iteration-scoped buffers, reused across every iteration and damping
-	// retry: the Jacobian, the normal equations J^T·J, the damped scratch
-	// copy that Cholesky destroys, and the trial field/residual that
-	// ping-pong with the accepted ones. Before this, every rejected LM step
-	// allocated a fresh (mn)² matrix.
-	jac := mat.NewMatrix(m*n, nUnknown)
-	jtj := mat.NewMatrix(nUnknown, nUnknown)
-	aug := mat.NewMatrix(nUnknown, nUnknown)
-	jtr := mat.NewVector(nUnknown)
+	// The Gauss-Newton backend owns every iteration-scoped linearization
+	// buffer (Jacobian, normal equations, factorization scratch), reused
+	// across iterations and damping retries; only the trial field/residual
+	// that ping-pong with the accepted ones live here.
+	result.Method = ResolveMethod(m, n, opts.Method)
+	var st gnStepper
+	if result.Method == MethodSparse {
+		st = newSparseStepper(a, opts)
+	} else {
+		st = newDenseStepper(m, n)
+	}
 	step := mat.NewVector(nUnknown)
 	trial := grid.NewField(m, n)
 	trialRes := mat.NewVector(m * n)
 
 	result.R = r
-	defer func() { result.FactorTime = factorTime }()
+	defer func() {
+		result.FactorTime = factorTime
+		result.CGIterations, result.NNZ = st.stats()
+	}()
 	ctx, spRecover := obs.StartSpanCtx(ctx, "solver/recover")
 	defer func() {
 		if spRecover.Active() {
@@ -161,9 +206,7 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 			return result, err
 		}
 		spIter := obs.StartSpanIn(ctx, "solver/newton_iter")
-		assembleJacobian(ctx, jac, fwd, r)
-		jac.ATAInto(jtj)
-		jac.MulTVecTo(jtr, res)
+		st.prepare(ctx, fwd, r, res)
 
 		accepted := false
 		for tries := 0; tries < 12; tries++ {
@@ -173,12 +216,14 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 				}
 				return result, err
 			}
-			// Damp in the reusable scratch matrix: aug = jtj + λ·diag. The
-			// in-place Cholesky destroys aug, which is fine — it is rebuilt
-			// from jtj on the next retry (an O((mn)²) copy, not an
-			// allocation).
-			buildDamped(aug, jtj, lambda)
-			if !solveDamped(aug, jtj, jtr, step, lambda) {
+			ok, err := st.solve(ctx, step, lambda)
+			if err != nil {
+				if spIter.Active() {
+					spIter.End(obs.I("iter", iter), obs.F("residual", cost/zNorm))
+				}
+				return result, err
+			}
+			if !ok {
 				lambda *= 10
 				continue
 			}
@@ -232,6 +277,50 @@ func Recover(ctx context.Context, a grid.Array, z *grid.Field, opts RecoverOptio
 // triangular substitutions (tens of microseconds at paper sizes), so a few
 // per handout amortize the chunk claim without hurting balance.
 const pairGrain = 4
+
+// gnStepper is the Gauss-Newton linear-algebra backend behind one recovery:
+// prepare linearizes at the accepted iterate (Jacobian, normal-equation
+// state, right-hand side Jᵀ·res) and solve produces the damped step for one
+// λ on the ladder. solve reports false to escalate damping (factorization
+// or CG breakdown) and an error only for cancellation; stats feeds the
+// result's backend-specific counters.
+type gnStepper interface {
+	prepare(ctx context.Context, fwd *circuit.Solver, r *grid.Field, res mat.Vector)
+	solve(ctx context.Context, step mat.Vector, lambda float64) (bool, error)
+	stats() (cgIters, nnz int)
+}
+
+// denseStepper is the materialized backend: full Jacobian, one-pass SYRK
+// JᵀJ, Cholesky on the damped copy with pivoted-LU fallback. Unbeatable at
+// the paper's 16×16 reference size; O((mn)³) per solve.
+type denseStepper struct {
+	jac, jtj, aug *mat.Matrix
+	jtr           mat.Vector
+}
+
+func newDenseStepper(m, n int) *denseStepper {
+	u := m * n
+	return &denseStepper{
+		jac: mat.NewMatrix(u, u), jtj: mat.NewMatrix(u, u),
+		aug: mat.NewMatrix(u, u), jtr: mat.NewVector(u),
+	}
+}
+
+func (st *denseStepper) prepare(ctx context.Context, fwd *circuit.Solver, r *grid.Field, res mat.Vector) {
+	assembleJacobian(ctx, st.jac, fwd, r)
+	st.jac.ATAInto(st.jtj)
+	st.jac.MulTVecTo(st.jtr, res)
+}
+
+func (st *denseStepper) solve(_ context.Context, step mat.Vector, lambda float64) (bool, error) {
+	// Damp in the reusable scratch matrix: aug = jtj + λ·diag. The in-place
+	// Cholesky destroys aug, which is fine — it is rebuilt from jtj on the
+	// next retry (an O((mn)²) copy, not an allocation).
+	buildDamped(st.aug, st.jtj, lambda)
+	return solveDamped(st.aug, st.jtj, st.jtr, step, lambda), nil
+}
+
+func (st *denseStepper) stats() (int, int) { return 0, 0 }
 
 // assembleJacobian fills jac with the log-space Jacobian
 // J[pq, kl] = ∂Z_pq/∂R_kl · R_kl, fanning the m·n adjoint sensitivity

@@ -1,0 +1,71 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBuilderCoalescesDuplicatesInOrder is the regression test for the
+// duplicate-coalescing order bug: Build used an unstable sort, so duplicate
+// entries at one (i, j) were summed in an unspecified order and the result
+// depended on sort internals whenever the sum is order-sensitive in floating
+// point. Build must sum duplicates in insertion order, deterministically.
+func TestBuilderCoalescesDuplicatesInOrder(t *testing.T) {
+	b := NewBuilder(2, 2)
+	// Insertion order: 0.5 + 1e16 → 1e16 (the 0.5 is absorbed), − 1e16 → 0,
+	// + 0.5 → 0.5. Most other orders give 1.0 or 0. Only insertion order
+	// yields exactly 0.5.
+	b.Add(0, 1, 0.5)
+	b.Add(0, 1, 1e16)
+	b.Add(0, 1, -1e16)
+	b.Add(0, 1, 0.5)
+	// Insertion order: 1 + 1e16 − 1e16 = 0 exactly → coalesces away.
+	b.Add(1, 0, 1)
+	b.Add(1, 0, 1e16)
+	b.Add(1, 0, -1e16)
+	m := b.Build()
+	if got := m.At(0, 1); got != 0.5 {
+		t.Fatalf("At(0,1) = %v, want 0.5 (duplicates summed out of insertion order)", got)
+	}
+	if got := m.At(1, 0); got != 0 {
+		t.Fatalf("At(1,0) = %v, want exact 0 in insertion order", got)
+	}
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+// TestBuilderColIdxSortedPerRow is the property test behind every kernel in
+// the package: whatever entry stream Build consumes — duplicates, empty
+// rows, any insertion order — the resulting CSR has strictly increasing
+// column indices within each row and consistent row pointers.
+func TestBuilderColIdxSortedPerRow(t *testing.T) {
+	prop := func(seed int64, rows, cols uint8, n uint8) bool {
+		r, c := int(rows%16)+1, int(cols%16)+1
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(r, c)
+		for k := 0; k < int(n); k++ {
+			// Bias toward duplicates so coalescing is exercised constantly.
+			b.Add(rng.Intn(r), rng.Intn(c/2+1), rng.NormFloat64())
+		}
+		m := b.Build()
+		if len(m.rowPtr) != r+1 || m.rowPtr[0] != 0 || m.rowPtr[r] != len(m.colIdx) {
+			return false
+		}
+		for i := 0; i < r; i++ {
+			if m.rowPtr[i] > m.rowPtr[i+1] {
+				return false
+			}
+			for k := m.rowPtr[i] + 1; k < m.rowPtr[i+1]; k++ {
+				if m.colIdx[k-1] >= m.colIdx[k] {
+					return false // unsorted or duplicate survived
+				}
+			}
+		}
+		return len(m.vals) == len(m.colIdx)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

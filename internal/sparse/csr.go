@@ -42,9 +42,14 @@ func (b *Builder) Add(i, j int, v float64) {
 }
 
 // Build compiles the accumulated entries to CSR, summing duplicates and
-// dropping exact zeros that result from cancellation.
+// dropping exact zeros that result from cancellation. Duplicate (i, j)
+// entries are summed in insertion order: the sort is stable, so the
+// floating-point sum — which is order-dependent — is a pure function of the
+// Add sequence, not of the sorting algorithm's tie-breaking. (An unstable
+// sort here made Build's values depend on how sort.Slice happened to
+// shuffle equal keys; TestBuilderCoalescesDuplicatesInOrder pins the fix.)
 func (b *Builder) Build() *CSR {
-	sort.Slice(b.entries, func(x, y int) bool {
+	sort.SliceStable(b.entries, func(x, y int) bool {
 		if b.entries[x].Row != b.entries[y].Row {
 			return b.entries[x].Row < b.entries[y].Row
 		}
@@ -107,17 +112,73 @@ func (m *CSR) MulVec(x mat.Vector) mat.Vector {
 	return y
 }
 
-// MulVecTo computes y = M·x into the provided y, avoiding allocation.
+// spmvGrainFlops targets enough arithmetic per claimed chunk that the
+// chunk handout (one atomic add) disappears in the noise — the same budget
+// the dense kernels use (mat/kernels.go).
+const spmvGrainFlops = 16384
+
+// spmvGrain sizes a row-chunk so each carries about spmvGrainFlops flops
+// for a matrix with the given average row population.
+func spmvGrain(rows, nnz int) int {
+	if rows <= 0 || nnz <= 0 {
+		return 1
+	}
+	g := spmvGrainFlops * rows / (2 * nnz)
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// MulVecTo computes y = M·x into the provided y, avoiding allocation. Rows
+// fan out across the shared kernel pool (mat.ParallelFor) when the matrix
+// is big enough to amortize the handout; each output row is accumulated in
+// index order by exactly one worker, so the result is bit-identical at any
+// parallelism. Small matrices (one chunk) degrade to a plain serial loop.
 func (m *CSR) MulVecTo(y, x mat.Vector) {
 	if len(x) != m.cols || len(y) != m.rows {
 		panic(fmt.Sprintf("sparse: MulVec shapes y[%d] = M(%dx%d)·x[%d]", len(y), m.rows, m.cols, len(x)))
 	}
-	for i := 0; i < m.rows; i++ {
+	grain := spmvGrain(m.rows, len(m.vals))
+	if m.rows <= grain {
+		// One chunk: skip the pool (and the escaping closure) entirely so
+		// allocation-free CG loops stay allocation-free.
+		m.mulRows(y, x, 0, m.rows)
+		return
+	}
+	mat.ParallelFor(m.rows, grain, func(lo, hi int) { m.mulRows(y, x, lo, hi) })
+}
+
+// mulRows is the serial SpMV kernel over a row range.
+func (m *CSR) mulRows(y, x mat.Vector, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
 			s += m.vals[k] * x[m.colIdx[k]]
 		}
 		y[i] = s
+	}
+}
+
+// MulTVecTo computes y = Mᵀ·x into the provided y without forming the
+// transpose: one serial pass over m's rows scattering x[i]·row(i). This is
+// the reference transpose kernel; the hot path (solver's sparse
+// Gauss-Newton step) instead keeps an explicit transpose via TransposePlan
+// and runs the row-parallel MulVecTo on it, which parallelizes without
+// scatter conflicts and stays deterministic.
+func (m *CSR) MulTVecTo(y, x mat.Vector) {
+	if len(x) != m.rows || len(y) != m.cols {
+		panic(fmt.Sprintf("sparse: MulTVec shapes y[%d] = Mᵀ(%dx%d)·x[%d]", len(y), m.rows, m.cols, len(x)))
+	}
+	y.Fill(0)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 { //parmavet:allow floateq -- sparsity skip: exact zeros contribute nothing
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			y[m.colIdx[k]] += xi * m.vals[k]
+		}
 	}
 }
 
