@@ -60,6 +60,7 @@ type result struct {
 	timings    *serve.Timings
 	traceID    string
 	backend    string
+	hedged     bool
 	err        error
 }
 
@@ -92,6 +93,9 @@ func run(argv []string) error {
 	allowShed := fs.Bool("allow-shed", false, "treat 429/503 sheds as expected backpressure instead of failures (each must carry Retry-After)")
 	expectShed := fs.Bool("expect-shed", false, "exit 1 unless at least one request was shed with Retry-After (implies -allow-shed)")
 	expectDegraded := fs.Bool("expect-degraded", false, "exit 1 unless at least one request was served degraded from the stale cache")
+	hedgeReport := fs.Bool("hedge-report", false, "scrape the router's hedge counters afterwards and exit 1 unless at least one hedge launched (router must run with -hedge-budget > 0)")
+	expectPrewarmHit := fs.Bool("expect-prewarm-hit", false, "exit 1 unless the first OK /v1/recover for every geometry (in send order) was a warm-start cache hit — the warm-handoff assertion")
+	latencyOut := fs.String("latency-out", "", "write OK-response latency percentiles as JSON to this file (machine-readable, for smoke-test comparisons)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -191,6 +195,22 @@ func run(argv []string) error {
 			return err
 		}
 		fmt.Println("affinity: per-geometry pinning confirmed")
+	}
+	if *latencyOut != "" {
+		if err := writeLatencyFile(*latencyOut, results); err != nil {
+			return err
+		}
+	}
+	if *hedgeReport {
+		if err := reportHedging(client, bases[0], results); err != nil {
+			return err
+		}
+	}
+	if *expectPrewarmHit {
+		if err := checkPrewarmHits(items, results); err != nil {
+			return err
+		}
+		fmt.Println("prewarm: first recover per geometry was a warm-start hit")
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d requests failed", failures, len(results))
@@ -313,6 +333,7 @@ func fire(client *http.Client, base, path string, body []byte) result {
 	res := result{status: resp.StatusCode, latency: time.Since(start),
 		cache: meta.Cache, batch: meta.BatchSize, degraded: meta.Degraded,
 		timings: meta.Timings, traceID: meta.TraceID, backend: backend,
+		hedged:     resp.Header.Get("X-Parma-Hedged") == "1",
 		retryAfter: resp.Header.Get("Retry-After")}
 	if resp.StatusCode != http.StatusOK {
 		res.err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, meta.Error)
@@ -462,6 +483,114 @@ func timingsAddUp(tm *serve.Timings) bool {
 		diff = -diff
 	}
 	return diff <= 0.1*tm.TotalMS+2
+}
+
+// writeLatencyFile dumps OK-response latency percentiles as JSON so a
+// smoke test can compare two runs numerically (hedged vs unhedged p99).
+// Sheds and failures are excluded: a fast 429 would flatter the tail.
+func writeLatencyFile(path string, results []result) error {
+	lat := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		if r.err == nil && r.status == http.StatusOK {
+			lat = append(lat, r.latency)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		return float64(lat[int(p*float64(len(lat)-1))]) / float64(time.Millisecond)
+	}
+	out, err := json.Marshal(struct {
+		N     int     `json:"n"`
+		P50MS float64 `json:"p50_ms"`
+		P95MS float64 `json:"p95_ms"`
+		P99MS float64 `json:"p99_ms"`
+		MaxMS float64 `json:"max_ms"`
+	}{len(lat), q(0.50), q(0.95), q(0.99), q(1.0)})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// reportHedging scrapes the router's hedge counters, reports them next to
+// the client-side X-Parma-Hedged count, and fails when hedging never fired
+// — the smoke-test teeth for -hedge-budget configurations.
+func reportHedging(client *http.Client, base string, results []result) error {
+	hedgedSeen := 0
+	for _, r := range results {
+		if r.hedged {
+			hedgedSeen++
+		}
+	}
+	text, err := scrapeMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	launched := counterValue(text, "parma_fleet_hedge_launched_total")
+	won := counterValue(text, "parma_fleet_hedge_won_total")
+	exhausted := counterValue(text, "parma_fleet_hedge_budget_exhausted_total")
+	fmt.Printf("hedging:    launched=%.0f won=%.0f budget_exhausted=%.0f hedged_responses=%d\n",
+		launched, won, exhausted, hedgedSeen)
+	if launched == 0 {
+		return fmt.Errorf("hedge report: router launched no hedged attempts")
+	}
+	return nil
+}
+
+// checkPrewarmHits asserts warm handoff worked: the first OK /v1/recover
+// for every geometry, in send order, must report a warm-start cache hit.
+// On a cold worker that first request would be a miss, so a pass means
+// the re-homed keys were prewarmed before traffic arrived.
+func checkPrewarmHits(items []workItem, results []result) error {
+	seen := map[string]bool{}
+	for i, r := range results {
+		if items[i].path != "/v1/recover" || seen[items[i].geom] {
+			continue
+		}
+		if r.err != nil || r.status != http.StatusOK {
+			continue // sheds don't reach a worker's cache
+		}
+		seen[items[i].geom] = true
+		if r.cache != "hit" {
+			return fmt.Errorf("prewarm check: first recover for %s was cache=%q, want \"hit\"", items[i].geom, r.cache)
+		}
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("prewarm check: no OK /v1/recover responses to judge")
+	}
+	return nil
+}
+
+// scrapeMetrics fetches the Prometheus exposition from base.
+func scrapeMetrics(client *http.Client, base string) ([]byte, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics returned HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// counterValue extracts an unlabelled counter's value from exposition
+// text; absent series read as 0.
+func counterValue(text []byte, name string) float64 {
+	for _, line := range strings.Split(string(text), "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+			return v
+		}
+	}
+	return 0
 }
 
 // verifyMetrics scrapes /metrics and requires each of the wanted series

@@ -4,11 +4,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/recover      proxied to a worker chosen by -policy
-//	POST /v1/measure      proxied likewise
-//	GET  /healthz         fleet liveness + per-backend detail
-//	GET  /fleet           ring ownership (add ?key=RxC for one geometry)
-//	GET  /metrics         Prometheus text exposition
+//	POST   /v1/recover            proxied to a worker chosen by -policy (hedged when -hedge-budget > 0)
+//	POST   /v1/measure            proxied likewise
+//	GET    /healthz               fleet liveness + per-backend detail
+//	GET    /fleet                 ring ownership (add ?key=RxC for one geometry)
+//	GET    /admin/backends        membership list (requires -admin-token)
+//	POST   /admin/backends        add a member at runtime
+//	DELETE /admin/backends/{name} coordinated drain + remove
+//	GET    /metrics               Prometheus text exposition
 //
 // Backends are named (-backend w0=host:port): the name is the consistent-
 // hash identity, so geometry ownership survives router restarts and worker
@@ -60,6 +63,14 @@ func run(argv []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive failures that open a backend's circuit breaker")
 	breakerOpenFor := fs.Duration("breaker-open-for", 2*time.Second, "how long an open breaker skips its backend before a half-open probe")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on router-generated 503s")
+	maxBody := fs.Int64("max-body", 1<<20, "max proxied request body bytes (bodies are buffered for idempotent replay; oversize answers 413)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently proxied requests router-wide; past it requests shed with 429 (0 disables)")
+	maxPerBackend := fs.Int("max-per-backend", 0, "max outstanding requests per backend from this router; capped candidates are skipped (0 disables)")
+	hedgeBudget := fs.Float64("hedge-budget", 0, "max fraction of /v1/recover requests that may launch a hedged second attempt (0 disables hedging)")
+	hedgeDelayMin := fs.Duration("hedge-delay-min", time.Millisecond, "lower clamp on the rolling-p95 hedge delay")
+	hedgeDelayMax := fs.Duration("hedge-delay-max", 500*time.Millisecond, "upper clamp on the rolling-p95 hedge delay")
+	adminToken := fs.String("admin-token", "", "token authenticating the /admin/backends membership API (empty disables it)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a coordinated removal waits for the departing backend's in-flight requests")
 	compactEvery := fs.Duration("compact-interval", 10*time.Second, "fold span events into rollups on this interval (bounds memory)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	traceFile := fs.String("trace", "", "write a Chrome trace of recorded spans to this file on shutdown")
@@ -111,6 +122,14 @@ func run(argv []string) error {
 		BreakerThreshold: *breakerThreshold,
 		BreakerOpenFor:   *breakerOpenFor,
 		RetryAfter:       *retryAfter,
+		MaxBody:          *maxBody,
+		MaxInFlight:      *maxInflight,
+		MaxPerBackend:    *maxPerBackend,
+		HedgeBudget:      *hedgeBudget,
+		HedgeDelayMin:    *hedgeDelayMin,
+		HedgeDelayMax:    *hedgeDelayMax,
+		AdminToken:       *adminToken,
+		DrainTimeout:     *drainTimeout,
 		Recorder:         rec,
 	})
 	if err != nil {
@@ -153,7 +172,9 @@ func run(argv []string) error {
 	}
 	logger.Info("routing", "addr", bound, "policy", *policy, "backends", names,
 		"vnodes", *vnodes, "attempts", *attempts,
-		"probe_every", (*probeEvery).String(), "suspect_after", (*suspectAfter).String())
+		"probe_every", (*probeEvery).String(), "suspect_after", (*suspectAfter).String(),
+		"hedge_budget", *hedgeBudget, "max_inflight", *maxInflight,
+		"admin_api", *adminToken != "")
 
 	select {
 	case err := <-errc:

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,6 +61,7 @@ func run(argv []string) error {
 	sloSpec := fs.String("slo", "", `latency SLO, e.g. "p99=250ms": exports per-endpoint burn-rate gauges at /metrics`)
 	traceFile := fs.String("trace", "", "write a Chrome trace of recorded spans to this file on shutdown")
 	validateRanks := fs.Int("validate-ranks", 0, "cross-check each recovery's equation census across this many in-process MPI ranks (0 = off)")
+	injectDelay := fs.Duration("inject-delay", 0, "testing: sleep this long before serving each POST /v1/* request (health probes unaffected)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -131,8 +133,28 @@ func run(argv []string) error {
 		}
 	}
 
+	handler := srv.Handler()
+	if *injectDelay > 0 {
+		// Fault-injection middleware for fleet testing: slow the compute
+		// endpoints so hedging has a tail to cut, but leave /healthz fast so
+		// the router keeps this worker routable instead of ejecting it.
+		logger.Info("injecting latency", "delay", (*injectDelay).String())
+		inner := handler
+		delay := *injectDelay
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/") {
+				select {
+				case <-time.After(delay):
+				case <-r.Context().Done():
+					return
+				}
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		IdleTimeout:       2 * time.Minute,

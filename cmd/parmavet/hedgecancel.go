@@ -1,0 +1,331 @@
+package main
+
+// hedgecancel: duplicated outbound work must be cancellable. The fleet
+// router races hedged attempts against slow backends — spawn a second
+// request, keep whichever answers first. The failure mode is the loser:
+// an attempt launched in a goroutine with no cancellable context keeps a
+// worker solving a request nobody will read, and under load those
+// zombies are exactly the capacity the hedge was supposed to buy back.
+//
+// An "asynchronous outbound attempt" is a `go` statement whose spawned
+// work reaches (*net/http.Client).Do — lexically inside the goroutine
+// body, or through any chain of statically resolved calls (the
+// call-graph engine's edges). Three shapes are flagged:
+//
+//   - an attempt that manufactures its own context.Background()/TODO():
+//     it detaches from every caller, so nothing can ever cancel it;
+//   - an attempt with no cancellable derivation anywhere — neither the
+//     launching function nor anything on the path to Client.Do calls
+//     context.WithCancel/WithTimeout/WithDeadline (with the cancel func
+//     kept). Such a goroutine dangles until the transport gives up;
+//   - the hedge shape proper: a function launching two or more
+//     concurrent attempts (two go statements, or one inside a loop)
+//     without deriving a cancellable *shared parent* in its own body. A
+//     per-attempt timeout buried in a callee bounds each attempt but
+//     cannot reel the loser in the moment a winner returns — hedging
+//     without `hctx, cancel := context.WithCancel(ctx)` pays for two
+//     full solves every time.
+//
+// Probe-style fan-out to distinct peers (one liveness check per backend)
+// is the same lexical shape as a hedge; sites whose concurrency is
+// per-peer rather than per-request document themselves with
+// //parmavet:allow hedgecancel.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var hedgecancelAnalyzer = &Analyzer{
+	Name: "hedgecancel",
+	Doc:  "goroutines reaching (*http.Client).Do need a cancellable context; >=2 concurrent attempts need a shared context.WithCancel parent",
+	Applies: func(pkgPath string) bool {
+		return pkgPath == "parma/internal/fleet" ||
+			strings.HasSuffix(pkgPath, "parmavet/testdata/src/hedgecancel")
+	},
+	Run: runHedgecancel,
+}
+
+// outboundLaunch is one `go` statement whose spawned work reaches
+// (*net/http.Client).Do.
+type outboundLaunch struct {
+	pos     token.Pos
+	looped  bool // spawned inside a for/range: one site, many attempts
+	callees []*types.Func
+	bgPos   token.Pos // context.Background()/TODO() fed to the attempt, if any
+}
+
+func runHedgecancel(pass *Pass) {
+	info := pass.Pkg.Info
+	memoReach := map[*types.Func]bool{}
+	memoDerive := map[*types.Func]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHedgeLaunches(pass, info, fd, memoReach, memoDerive)
+		}
+	}
+}
+
+func checkHedgeLaunches(pass *Pass, info *types.Info, fd *ast.FuncDecl, memoReach, memoDerive map[*types.Func]bool) {
+	launches := collectOutboundLaunches(pass, info, fd, memoReach)
+	if len(launches) == 0 {
+		return
+	}
+	lexDerives := derivesCancellable(info, fd.Body)
+	attempts := 0
+	for _, l := range launches {
+		attempts++
+		if l.looped {
+			attempts++
+		}
+	}
+	perLaunchFlagged := false
+	for _, l := range launches {
+		if l.bgPos != token.NoPos {
+			pass.Reportf(l.bgPos, "asynchronous outbound attempt runs on a manufactured context: it detaches from every caller, so a losing hedge can never be cancelled; derive from the request ctx with context.WithCancel")
+			perLaunchFlagged = true
+			continue
+		}
+		if !lexDerives && !anyCalleeDerives(pass.Prog, info, l.callees, memoDerive, nil) {
+			pass.Reportf(l.pos, "goroutine reaches (*http.Client).Do with no cancellable context anywhere on the path: the attempt dangles until the transport gives up; derive context.WithCancel or WithTimeout before launching")
+			perLaunchFlagged = true
+		}
+	}
+	if perLaunchFlagged || attempts < 2 || lexDerives {
+		return
+	}
+	// Every attempt is individually bounded somewhere downstream, but the
+	// launcher holds no shared cancel handle: the loser runs to its own
+	// deadline even after a winner returned.
+	at := launches[len(launches)-1].pos
+	for _, l := range launches {
+		if l.looped {
+			at = l.pos
+			break
+		}
+	}
+	pass.Reportf(at, "launches %d concurrent outbound attempts without a cancellable shared parent: per-attempt timeouts cannot reel the loser in when a winner returns; derive hctx, cancel := context.WithCancel(ctx) here and cancel once the first response wins", attempts)
+}
+
+// collectOutboundLaunches walks fd's body (crossing func-literal
+// boundaries: a goroutine spawned by a closure still belongs to this
+// function's concurrency) and returns every go statement reaching
+// Client.Do.
+func collectOutboundLaunches(pass *Pass, info *types.Info, fd *ast.FuncDecl, memoReach map[*types.Func]bool) []outboundLaunch {
+	var launches []outboundLaunch
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			if l, outbound := classifyLaunch(pass, info, g, memoReach); outbound {
+				l.looped = inLoop(stack)
+				launches = append(launches, l)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return launches
+}
+
+// classifyLaunch resolves every call lexically inside the go statement
+// (the spawned expression and, for func literals, the whole body) and
+// reports whether any of them is — or transitively reaches — an outbound
+// http.Client call.
+func classifyLaunch(pass *Pass, info *types.Info, g *ast.GoStmt, memoReach map[*types.Func]bool) (outboundLaunch, bool) {
+	l := outboundLaunch{pos: g.Pos()}
+	outbound := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(info, call)
+		if fn == nil {
+			return true
+		}
+		if isOutboundClientCall(fn) || reachesOutbound(pass.Prog, fn, memoReach, nil) {
+			outbound = true
+			l.callees = append(l.callees, fn)
+			if p := manufacturedCtxArg(info, call); p != token.NoPos {
+				l.bgPos = p
+			}
+		}
+		// http.NewRequestWithContext is where the attempt's context is
+		// bound, even though the function itself performs no I/O.
+		if fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "NewRequestWithContext" {
+			if p := manufacturedCtxArg(info, call); p != token.NoPos {
+				outbound = true
+				l.bgPos = p
+			}
+		}
+		return true
+	})
+	return l, outbound
+}
+
+// manufacturedCtxArg reports the position of a context.Background() or
+// context.TODO() passed directly as an argument to call, or NoPos.
+func manufacturedCtxArg(info *types.Info, call *ast.CallExpr) token.Pos {
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := staticCallee(info, inner)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			continue
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			return inner.Pos()
+		}
+	}
+	return token.NoPos
+}
+
+// isOutboundClientCall reports whether fn is a request-sending method on
+// net/http.Client. Get/Post/Head/PostForm all funnel into Do inside the
+// standard library, invisibly to the call graph, so they seed directly.
+func isOutboundClientCall(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return false
+	}
+	switch fn.Name() {
+	case "Do", "Get", "Post", "Head", "PostForm":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, okP := t.(*types.Pointer); okP {
+		t = ptr.Elem()
+	}
+	return namedTypeIs(t, "net/http", "Client")
+}
+
+// reachesOutbound reports whether fn's statically resolved call chain
+// hits an outbound client call. Memoized; visiting guards recursion.
+func reachesOutbound(prog *Program, fn *types.Func, memo map[*types.Func]bool, visiting map[*types.Func]bool) bool {
+	if v, ok := memo[fn]; ok {
+		return v
+	}
+	node := prog.Node(fn)
+	if node == nil {
+		return false
+	}
+	if visiting == nil {
+		visiting = map[*types.Func]bool{}
+	}
+	if visiting[fn] {
+		return false
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	for _, e := range node.Edges {
+		if isOutboundClientCall(e.Callee) || reachesOutbound(prog, e.Callee, memo, visiting) {
+			memo[fn] = true
+			return true
+		}
+	}
+	memo[fn] = false
+	return false
+}
+
+// derivesCancellable reports whether body lexically contains
+// `_, cancel := context.WithCancel/WithTimeout/WithDeadline(...)` with
+// the cancel func kept (a blanked cancel is a handle nobody can pull).
+func derivesCancellable(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		switch fn.Name() {
+		case "WithCancel", "WithTimeout", "WithDeadline":
+		default:
+			return true
+		}
+		if id, okI := as.Lhs[1].(*ast.Ident); okI && id.Name != "_" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// anyCalleeDerives reports whether any function reachable from callees
+// derives a cancellable context in its own body — the "each attempt is
+// bounded downstream" exemption for single launches.
+func anyCalleeDerives(prog *Program, info *types.Info, callees []*types.Func, memo map[*types.Func]bool, visiting map[*types.Func]bool) bool {
+	if visiting == nil {
+		visiting = map[*types.Func]bool{}
+	}
+	for _, fn := range callees {
+		if calleeDerives(prog, fn, memo, visiting) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeDerives(prog *Program, fn *types.Func, memo map[*types.Func]bool, visiting map[*types.Func]bool) bool {
+	if v, ok := memo[fn]; ok {
+		return v
+	}
+	node := prog.Node(fn)
+	if node == nil {
+		return false
+	}
+	if visiting[fn] {
+		return false
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	if derivesCancellable(node.Pkg.Info, node.Decl.Body) {
+		memo[fn] = true
+		return true
+	}
+	for _, e := range node.Edges {
+		if calleeDerives(prog, e.Callee, memo, visiting) {
+			memo[fn] = true
+			return true
+		}
+	}
+	memo[fn] = false
+	return false
+}
+
+// inLoop reports whether the ancestor stack crosses a for/range statement
+// before leaving the enclosing function declaration.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

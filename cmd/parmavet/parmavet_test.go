@@ -76,6 +76,7 @@ var goldenCases = []struct {
 	{"ctxflow", []string{"ctxflow"}},
 	{"atomicmix", []string{"atomicmix"}},
 	{"densealloc", []string{"densealloc"}},
+	{"hedgecancel", []string{"hedgecancel"}},
 	{"xchain", []string{"xchain", "xchain/inner"}},
 }
 

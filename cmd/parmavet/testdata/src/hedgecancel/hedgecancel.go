@@ -1,0 +1,135 @@
+// Package hedgecancel exercises the hedgecancel analyzer: goroutines
+// whose work reaches (*http.Client).Do need a cancellable context, and a
+// function racing two or more such attempts needs a shared
+// context.WithCancel parent so the loser is reeled in when a winner
+// returns.
+package hedgecancel
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// sendOne is a plain bounded attempt: it derives its own per-attempt
+// timeout, so anything spawning it is individually cancellable.
+func sendOne(ctx context.Context, client *http.Client, url string) {
+	attemptCtx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+// sendRaw performs the request on whatever context it is handed — no
+// derivation anywhere on its path.
+func sendRaw(ctx context.Context, client *http.Client, url string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}
+
+// danglingAttempt is the per-launch core finding: an asynchronous
+// outbound attempt with no cancellable context anywhere between the
+// spawn and Client.Do.
+func danglingAttempt(ctx context.Context, client *http.Client) {
+	go sendRaw(ctx, client, "http://a") // want "no cancellable context anywhere on the path"
+}
+
+// detachedAttempt manufactures its own context inside the goroutine:
+// nothing upstream can ever cancel it.
+func detachedAttempt(client *http.Client) {
+	go func() {
+		req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, "http://a", nil) // want "manufactured context"
+		if err != nil {
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return
+		}
+		resp.Body.Close()
+	}()
+}
+
+// naiveHedge races two attempts that are each bounded by sendOne's own
+// timeout, but holds no shared cancel handle: the loser runs to its full
+// deadline after the winner answered.
+func naiveHedge(ctx context.Context, client *http.Client) {
+	go sendOne(ctx, client, "http://primary")
+	go sendOne(ctx, client, "http://secondary") // want "launches 2 concurrent outbound attempts without a cancellable shared parent"
+}
+
+// loopedFanout is the same defect through a loop: one go statement, many
+// concurrent attempts.
+func loopedFanout(ctx context.Context, client *http.Client, urls []string) {
+	for _, u := range urls {
+		//parmavet:allow poolsize -- the fixture exercises hedgecancel's loop shape, not numerics fan-out.
+		go sendOne(ctx, client, u) // want "concurrent outbound attempts without a cancellable shared parent"
+	}
+}
+
+// goodHedge is the sanctioned shape: both attempts derive from one
+// cancellable parent, and cancel reels the loser in.
+func goodHedge(ctx context.Context, client *http.Client) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{}, 2)
+	go func() {
+		sendRaw(hctx, client, "http://primary")
+		done <- struct{}{}
+	}()
+	go func() {
+		sendRaw(hctx, client, "http://secondary")
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// goodSingle: one attempt, bounded downstream by sendOne's per-attempt
+// timeout — nothing to race, nothing to flag.
+func goodSingle(ctx context.Context, client *http.Client) {
+	go sendOne(ctx, client, "http://only")
+}
+
+// blankedCancel derives a parent but throws the handle away, which is no
+// parent at all.
+func blankedCancel(ctx context.Context, client *http.Client) {
+	hctx, _ := context.WithCancel(ctx)
+	go sendOne(hctx, client, "http://primary")
+	go sendOne(hctx, client, "http://secondary") // want "launches 2 concurrent outbound attempts without a cancellable shared parent"
+}
+
+// allowedFanout documents per-peer probe fan-out: same lexical shape as
+// a hedge, suppressed with a justification.
+func allowedFanout(ctx context.Context, client *http.Client, urls []string) {
+	for _, u := range urls {
+		//parmavet:allow hedgecancel,poolsize -- per-peer probes, each self-bounded; no duplicated request to cancel.
+		go sendOne(ctx, client, u)
+	}
+}
+
+// notOutbound: concurrency without HTTP is out of scope.
+func notOutbound(vals []int) int {
+	sum := make(chan int, 1)
+	go func() {
+		total := 0
+		for _, v := range vals {
+			total += v * v
+		}
+		sum <- total
+	}()
+	return <-sum
+}

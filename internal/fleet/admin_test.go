@@ -1,0 +1,332 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parma/internal/serve"
+)
+
+// adminWorker stubs a parmad worker with the warm-handoff surface: it
+// exports canned warm state from /v1/warmstate and records every
+// /v1/prewarm push it receives.
+type adminWorker struct {
+	name string
+	srv  *httptest.Server
+
+	mu        sync.Mutex
+	warm      map[string][][]float64 // geometry key -> exported warm R
+	prewarmed []serve.PrewarmEntry
+}
+
+func newAdminWorker(t *testing.T, name string) *adminWorker {
+	t.Helper()
+	w := &adminWorker{name: name, warm: map[string][][]float64{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(rw, `{"status":"ok","workers":1}`)
+	})
+	mux.HandleFunc("POST /v1/recover", func(rw http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"worker":%q}`, w.name)
+	})
+	mux.HandleFunc("GET /v1/warmstate", func(rw http.ResponseWriter, r *http.Request) {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		var resp serve.WarmStateResponse
+		for _, k := range strings.Split(r.URL.Query().Get("keys"), ",") {
+			resp.Entries = append(resp.Entries, serve.PrewarmEntry{Key: k, R: w.warm[k]})
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(resp)
+	})
+	mux.HandleFunc("POST /v1/prewarm", func(rw http.ResponseWriter, r *http.Request) {
+		var req serve.PrewarmRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			rw.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.mu.Lock()
+		w.prewarmed = append(w.prewarmed, req.Entries...)
+		w.mu.Unlock()
+		rw.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(rw, `{"accepted":%d}`, len(req.Entries))
+	})
+	w.srv = httptest.NewServer(mux)
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+func (w *adminWorker) prewarmedKeys() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, len(w.prewarmed))
+	for i, e := range w.prewarmed {
+		out[i] = e.Key
+	}
+	return out
+}
+
+// warmGrid returns a uniform positive RxC field for warm-state export.
+func warmGrid(rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		row := make([]float64, cols)
+		for j := range row {
+			row[j] = 1000
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func adminRouter(t *testing.T, token string, workers ...*adminWorker) *Router {
+	t.Helper()
+	backends := make([]*Backend, len(workers))
+	for i, w := range workers {
+		backends[i] = NewBackend(w.name, w.srv.URL)
+	}
+	rt, err := New(Config{
+		Backends:       backends,
+		Policy:         PolicyAffinity,
+		Attempts:       len(backends),
+		AttemptTimeout: 2 * time.Second,
+		Probe:          fastProbe(),
+		AdminToken:     token,
+		DrainTimeout:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startRouter(t, rt)
+	return rt
+}
+
+func adminDo(t *testing.T, h http.Handler, method, path, token string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rdr io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(raw)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	if token != "" {
+		req.Header.Set("X-Parma-Admin-Token", token)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestAdminAuth(t *testing.T) {
+	w0 := newAdminWorker(t, "w0")
+	rt := adminRouter(t, "s3cret", w0)
+	h := rt.Handler()
+
+	if rec := adminDo(t, h, http.MethodGet, "/admin/backends", "", nil); rec.Code != http.StatusUnauthorized {
+		t.Errorf("no token: status %d, want 401", rec.Code)
+	}
+	if rec := adminDo(t, h, http.MethodGet, "/admin/backends", "wrong", nil); rec.Code != http.StatusUnauthorized {
+		t.Errorf("bad token: status %d, want 401", rec.Code)
+	}
+	if rec := adminDo(t, h, http.MethodGet, "/admin/backends", "s3cret", nil); rec.Code != http.StatusOK {
+		t.Errorf("good token: status %d, want 200 (%s)", rec.Code, rec.Body.String())
+	}
+	// Bearer form works too.
+	req := httptest.NewRequest(http.MethodGet, "/admin/backends", nil)
+	req.Header.Set("Authorization", "Bearer s3cret")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("bearer token: status %d, want 200", rec.Code)
+	}
+
+	// A router started without a token has no admin surface at all.
+	w1 := newAdminWorker(t, "w1")
+	rtNone := adminRouter(t, "", w1)
+	if rec := adminDo(t, rtNone.Handler(), http.MethodGet, "/admin/backends", "s3cret", nil); rec.Code != http.StatusForbidden {
+		t.Errorf("tokenless router: status %d, want 403", rec.Code)
+	}
+}
+
+// TestAddBackendHandsOffAndJoins: adding a member warm-hands the keys the
+// ring moves to it before it becomes routable, and the joiner appears in
+// membership.
+func TestAddBackendHandsOffAndJoins(t *testing.T) {
+	w0 := newAdminWorker(t, "w0")
+	w1 := newAdminWorker(t, "w1")
+	rt := adminRouter(t, "tok", w0)
+	h := rt.Handler()
+
+	// Find a geometry the two-member ring will give to the joiner.
+	future := NewRing([]string{"w0", "w1"}, DefaultVnodes)
+	key := ""
+	for n := 2; n < 200; n++ {
+		k := fmt.Sprintf("%dx%d", n, n)
+		if future.Owner(k) == "w1" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key moves to w1 on join")
+	}
+	var rows, cols int
+	fmt.Sscanf(key, "%dx%d", &rows, &cols)
+	w0.mu.Lock()
+	w0.warm[key] = warmGrid(rows, cols)
+	w0.mu.Unlock()
+
+	// Serve one request so the key is a tracked assignment.
+	if rec := doRecover(t, h, recoverBody(rows, cols)); rec.Code != http.StatusOK {
+		t.Fatalf("priming recover: status %d", rec.Code)
+	}
+
+	rec := adminDo(t, h, http.MethodPost, "/admin/backends", "tok",
+		AddBackendRequest{Name: "w1", URL: w1.srv.URL})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("add: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var mc MembershipChange
+	if err := json.Unmarshal(rec.Body.Bytes(), &mc); err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Members) != 2 {
+		t.Fatalf("members after add = %v", mc.Members)
+	}
+	found := false
+	for _, k := range mc.Rehomed["w1"] {
+		if k == key {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rehomed map %v does not move %s to w1", mc.Rehomed, key)
+	}
+	if mc.PrewarmedKeys == 0 {
+		t.Error("add reported zero prewarmed keys")
+	}
+	got := w1.prewarmedKeys()
+	if len(got) == 0 || got[0] != key {
+		t.Fatalf("joiner received prewarm for %v, want [%s ...]", got, key)
+	}
+	w1.mu.Lock()
+	withR := w1.prewarmed[0].R != nil
+	w1.mu.Unlock()
+	if !withR {
+		t.Error("prewarm entry lost the warm R exported by the old owner")
+	}
+
+	// Duplicate join is a conflict.
+	if rec := adminDo(t, h, http.MethodPost, "/admin/backends", "tok",
+		AddBackendRequest{Name: "w1", URL: w1.srv.URL}); rec.Code != http.StatusConflict {
+		t.Errorf("duplicate add: status %d, want 409", rec.Code)
+	}
+
+	// The healthy joiner took its first synchronous probe and is routable;
+	// traffic for its keys lands there.
+	rec = doRecover(t, h, recoverBody(rows, cols))
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Parma-Backend") != "w1" {
+		t.Errorf("post-join recover: status %d backend %q, want 200 from w1",
+			rec.Code, rec.Header().Get("X-Parma-Backend"))
+	}
+}
+
+// TestAddBackendStartsSuspect: a joiner that fails its first probe is a
+// member but not routable — suspect until first success.
+func TestAddBackendStartsSuspect(t *testing.T) {
+	w0 := newAdminWorker(t, "w0")
+	rt := adminRouter(t, "tok", w0)
+	h := rt.Handler()
+
+	rec := adminDo(t, h, http.MethodPost, "/admin/backends", "tok",
+		AddBackendRequest{Name: "wdead", URL: "http://127.0.0.1:1"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("add: status %d: %s", rec.Code, rec.Body.String())
+	}
+	dead := rt.backendByName("wdead")
+	if dead == nil {
+		t.Fatal("wdead is not a member after add")
+	}
+	if dead.Routable() {
+		t.Error("dead joiner is routable before any successful probe")
+	}
+	// Requests still succeed: the suspect member is skipped.
+	if rec := doRecover(t, h, recoverBody(6, 6)); rec.Code != http.StatusOK {
+		t.Errorf("recover with suspect member: status %d", rec.Code)
+	}
+}
+
+// TestRemoveBackendDrainsAndRehomes: a coordinated removal cordons the
+// victim, hands its keys to ring successors, reports a completed drain,
+// and leaves traffic flowing to the survivors.
+func TestRemoveBackendDrainsAndRehomes(t *testing.T) {
+	w0 := newAdminWorker(t, "w0")
+	w1 := newAdminWorker(t, "w1")
+	rt := adminRouter(t, "tok", w0, w1)
+	h := rt.Handler()
+
+	key := keyOwnedBy(t, rt, "w0")
+	var rows, cols int
+	fmt.Sscanf(key, "%dx%d", &rows, &cols)
+	w0.mu.Lock()
+	w0.warm[key] = warmGrid(rows, cols)
+	w0.mu.Unlock()
+	if rec := doRecover(t, h, recoverBody(rows, cols)); rec.Code != http.StatusOK {
+		t.Fatalf("priming recover: status %d", rec.Code)
+	}
+
+	rec := adminDo(t, h, http.MethodDelete, "/admin/backends/w0", "tok", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remove: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var mc MembershipChange
+	if err := json.Unmarshal(rec.Body.Bytes(), &mc); err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Members) != 1 || mc.Members[0] != "w1" {
+		t.Fatalf("members after remove = %v, want [w1]", mc.Members)
+	}
+	if mc.Drained == nil || !*mc.Drained {
+		t.Errorf("drain did not complete: %+v", mc.Drained)
+	}
+	found := false
+	for _, k := range mc.Rehomed["w1"] {
+		if k == key {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rehomed map %v does not move %s to w1", mc.Rehomed, key)
+	}
+	if got := w1.prewarmedKeys(); len(got) == 0 {
+		t.Error("successor received no prewarm push")
+	}
+
+	// The victim is gone: traffic re-homes, and a second removal is 404.
+	rec = doRecover(t, h, recoverBody(rows, cols))
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Parma-Backend") != "w1" {
+		t.Errorf("post-remove recover: status %d backend %q, want 200 from w1",
+			rec.Code, rec.Header().Get("X-Parma-Backend"))
+	}
+	if rec := adminDo(t, h, http.MethodDelete, "/admin/backends/w0", "tok", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("second remove: status %d, want 404", rec.Code)
+	}
+	// Refuse to empty the fleet.
+	if rec := adminDo(t, h, http.MethodDelete, "/admin/backends/w1", "tok", nil); rec.Code != http.StatusConflict {
+		t.Errorf("removing last member: status %d, want 409", rec.Code)
+	}
+}

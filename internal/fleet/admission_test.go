@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// blockingWorker parks every compute request until the test releases it,
+// so admission caps can be observed while a request is genuinely
+// outstanding.
+type blockingWorker struct {
+	name    string
+	srv     *httptest.Server
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlockingWorker(t *testing.T, name string) *blockingWorker {
+	t.Helper()
+	w := &blockingWorker{
+		name:    name,
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(rw, `{"status":"ok","workers":1}`)
+	})
+	mux.HandleFunc("POST /v1/recover", func(rw http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.entered <- struct{}{}
+		select {
+		case <-w.release:
+		case <-r.Context().Done():
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"worker":%q}`, w.name)
+	})
+	w.srv = httptest.NewServer(mux)
+	t.Cleanup(func() {
+		close(w.release)
+		w.srv.Close()
+	})
+	return w
+}
+
+func admissionRouter(t *testing.T, mutate func(*Config), workers ...*blockingWorker) *Router {
+	t.Helper()
+	backends := make([]*Backend, len(workers))
+	for i, w := range workers {
+		backends[i] = NewBackend(w.name, w.srv.URL)
+	}
+	cfg := Config{
+		Backends:       backends,
+		Policy:         PolicyRoundRobin,
+		Attempts:       len(backends),
+		AttemptTimeout: 5 * time.Second,
+		Probe:          fastProbe(),
+		RetryAfter:     2 * time.Second,
+	}
+	mutate(&cfg)
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startRouter(t, rt)
+	return rt
+}
+
+// TestMaxInFlightSheds: past the router-wide in-flight bound, new
+// requests shed immediately with 429 + Retry-After instead of queueing,
+// and capacity frees as soon as an admitted request finishes.
+func TestMaxInFlightSheds(t *testing.T) {
+	w0 := newBlockingWorker(t, "w0")
+	rt := admissionRouter(t, func(c *Config) { c.MaxInFlight = 1 }, w0)
+	h := rt.Handler()
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- doRecover(t, h, recoverBody(8, 8)) }()
+	select {
+	case <-w0.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the worker")
+	}
+
+	rec := doRecover(t, h, recoverBody(8, 8))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap request: status %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want %q (cfg.RetryAfter)", got, "2")
+	}
+
+	w0.release <- struct{}{}
+	select {
+	case rec := <-first:
+		if rec.Code != http.StatusOK {
+			t.Fatalf("admitted request: status %d, want 200", rec.Code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("admitted request never completed")
+	}
+	// The slot is free again.
+	go func() { <-w0.entered; w0.release <- struct{}{} }()
+	if rec := doRecover(t, h, recoverBody(8, 8)); rec.Code != http.StatusOK {
+		t.Fatalf("post-release request: status %d, want 200", rec.Code)
+	}
+}
+
+// TestMaxPerBackendSheds: when every candidate is at its per-backend
+// outstanding cap, the request sheds 429 rather than piling a queue onto
+// a struggling worker.
+func TestMaxPerBackendSheds(t *testing.T) {
+	w0 := newBlockingWorker(t, "w0")
+	rt := admissionRouter(t, func(c *Config) { c.MaxPerBackend = 1 }, w0)
+	h := rt.Handler()
+
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- doRecover(t, h, recoverBody(8, 8)) }()
+	select {
+	case <-w0.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the worker")
+	}
+
+	rec := doRecover(t, h, recoverBody(8, 8))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("all-candidates-at-cap request: status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("per-backend shed carries no Retry-After hint")
+	}
+
+	w0.release <- struct{}{}
+	select {
+	case rec := <-first:
+		if rec.Code != http.StatusOK {
+			t.Fatalf("outstanding request: status %d, want 200", rec.Code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("outstanding request never completed")
+	}
+}
+
+// TestMaxBodyRejectsOversize: the idempotency buffer is bounded — a body
+// past MaxBody answers 413 before any backend sees a byte.
+func TestMaxBodyRejectsOversize(t *testing.T) {
+	w0 := newBlockingWorker(t, "w0")
+	rt := admissionRouter(t, func(c *Config) { c.MaxBody = 256 }, w0)
+	h := rt.Handler()
+
+	big := append(recoverBody(8, 8), bytes.Repeat([]byte(" "), 512)...)
+	rec := doRecover(t, h, big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d, want 413", rec.Code)
+	}
+	select {
+	case <-w0.entered:
+		t.Fatal("oversize request reached the backend")
+	default:
+	}
+
+	// An in-bound body still goes through untouched.
+	go func() { <-w0.entered; w0.release <- struct{}{} }()
+	if rec := doRecover(t, h, recoverBody(8, 8)); rec.Code != http.StatusOK {
+		t.Fatalf("in-bound body: status %d, want 200", rec.Code)
+	}
+}

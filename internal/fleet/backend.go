@@ -22,6 +22,12 @@ type Backend struct {
 	// request path itself.
 	inflight atomic.Int64
 
+	// cordoned marks a backend the router itself has taken out of
+	// rotation (coordinated drain before removal). Unlike probe.Draining —
+	// the worker's own verdict — a cordon is a router decision, flipped
+	// before the ring swap so no request races into a departing backend.
+	cordoned atomic.Bool
+
 	mu    sync.Mutex
 	probe ProbeState
 
@@ -133,9 +139,19 @@ func (b *Backend) setProbe(p ProbeState) {
 	b.mu.Unlock()
 }
 
-// Routable reports whether new requests may be sent: alive and not
-// draining.
+// Cordon takes the backend out of rotation on the router's authority;
+// the prober keeps observing it, but no new request is sent its way.
+func (b *Backend) Cordon() { b.cordoned.Store(true) }
+
+// Cordoned reports whether the router has cordoned the backend.
+func (b *Backend) Cordoned() bool { return b.cordoned.Load() }
+
+// Routable reports whether new requests may be sent: alive, not draining,
+// and not cordoned by the router.
 func (b *Backend) Routable() bool {
+	if b.cordoned.Load() {
+		return false
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.probe.Alive && !b.probe.Draining

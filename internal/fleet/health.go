@@ -46,11 +46,23 @@ func (c ProberConfig) withDefaults() ProberConfig {
 	return c
 }
 
-// Prober drives the health loop over a backend set.
+// Prober drives the health loop over a backend set. Membership is
+// dynamic: Add and Remove adjust the probed set at runtime, and the
+// OnEject/OnReadmit hooks (set before Start) let the router react to
+// liveness transitions — evicting affinity assignments and warm-handing
+// the dead backend's keys to their ring successors.
 type Prober struct {
-	cfg      ProberConfig
+	cfg    ProberConfig
+	client *http.Client
+
+	mu       sync.Mutex
 	backends []*Backend
-	client   *http.Client
+
+	// OnEject fires when a backend crosses the suspect window and is
+	// ejected; OnReadmit fires on its first successful probe afterwards.
+	// Both run on the probe goroutine, so they must be fast or detach.
+	OnEject   func(*Backend)
+	OnReadmit func(*Backend)
 
 	stop chan struct{}
 	done chan struct{}
@@ -62,7 +74,7 @@ func NewProber(backends []*Backend, cfg ProberConfig) *Prober {
 	cfg = cfg.withDefaults()
 	return &Prober{
 		cfg:      cfg,
-		backends: backends,
+		backends: append([]*Backend(nil), backends...),
 		// The client timeout is a backstop behind the per-probe context
 		// deadline; both are set so a wedged worker cannot pin the loop.
 		client: &http.Client{Timeout: cfg.Timeout + time.Second},
@@ -71,12 +83,50 @@ func NewProber(backends []*Backend, cfg ProberConfig) *Prober {
 	}
 }
 
+// snapshot copies the probed set so the loop never ranges a slice a
+// membership change is mutating.
+func (p *Prober) snapshot() []*Backend {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Backend(nil), p.backends...)
+}
+
+// Add starts probing b. The backend is seeded suspect (Alive=false) and
+// probed once synchronously under ctx, so a healthy joiner is routable by
+// the time Add returns while an unreachable one stays out of rotation
+// until its first successful probe — suspect-until-first-success, the
+// inverse of Start's optimistic seeding, because a joining backend has no
+// track record to extend credit against.
+func (p *Prober) Add(ctx context.Context, b *Backend) {
+	b.setProbe(ProbeState{Alive: false})
+	p.mu.Lock()
+	p.backends = append(p.backends, b)
+	p.mu.Unlock()
+	p.probeOne(ctx, b)
+	p.publishAlive()
+}
+
+// Remove stops probing the named backend and zeroes its liveness gauge.
+func (p *Prober) Remove(name string) {
+	p.mu.Lock()
+	keep := p.backends[:0]
+	for _, b := range p.backends {
+		if b.Name != name {
+			keep = append(keep, b)
+		}
+	}
+	p.backends = keep
+	p.mu.Unlock()
+	obs.SetGauge("fleet/backend/"+name+"/alive", 0)
+	p.publishAlive()
+}
+
 // Start seeds every backend as alive (optimistically — a backend that was
 // never reachable is ejected one suspect window after startup) and
 // launches the probe loop under ctx.
 func (p *Prober) Start(ctx context.Context) {
 	now := time.Now()
-	for _, b := range p.backends {
+	for _, b := range p.snapshot() {
 		b.setProbe(ProbeState{Alive: true, LastOK: now})
 	}
 	p.publishAlive()
@@ -111,8 +161,9 @@ func (p *Prober) run(ctx context.Context) {
 // delay its peers' liveness verdicts past the suspect window.
 func (p *Prober) probeAll(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, b := range p.backends {
+	for _, b := range p.snapshot() {
 		wg.Add(1)
+		//parmavet:allow hedgecancel -- per-peer liveness fan-out, not a duplicated request: every goroutine probes a different backend and each probe is bounded by fetch's per-probe WithTimeout, so there is no loser to cancel.
 		go func(b *Backend) {
 			defer wg.Done()
 			p.probeOne(ctx, b)
@@ -137,6 +188,11 @@ func (p *Prober) probeOne(ctx context.Context, b *Backend) {
 			obs.Add("fleet/ejected_total", 1)
 			obs.Log().WarnContext(ctx, "fleet: backend ejected",
 				"backend", b.Name, "after", p.cfg.SuspectAfter.String(), "err", err.Error())
+			b.setProbe(next)
+			if p.OnEject != nil {
+				p.OnEject(b)
+			}
+			return
 		}
 		b.setProbe(next)
 		return
@@ -144,6 +200,11 @@ func (p *Prober) probeOne(ctx context.Context, b *Backend) {
 	if !prev.Alive {
 		obs.Add("fleet/readmitted_total", 1)
 		obs.Log().InfoContext(ctx, "fleet: backend readmitted", "backend", b.Name)
+		defer func() {
+			if p.OnReadmit != nil {
+				p.OnReadmit(b)
+			}
+		}()
 	}
 	next = ProbeState{
 		Alive:         true,
@@ -190,7 +251,7 @@ func (p *Prober) fetch(ctx context.Context, b *Backend) (*serve.HealthResponse, 
 // publishAlive refreshes the fleet-level liveness gauges.
 func (p *Prober) publishAlive() {
 	alive := 0
-	for _, b := range p.backends {
+	for _, b := range p.snapshot() {
 		up := 0.0
 		if b.Probe().Alive {
 			up = 1

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"parma/internal/obs"
+)
+
+// hedger governs hedged requests: the budget that caps what fraction of
+// eligible requests may launch a second attempt, and the rolling latency
+// window the hedge delay is derived from.
+//
+// The delay follows the classic tail-at-scale recipe: wait roughly the
+// p95 of recent attempt latencies before hedging, so ~95% of requests
+// never pay a duplicate and the slow tail gets a second chance on the
+// ring successor. The budget is the safety interlock — hedged attempts
+// can never exceed frac of eligible requests no matter how slow the
+// fleet gets, so hedging degrades to plain failover instead of becoming
+// a retry storm.
+type hedger struct {
+	frac     float64 // max hedged/eligible ratio, (0,1]
+	delayMin time.Duration
+	delayMax time.Duration
+
+	mu       sync.Mutex
+	eligible int64 // hedgeable requests seen (budget denominator)
+	hedged   int64 // hedges launched (budget numerator)
+
+	// Rolling latency window (ms) for the hedge delay. Fixed-size ring:
+	// cheap to update on every successful attempt, recomputed into p95
+	// lazily when the delay is next needed.
+	window [hedgeWindow]float64
+	n      int // filled entries, saturates at hedgeWindow
+	idx    int // next write position
+	p95    time.Duration
+	stale  bool
+}
+
+// hedgeWindow is the latency sample count behind the rolling p95. 512
+// samples re-centers the delay within a few seconds of moderate traffic
+// without letting one burst swing it.
+const hedgeWindow = 512
+
+// newHedger returns nil when hedging is disabled (frac <= 0), so callers
+// gate on h.enabled() and the zero-config router pays nothing.
+func newHedger(frac float64, delayMin, delayMax time.Duration) *hedger {
+	if frac <= 0 {
+		return nil
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if delayMin <= 0 {
+		delayMin = time.Millisecond
+	}
+	if delayMax <= 0 {
+		delayMax = 500 * time.Millisecond
+	}
+	if delayMax < delayMin {
+		delayMax = delayMin
+	}
+	return &hedger{frac: frac, delayMin: delayMin, delayMax: delayMax}
+}
+
+func (h *hedger) enabled() bool { return h != nil }
+
+// observe feeds one successful attempt latency into the rolling window.
+func (h *hedger) observe(ms float64) {
+	if h == nil || ms < 0 {
+		return
+	}
+	h.mu.Lock()
+	h.window[h.idx] = ms
+	h.idx = (h.idx + 1) % hedgeWindow
+	if h.n < hedgeWindow {
+		h.n++
+	}
+	h.stale = true
+	h.mu.Unlock()
+}
+
+// delay returns the current hedge delay: the rolling p95 clamped to
+// [delayMin, delayMax]. With no samples yet it returns delayMax — hedge
+// late until there is evidence of what "slow" means here.
+func (h *hedger) delay() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return h.delayMax
+	}
+	if h.stale {
+		samples := make([]float64, h.n)
+		copy(samples, h.window[:h.n])
+		sort.Float64s(samples)
+		rank := int(0.95 * float64(h.n-1))
+		h.p95 = time.Duration(samples[rank] * float64(time.Millisecond))
+		h.stale = false
+	}
+	d := h.p95
+	if d < h.delayMin {
+		d = h.delayMin
+	}
+	if d > h.delayMax {
+		d = h.delayMax
+	}
+	return d
+}
+
+// sawRequest counts one hedge-eligible request into the budget
+// denominator.
+func (h *hedger) sawRequest() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.eligible++
+	h.mu.Unlock()
+}
+
+// tryHedge atomically claims budget for one hedge. It maintains the
+// invariant hedged <= frac × eligible at every instant; a claim that
+// would break it is refused and counted on fleet/hedge_budget_exhausted.
+func (h *hedger) tryHedge() bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if float64(h.hedged+1) > h.frac*float64(h.eligible) {
+		obs.Add("fleet/hedge_budget_exhausted_total", 1)
+		return false
+	}
+	h.hedged++
+	return true
+}
+
+// stats reports the lifetime budget counters (for /fleet and tests).
+func (h *hedger) stats() (eligible, hedged int64) {
+	if h == nil {
+		return 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.eligible, h.hedged
+}

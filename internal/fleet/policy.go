@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"parma/internal/obs"
@@ -18,6 +19,36 @@ type Policy interface {
 	// Candidates returns the routable backends in preference order for
 	// the given geometry key. The input slice is never mutated.
 	Candidates(key string, routable []*Backend) []*Backend
+}
+
+// ringAware is implemented by policies that route off the consistent-hash
+// ring; the router pushes each membership swap through SetRing so the
+// policy and the router never disagree about membership.
+type ringAware interface {
+	SetRing(*Ring)
+}
+
+// assignTracker is implemented by policies that remember where each
+// geometry key last landed. The router consults the tracked key set for
+// warm handoff (which keys does a departing backend's successor inherit)
+// and calls EvictBackend on every membership and health transition so the
+// map never names a non-member.
+type assignTracker interface {
+	// EvictBackend drops every assignment naming the backend and returns
+	// the affected keys, sorted.
+	EvictBackend(name string) []string
+	// AssignedKeys returns every tracked geometry key, sorted.
+	AssignedKeys() []string
+	// Assignment returns the backend a key last landed on.
+	Assignment(key string) (string, bool)
+	// Record notes that key was served by backend (the router calls this
+	// with the backend that actually answered, keeping the map honest
+	// across failover).
+	Record(key, backend string)
+	// EvictKeys drops the assignments for the given keys. A join moves
+	// keys away from owners that remain members, so backend-level
+	// eviction cannot reach them.
+	EvictKeys(keys []string)
 }
 
 // Policy names accepted by NewPolicy (and parma-router -policy).
@@ -40,7 +71,7 @@ func NewPolicy(name string, ring *Ring, spillFactor float64) (Policy, error) {
 		if spillFactor <= 1 {
 			spillFactor = 1.25
 		}
-		return &affinity{ring: ring, factor: spillFactor}, nil
+		return &affinity{ring: ring, factor: spillFactor, assigned: map[string]string{}}, nil
 	}
 	return nil, fmt.Errorf("fleet: unknown policy %q (want %s, %s, or %s)",
 		name, PolicyRoundRobin, PolicyLeastLoaded, PolicyAffinity)
@@ -102,18 +133,98 @@ func (leastLoaded) Candidates(_ string, routable []*Backend) []*Backend {
 // Mirrokni/Thorup/Zadimoghaddam capacity bound — the request spills to
 // the first ring successor under the bound, trading one cold solve for
 // tail latency. Spills are counted on fleet/spill_total.
+//
+// The assigned map remembers where each key last landed — the sticky fast
+// path that keeps a spilled key on its spill target while the spill
+// condition persists, and the ledger warm handoff reads to learn which
+// keys a departing backend's successors inherit. Entries naming a backend
+// that left the ring or lost its health check are evicted on the spot
+// (EvictBackend), so the map never holds a request hostage to a dead
+// assignment.
 type affinity struct {
-	ring   *Ring
 	factor float64
+
+	mu       sync.Mutex
+	ring     *Ring
+	assigned map[string]string // geometry key -> backend that last served it
 }
 
 func (*affinity) Name() string { return PolicyAffinity }
+
+// SetRing swaps the membership ring (dynamic membership). Assignments are
+// not touched here: the router evicts the affected backend's entries
+// explicitly, which also tells it which keys to hand off.
+func (p *affinity) SetRing(r *Ring) {
+	p.mu.Lock()
+	p.ring = r
+	p.mu.Unlock()
+}
+
+// EvictBackend drops every assignment naming the backend, returning the
+// affected keys sorted — the warm-handoff work list.
+func (p *affinity) EvictBackend(name string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var keys []string
+	for k, b := range p.assigned {
+		if b == name {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		delete(p.assigned, k)
+	}
+	return keys
+}
+
+// AssignedKeys returns every tracked geometry key, sorted.
+func (p *affinity) AssignedKeys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.assigned))
+	for k := range p.assigned {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EvictKeys drops the assignments for the given keys — the join-side
+// eviction: the ring moved these keys to the new member, and a sticky
+// entry would pin them to their old owner indefinitely.
+func (p *affinity) EvictKeys(keys []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, k := range keys {
+		delete(p.assigned, k)
+	}
+}
+
+// Assignment returns the backend key last landed on.
+func (p *affinity) Assignment(key string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.assigned[key]
+	return b, ok
+}
+
+// Record notes that key was served by backend.
+func (p *affinity) Record(key, backend string) {
+	p.mu.Lock()
+	p.assigned[key] = backend
+	p.mu.Unlock()
+}
 
 func (p *affinity) Candidates(key string, routable []*Backend) []*Backend {
 	n := len(routable)
 	if n == 0 {
 		return nil
 	}
+	p.mu.Lock()
+	ring := p.ring
+	sticky := p.assigned[key]
+	p.mu.Unlock()
 	byName := make(map[string]*Backend, n)
 	var total int64
 	for _, b := range routable {
@@ -124,9 +235,24 @@ func (p *affinity) Candidates(key string, routable []*Backend) []*Backend {
 	// draining backends drop out, and their keys land on the next live
 	// successor.
 	out := make([]*Backend, 0, n)
-	for _, name := range p.ring.Successors(key, p.ring.Len()) {
+	for _, name := range ring.Successors(key, ring.Len()) {
 		if b := byName[name]; b != nil {
 			out = append(out, b)
+		}
+	}
+	// Sticky fast path: a key that last landed off-owner (a spill) keeps
+	// going there while that backend stays routable, instead of bouncing
+	// between owner and spill target on every load wobble. Eviction on
+	// membership/health transitions is what keeps this path from pinning a
+	// key to a corpse.
+	if sticky != "" && len(out) > 1 && out[0].Name != sticky {
+		for i := 1; i < len(out); i++ {
+			if out[i].Name == sticky {
+				b := out[i]
+				copy(out[1:i+1], out[:i])
+				out[0] = b
+				break
+			}
 		}
 	}
 	if len(out) == 0 {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -188,5 +189,86 @@ func TestPoliciesEmptyRoutable(t *testing.T) {
 		if got := p.Candidates("8x8", nil); len(got) != 0 {
 			t.Fatalf("%s: want no candidates for empty routable set, got %v", name, namesOf(got))
 		}
+	}
+}
+
+// TestAffinityEvictionKeepsMapOnMembers is the membership-regression
+// contract: through any sequence of membership and health transitions,
+// the affinity assignment map never names a backend that is not a ring
+// member. A stale entry would pin a geometry to a corpse — the sticky
+// fast path would keep routing there forever.
+func TestAffinityEvictionKeepsMapOnMembers(t *testing.T) {
+	ring := NewRing([]string{"m0", "m1", "m2"}, DefaultVnodes)
+	p, err := NewPolicy(PolicyAffinity, ring, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := p.(assignTracker)
+	ra := p.(ringAware)
+
+	keys := sampleKeys(60)
+	for i, k := range keys {
+		at.Record(k, fmt.Sprintf("m%d", i%3))
+	}
+
+	assertMembersOnly := func(step string, members map[string]bool) {
+		t.Helper()
+		for _, k := range at.AssignedKeys() {
+			b, ok := at.Assignment(k)
+			if !ok {
+				t.Fatalf("%s: AssignedKeys lists %s but Assignment misses it", step, k)
+			}
+			if !members[b] {
+				t.Fatalf("%s: key %s assigned to non-member %s", step, k, b)
+			}
+		}
+	}
+	assertMembersOnly("initial", map[string]bool{"m0": true, "m1": true, "m2": true})
+
+	// Coordinated removal: ring swap plus eviction, as handleRemoveBackend
+	// performs it.
+	ring = ring.Without("m1")
+	ra.SetRing(ring)
+	evicted := at.EvictBackend("m1")
+	if len(evicted) == 0 {
+		t.Fatal("removing m1 evicted no keys despite recorded assignments")
+	}
+	assertMembersOnly("after remove m1", map[string]bool{"m0": true, "m2": true})
+	for _, k := range evicted {
+		if _, ok := at.Assignment(k); ok {
+			t.Fatalf("evicted key %s still has an assignment", k)
+		}
+	}
+
+	// Health ejection: the member stays on the ring but its assignments
+	// must go (onEject calls EvictBackend without a ring swap).
+	at.EvictBackend("m2")
+	assertMembersOnly("after eject m2", map[string]bool{"m0": true})
+	for _, k := range at.AssignedKeys() {
+		if b, _ := at.Assignment(k); b == "m2" {
+			t.Fatalf("key %s still names health-ejected m2", k)
+		}
+	}
+
+	// Join: new member, fresh assignments land and stick — and the keys
+	// the ring moved to the joiner get their stale entries dropped via
+	// EvictKeys (their old owner is still a member, so EvictBackend
+	// cannot reach them).
+	ring = ring.With("m3")
+	ra.SetRing(ring)
+	stale := at.AssignedKeys()
+	at.EvictKeys(stale[:1])
+	if _, ok := at.Assignment(stale[0]); ok {
+		t.Fatalf("key %s survived EvictKeys", stale[0])
+	}
+	at.Record("77x77", "m3")
+	if b, ok := at.Assignment("77x77"); !ok || b != "m3" {
+		t.Fatalf("assignment after join = %q/%v, want m3", b, ok)
+	}
+	assertMembersOnly("after join m3", map[string]bool{"m0": true, "m3": true})
+
+	// Double eviction is a no-op, not a panic.
+	if again := at.EvictBackend("m1"); len(again) != 0 {
+		t.Fatalf("second eviction of m1 returned keys: %v", again)
 	}
 }

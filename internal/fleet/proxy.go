@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"parma/internal/obs"
@@ -18,8 +21,9 @@ import (
 // Config tunes the router. The zero value of every field selects a
 // sensible default, so Config{Backends: ...} is a working configuration.
 type Config struct {
-	// Backends is the fleet membership (required, fixed for the router's
-	// lifetime; liveness is dynamic, membership is configuration).
+	// Backends is the initial fleet membership (required). Membership is
+	// dynamic after construction: the authenticated /admin/backends API
+	// adds and removes members at runtime with an atomic ring swap.
 	Backends []*Backend
 	// Policy is one of PolicyRoundRobin, PolicyLeastLoaded,
 	// PolicyAffinity. Empty selects round-robin.
@@ -47,9 +51,38 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to router-generated sheds
 	// (no live backend, every candidate refused). Zero selects 1s.
 	RetryAfter time.Duration
-	// MaxBody bounds proxied request bodies. Zero selects 8 MiB (the
-	// serving tier's own bound).
+	// MaxBody bounds proxied request bodies — which the router buffers in
+	// full for idempotent replay across failover attempts, so this is a
+	// per-request memory bound, not just a validation limit. Oversize
+	// bodies answer 413. Zero selects 1 MiB (a 64×64 float64 matrix in
+	// JSON sits well under it).
 	MaxBody int64
+	// MaxInFlight bounds concurrently proxied requests router-wide; past
+	// it new requests shed with 429 + Retry-After instead of queueing
+	// into timeouts. Zero disables the bound.
+	MaxInFlight int
+	// MaxPerBackend bounds this router's outstanding requests to any one
+	// backend; candidates at the cap are skipped (and a request every
+	// candidate skips sheds with 429). Zero disables the bound.
+	MaxPerBackend int
+	// HedgeBudget enables hedged /v1/recover requests: after a
+	// rolling-p95 delay a second attempt launches at the ring successor,
+	// first response wins, the loser is context-cancelled. The value is
+	// the budget — the max fraction of recover requests that may hedge —
+	// so hedging can never exceed HedgeBudget × traffic. Zero disables
+	// hedging.
+	HedgeBudget float64
+	// HedgeDelayMin/HedgeDelayMax clamp the rolling-p95 hedge delay.
+	// Zeros select 1ms and 500ms.
+	HedgeDelayMin time.Duration
+	HedgeDelayMax time.Duration
+	// AdminToken authenticates the /admin/backends API (constant-time
+	// compare against X-Parma-Admin-Token or a bearer token). Empty
+	// disables the admin API entirely.
+	AdminToken string
+	// DrainTimeout bounds how long a coordinated removal waits for the
+	// departing backend's in-flight requests. Zero selects 10s.
+	DrainTimeout time.Duration
 	// Recorder, when set, is served by GET /metrics.
 	Recorder *obs.Recorder
 }
@@ -59,10 +92,9 @@ func (c Config) withDefaults() Config {
 		c.Policy = PolicyRoundRobin
 	}
 	if c.Attempts <= 0 {
+		// Not clamped to the backend count: membership is dynamic, so the
+		// per-request candidate list is what bounds actual attempts.
 		c.Attempts = 3
-	}
-	if c.Attempts > len(c.Backends) {
-		c.Attempts = len(c.Backends)
 	}
 	if c.AttemptTimeout <= 0 {
 		c.AttemptTimeout = 30 * time.Second
@@ -77,23 +109,32 @@ func (c Config) withDefaults() Config {
 		c.RetryAfter = time.Second
 	}
 	if c.MaxBody <= 0 {
-		c.MaxBody = 8 << 20
+		c.MaxBody = 1 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
 	}
 	return c
 }
 
 // Router fronts a parmad fleet: it owns the ring, the policy, the health
 // prober, and one circuit breaker per backend, and proxies the compute
-// endpoints with candidate failover. Create with New, serve via Handler,
-// launch the health loop with Start, stop with Close.
+// endpoints with candidate failover, admission control, and hedged
+// recover attempts. Create with New, serve via Handler, launch the
+// health loop with Start, stop with Close. Membership is mutable at
+// runtime (admin API): mu guards the backends slice and the ring, which
+// swap together atomically; each Ring value stays immutable.
 type Router struct {
 	cfg      Config
+	mu       sync.RWMutex
 	backends []*Backend
 	ring     *Ring
 	policy   Policy
 	breakers *serve.BreakerSet
 	prober   *Prober
 	client   *http.Client
+	hedger   *hedger
+	inflight atomic.Int64 // router-wide admission counter
 	start    time.Time
 }
 
@@ -118,17 +159,23 @@ func New(cfg Config) (*Router, error) {
 	}
 	rt := &Router{
 		cfg:      cfg,
-		backends: cfg.Backends,
+		backends: append([]*Backend(nil), cfg.Backends...),
 		ring:     ring,
 		policy:   policy,
 		breakers: serve.NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerOpenFor, "fleet"),
 		prober:   NewProber(cfg.Backends, cfg.Probe),
+		hedger:   newHedger(cfg.HedgeBudget, cfg.HedgeDelayMin, cfg.HedgeDelayMax),
 		// The client timeout backstops the per-attempt context deadline:
 		// both are always set, so a wedged worker can pin neither an
 		// attempt nor the connection pool.
 		client: &http.Client{Timeout: cfg.AttemptTimeout + 5*time.Second},
 		start:  time.Now(),
 	}
+	// Health transitions feed the affinity assignment map and warm
+	// handoff: an ejected backend's keys are evicted immediately (so
+	// routing re-homes on the next request, not after riding the breaker)
+	// and its ring successors are told what they inherited.
+	rt.prober.OnEject = rt.onEject
 	rt.publishRingShares()
 	return rt, nil
 }
@@ -139,31 +186,51 @@ func (rt *Router) Start(ctx context.Context) { rt.prober.Start(ctx) }
 // Close stops the health prober.
 func (rt *Router) Close() { rt.prober.Close() }
 
-// Ring exposes the ownership ring (for /fleet and tests).
-func (rt *Router) Ring() *Ring { return rt.ring }
+// Ring exposes the current ownership ring (for /fleet and tests).
+func (rt *Router) Ring() *Ring {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring
+}
 
-// publishRingShares exports each backend's hash-space share as a gauge;
-// the ring is immutable, so once at construction is enough.
+// membership snapshots the backend set and ring together. The slice is
+// replaced wholesale on every swap, never mutated, so callers may read it
+// lock-free after the snapshot.
+func (rt *Router) membership() ([]*Backend, *Ring) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.backends, rt.ring
+}
+
+// publishRingShares exports each backend's hash-space share as a gauge,
+// re-published after every membership swap.
 func (rt *Router) publishRingShares() {
-	shares := rt.ring.OwnedShare()
-	for i, name := range rt.ring.Backends() {
+	_, ring := rt.membership()
+	shares := ring.OwnedShare()
+	for i, name := range ring.Backends() {
 		obs.SetGauge("fleet/ring/share/"+name, shares[i])
 	}
 }
 
 // Handler returns the router's HTTP surface:
 //
-//	POST /v1/recover      proxied to a worker chosen by the policy
-//	POST /v1/measure      proxied likewise
-//	GET  /healthz         fleet liveness + per-backend detail
-//	GET  /fleet           ring ownership + backend states
-//	GET  /metrics         Prometheus text (when Config.Recorder is set)
+//	POST   /v1/recover            proxied to a worker chosen by the policy
+//	POST   /v1/measure            proxied likewise
+//	GET    /healthz               fleet liveness + per-backend detail
+//	GET    /fleet                 ring ownership + backend states
+//	GET    /admin/backends        membership list (authenticated)
+//	POST   /admin/backends        add a member (authenticated)
+//	DELETE /admin/backends/{name} coordinated drain + remove (authenticated)
+//	GET    /metrics               Prometheus text (when Config.Recorder is set)
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/recover", rt.instrument("recover", rt.proxy))
 	mux.HandleFunc("POST /v1/measure", rt.instrument("measure", rt.proxy))
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /fleet", rt.handleFleet)
+	mux.HandleFunc("GET /admin/backends", rt.admin(rt.handleListBackends))
+	mux.HandleFunc("POST /admin/backends", rt.admin(rt.handleAddBackend))
+	mux.HandleFunc("DELETE /admin/backends/{name}", rt.admin(rt.handleRemoveBackend))
 	if rt.cfg.Recorder != nil {
 		mux.Handle("GET /metrics", obs.MetricsHandler(rt.cfg.Recorder))
 	}
@@ -237,8 +304,9 @@ type geomProbe struct {
 
 // routable snapshots the currently routable backends in member order.
 func (rt *Router) routable() []*Backend {
-	out := make([]*Backend, 0, len(rt.backends))
-	for _, b := range rt.backends {
+	backends, _ := rt.membership()
+	out := make([]*Backend, 0, len(backends))
+	for _, b := range backends {
 		if b.Routable() {
 			out = append(out, b)
 		}
@@ -246,14 +314,49 @@ func (rt *Router) routable() []*Backend {
 	return out
 }
 
+// overCap reports whether the per-backend outstanding bound would be
+// exceeded by one more request to b. The check-then-send is racy by a
+// request or two under concurrency — it is a soft cap ordering the shed
+// decision, not an accounting invariant.
+func (rt *Router) overCap(b *Backend) bool {
+	return rt.cfg.MaxPerBackend > 0 && b.InFlight() >= int64(rt.cfg.MaxPerBackend)
+}
+
+// recordAssignment tells an assignment-tracking policy where key actually
+// landed, keeping the affinity map honest across spill and failover.
+func (rt *Router) recordAssignment(key string, b *Backend) {
+	if at, ok := rt.policy.(assignTracker); ok {
+		at.Record(key, b.Name)
+	}
+}
+
 // proxy forwards one compute request. Both compute endpoints are
 // idempotent — a recovery or measurement is a pure function of the
 // request body — so a failed attempt (connect error, mid-response crash,
-// or a 503 shed) retries on the policy's next candidate. The body was
-// fully buffered before the first attempt, so replays are byte-identical.
+// or a 503 shed) retries on the policy's next candidate, and /v1/recover
+// may additionally hedge: race a delayed second attempt at the ring
+// successor, first response wins. The body was fully buffered (bounded by
+// MaxBody) before the first attempt, so replays are byte-identical.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string) {
+	if max := rt.cfg.MaxInFlight; max > 0 {
+		if n := rt.inflight.Add(1); n > int64(max) {
+			rt.inflight.Add(-1)
+			obs.Add("fleet/admission_shed_total", 1)
+			rt.shed(w, http.StatusTooManyRequests,
+				fmt.Errorf("fleet: router at its in-flight bound (%d)", max))
+			return
+		}
+		defer rt.inflight.Add(-1)
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			obs.Add("fleet/body_too_large_total", 1)
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("fleet: request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
 		return
 	}
@@ -279,10 +382,27 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string)
 		return
 	}
 
+	// Only recover requests hedge: they are idempotent AND their latency
+	// is dominated by the solve, where a second opinion at the successor
+	// actually helps. Each eligible request counts into the budget
+	// denominator whether or not it ends up hedging.
+	hedgeable := endpoint == "recover" && rt.hedger.enabled()
+	if hedgeable {
+		rt.hedger.sawRequest()
+	}
+
 	ctx := r.Context()
 	attempts := 0
+	capSkipped := 0
+	hedged := false
 	var last *attemptResult
-	for _, b := range candidates {
+	for i := 0; i < len(candidates); i++ {
+		b := candidates[i]
+		if rt.overCap(b) {
+			obs.Add("fleet/backend_cap_skip_total", 1)
+			capSkipped++
+			continue
+		}
 		if !rt.breakers.Allow(b.Name) {
 			obs.Add("fleet/breaker_skip_total", 1)
 			continue
@@ -291,10 +411,27 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string)
 		if attempts > 1 {
 			obs.Add("fleet/failover_total", 1)
 		}
-		res := rt.attempt(ctx, b, r.URL.Path, body)
+
+		var res *attemptResult
+		settled := false // breaker/latency feedback already applied?
+		if hedgeable && !hedged && i+1 < len(candidates) {
+			var launched bool
+			res, launched = rt.hedgedAttempt(ctx, b, candidates[i+1], r.URL.Path, body)
+			settled = true
+			if launched {
+				hedged = true
+				attempts++
+				i++ // the hedge consumed the next candidate
+			}
+		} else {
+			res = rt.attempt(ctx, b, r.URL.Path, body)
+		}
+
 		if res.err != nil {
-			rt.breakers.Failure(b.Name)
-			obs.Add(b.mErrors, 1)
+			if !settled {
+				rt.breakers.Failure(b.Name)
+				obs.Add(b.mErrors, 1)
+			}
 			obs.Log().Warn("fleet: attempt failed",
 				"backend", b.Name, "endpoint", endpoint, "err", res.err.Error())
 			if ctx.Err() != nil {
@@ -307,22 +444,111 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint string)
 			// Feed the breaker and try the next candidate; keep the reply so
 			// an all-shed fleet relays the worker's own Retry-After rather
 			// than inventing a router error.
-			rt.breakers.Failure(b.Name)
-			obs.Add(b.mErrors, 1)
+			if !settled {
+				rt.breakers.Failure(b.Name)
+				obs.Add(b.mErrors, 1)
+			}
 			last = res
 			continue
 		}
-		rt.breakers.Success(b.Name)
-		rt.relay(w, res, attempts)
+		if !settled {
+			rt.breakers.Success(b.Name)
+			if hedgeable {
+				rt.hedger.observe(res.durationMS)
+			}
+		}
+		rt.recordAssignment(key, res.backend)
+		rt.relay(w, res, attempts, hedged)
 		return
 	}
 	if last != nil {
-		rt.relay(w, last, attempts)
+		rt.relay(w, last, attempts, hedged)
+		return
+	}
+	if attempts == 0 && capSkipped > 0 {
+		obs.Add("fleet/admission_shed_total", 1)
+		rt.shed(w, http.StatusTooManyRequests,
+			fmt.Errorf("fleet: all %d candidate backend(s) for geometry %s at their outstanding cap", capSkipped, key))
 		return
 	}
 	obs.Add("fleet/exhausted_total", 1)
 	rt.shed(w, http.StatusServiceUnavailable,
 		fmt.Errorf("fleet: all %d candidate backend(s) for geometry %s failed", attempts, key))
+}
+
+// hedgedAttempt races one attempt at primary against a second attempt at
+// the ring successor, launched only after the hedger's rolling-p95 delay
+// and only if the hedge budget admits it. Both attempts derive from one
+// cancellable parent context; the first good reply wins and cancel()
+// reels the loser in, so a hedge costs at most one duplicated in-flight
+// solve, never a dangling one. Breaker and latency feedback for both
+// attempts is applied here (on each attempt's own goroutine — the caller
+// may return before the loser finishes, and a loser cancelled by us must
+// not count as a backend failure).
+func (rt *Router) hedgedAttempt(ctx context.Context, primary, secondary *Backend, path string, body []byte) (res *attemptResult, launched bool) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan *attemptResult, 2)
+	run := func(b *Backend) {
+		go func() {
+			r := rt.attempt(hctx, b, path, body)
+			switch {
+			case r.err != nil:
+				if hctx.Err() == nil { // a real failure, not our cancellation
+					rt.breakers.Failure(b.Name)
+					obs.Add(b.mErrors, 1)
+				}
+			case r.status == http.StatusServiceUnavailable:
+				rt.breakers.Failure(b.Name)
+				obs.Add(b.mErrors, 1)
+			default:
+				rt.breakers.Success(b.Name)
+				rt.hedger.observe(r.durationMS)
+			}
+			results <- r
+		}()
+	}
+	run(primary)
+	outstanding := 1
+	timer := time.NewTimer(rt.hedger.delay())
+	defer timer.Stop()
+	var best *attemptResult
+	for outstanding > 0 {
+		select {
+		case <-timer.C:
+			// The primary is still out past the hedge delay: launch the
+			// hedge if the successor is takeable and the budget admits it.
+			// A breaker claim refused by the budget is settled as Refused so
+			// a half-open probe slot is never leaked.
+			if launched || rt.overCap(secondary) {
+				continue
+			}
+			if !rt.breakers.Allow(secondary.Name) {
+				continue
+			}
+			if !rt.hedger.tryHedge() {
+				rt.breakers.Refused(secondary.Name)
+				continue
+			}
+			launched = true
+			obs.Add("fleet/hedge_launched_total", 1)
+			run(secondary)
+			outstanding++
+		case r := <-results:
+			outstanding--
+			if r.err == nil && r.status != http.StatusServiceUnavailable {
+				if launched && r.backend == secondary {
+					obs.Add("fleet/hedge_won_total", 1)
+				}
+				cancel() // the loser stops burning its backend now, not at defer
+				return r, launched
+			}
+			if best == nil || (best.err != nil && r.err == nil) {
+				best = r // prefer a relayable 503 over a transport error
+			}
+		}
+	}
+	return best, launched
 }
 
 // attemptResult is one backend's reply (or transport failure).
@@ -391,8 +617,9 @@ func (rt *Router) attempt(ctx context.Context, b *Backend, path string, body []b
 }
 
 // relay writes one backend reply to the client, labelling which backend
-// answered and how many attempts the request took.
-func (rt *Router) relay(w http.ResponseWriter, res *attemptResult, attempts int) {
+// answered, how many attempts the request took, and whether a hedge was
+// in flight.
+func (rt *Router) relay(w http.ResponseWriter, res *attemptResult, attempts int, hedged bool) {
 	h := w.Header()
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		h.Set("Content-Type", ct)
@@ -402,6 +629,9 @@ func (rt *Router) relay(w http.ResponseWriter, res *attemptResult, attempts int)
 	}
 	h.Set("X-Parma-Backend", res.backend.Name)
 	h.Set("X-Parma-Attempts", strconv.Itoa(attempts))
+	if hedged {
+		h.Set("X-Parma-Hedged", "1")
+	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
 }
@@ -465,19 +695,20 @@ type FleetHealth struct {
 
 // health assembles the fleet snapshot shared by /healthz and /fleet.
 func (rt *Router) health() FleetHealth {
-	shares := rt.ring.OwnedShare()
+	backends, ring := rt.membership()
+	shares := ring.OwnedShare()
 	shareOf := make(map[string]float64, len(shares))
-	for i, name := range rt.ring.Backends() {
+	for i, name := range ring.Backends() {
 		shareOf[name] = shares[i]
 	}
 	fh := FleetHealth{
 		Policy:  rt.policy.Name(),
 		UptimeS: time.Since(rt.start).Seconds(),
-		Total:   len(rt.backends),
-		Vnodes:  rt.ring.vnodes,
+		Total:   len(backends),
+		Vnodes:  ring.vnodes,
 	}
 	routable := 0
-	for _, b := range rt.backends {
+	for _, b := range backends {
 		p := b.Probe()
 		if p.Alive {
 			fh.Alive++
@@ -504,7 +735,7 @@ func (rt *Router) health() FleetHealth {
 		})
 	}
 	switch {
-	case routable == len(rt.backends):
+	case routable == len(backends):
 		fh.Status = "ok"
 	case routable > 0:
 		fh.Status = "degraded"
@@ -536,9 +767,10 @@ func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 	}
 	reply := fleetReply{FleetHealth: rt.health()}
 	if key := r.URL.Query().Get("key"); key != "" {
+		ring := rt.Ring()
 		reply.Key = key
-		reply.Owner = rt.ring.Owner(key)
-		reply.Chain = rt.ring.Successors(key, rt.ring.Len())
+		reply.Owner = ring.Owner(key)
+		reply.Chain = ring.Successors(key, ring.Len())
 	}
 	writeJSON(w, http.StatusOK, reply)
 }

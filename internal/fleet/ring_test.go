@@ -181,3 +181,64 @@ func TestRingEmptyAndSingle(t *testing.T) {
 		}
 	}
 }
+
+// TestRehomedKeysMatchOwnerDelta is the churn property test behind warm
+// handoff: for any single-member transition, RehomedKeys must name
+// exactly the keys whose consistent-hash owner changed, grouped under
+// exactly their new owner — no key missing, none invented, none
+// misrouted. The handoff protocol pushes warm state along this map, so
+// an off-by-one here is a cold cache after every membership change.
+func TestRehomedKeysMatchOwnerDelta(t *testing.T) {
+	keys := append(sampleKeys(400), sampleKeys(50)...) // duplicates on purpose
+	transitions := []struct {
+		name   string
+		mutate func(*Ring) *Ring
+	}{
+		{"add w9", func(r *Ring) *Ring { return r.With("w9") }},
+		{"remove w2", func(r *Ring) *Ring { return r.Without("w2") }},
+		{"remove w0", func(r *Ring) *Ring { return r.Without("w0") }},
+		{"add then settled", func(r *Ring) *Ring { return r.With("w7").Without("w3") }},
+	}
+	for _, n := range []int{2, 3, 5, 8} {
+		oldRing := NewRing(fleetNames(n), DefaultVnodes)
+		for _, tr := range transitions {
+			newRing := tr.mutate(oldRing)
+			moved := RehomedKeys(oldRing, newRing, keys)
+
+			// Brute force the expected delta, deduplicating like RehomedKeys.
+			want := map[string]map[string]bool{}
+			seen := map[string]bool{}
+			for _, k := range keys {
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				oldOwner, newOwner := oldRing.Owner(k), newRing.Owner(k)
+				if newOwner == "" || newOwner == oldOwner {
+					continue
+				}
+				if want[newOwner] == nil {
+					want[newOwner] = map[string]bool{}
+				}
+				want[newOwner][k] = true
+			}
+
+			if len(moved) != len(want) {
+				t.Fatalf("n=%d %s: RehomedKeys names %d successors, brute force says %d",
+					n, tr.name, len(moved), len(want))
+			}
+			for succ, got := range moved {
+				if len(got) != len(want[succ]) {
+					t.Errorf("n=%d %s: successor %s got %d keys, want %d",
+						n, tr.name, succ, len(got), len(want[succ]))
+				}
+				for _, k := range got {
+					if !want[succ][k] {
+						t.Errorf("n=%d %s: key %s re-homed to %s, but its owner delta disagrees",
+							n, tr.name, k, succ)
+					}
+				}
+			}
+		}
+	}
+}

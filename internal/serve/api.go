@@ -116,6 +116,38 @@ type MeasureResponse struct {
 	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
+// PrewarmEntry is one geometry's warm state in the handoff protocol: the
+// geometry key ("RxC") and, when the source still held it, the warm-start
+// R field. A key-only entry still lets the receiver prebuild the
+// geometry's sparse Plan — pure geometry, recoverable even when the
+// previous owner crashed.
+type PrewarmEntry struct {
+	Key string      `json:"key"`
+	R   [][]float64 `json:"r,omitempty"`
+}
+
+// PrewarmRequest is the POST /v1/prewarm body: the geometry keys this
+// server just inherited from a departing fleet member, as announced by
+// the router's warm handoff.
+type PrewarmRequest struct {
+	Entries []PrewarmEntry `json:"entries"`
+}
+
+// PrewarmResponse acknowledges a prewarm: how many entries were accepted
+// for asynchronous cache building (the reply is 202; the factorizations
+// land in FactorCache moments later).
+type PrewarmResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// WarmStateResponse is the GET /v1/warmstate reply: the warm-start fields
+// this server holds for the requested geometry keys, exported so a router
+// can move them to ring successors during a coordinated drain. Keys with
+// no cached warm start come back key-only.
+type WarmStateResponse struct {
+	Entries []PrewarmEntry `json:"entries"`
+}
+
 // ErrorResponse is the body of every non-200 reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -65,6 +65,20 @@ func (c *FactorCache) get(key string) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
+// peek returns the cached value without hit/miss accounting or an LRU
+// bump — for observational reads (warm-state export) that must not skew
+// the cache stats a fleet router routes on, nor keep an entry alive that
+// real traffic has stopped touching.
+func (c *FactorCache) peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).val, true
+}
+
 // put inserts or refreshes key, evicting from the LRU tail past capacity.
 func (c *FactorCache) put(key string, v any) {
 	c.mu.Lock()
@@ -138,6 +152,17 @@ func (c *FactorCache) Solver(a grid.Array, r *grid.Field) (*circuit.Solver, bool
 // if any. The copy keeps cache contents isolated from solver mutation.
 func (c *FactorCache) WarmStart(a grid.Array) (*grid.Field, bool) {
 	v, ok := c.get("warm|" + geomKey(a))
+	if !ok {
+		return nil, false
+	}
+	return v.(*grid.Field).Clone(), true
+}
+
+// PeekWarmStart returns a copy of the warm start for a's geometry without
+// touching hit/miss accounting or LRU order — the export path behind
+// GET /v1/warmstate.
+func (c *FactorCache) PeekWarmStart(a grid.Array) (*grid.Field, bool) {
+	v, ok := c.peek("warm|" + geomKey(a))
 	if !ok {
 		return nil, false
 	}

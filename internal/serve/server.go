@@ -246,6 +246,8 @@ func (s *Server) Drain(ctx context.Context) error {
 //
 //	POST /v1/recover      Z field + geometry -> recovered R field
 //	POST /v1/measure      R field + geometry -> simulated Z field
+//	POST /v1/prewarm      warm-handoff push: prebuild caches for re-homed keys
+//	GET  /v1/warmstate    export warm-start fields for a coordinated drain
 //	GET  /healthz         liveness + drain state
 //	GET  /metrics         Prometheus text (when Config.Recorder is set)
 //	GET  /debug/pprof/*   runtime profiles (when Config.EnablePprof)
@@ -253,6 +255,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/recover", s.instrument("recover", "serve/http/recover", s.handleRecover))
 	mux.HandleFunc("POST /v1/measure", s.instrument("measure", "serve/http/measure", s.handleMeasure))
+	mux.HandleFunc("POST /v1/prewarm", s.instrument("prewarm", "serve/http/prewarm", s.handlePrewarm))
+	mux.HandleFunc("GET /v1/warmstate", s.instrument("warmstate", "serve/http/warmstate", s.handleWarmState))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", "serve/http/healthz", s.handleHealthz))
 	if s.cfg.Recorder != nil {
 		metrics := obs.MetricsHandler(s.cfg.Recorder)
